@@ -1,0 +1,63 @@
+"""Table I — atomic operations and their control-signal encoding.
+
+Regenerates the mnemonic -> control-signal mapping of Table I and benchmarks
+the encoder/decoder (the operation the compiler performs for every scheduled
+instruction).
+"""
+
+import pytest
+
+from repro.core.isa import (
+    CoreAccumulate,
+    CoreLoadWeights,
+    Direction,
+    PsBypass,
+    PsSend,
+    PsSum,
+    SpikeBypass,
+    SpikeFire,
+    SpikeSend,
+    decode,
+    encode,
+    mnemonic,
+)
+
+from conftest import print_table
+
+
+TABLE_I_OPS = [
+    PsSum(src=Direction.NORTH, consecutive=False),
+    PsSum(src=Direction.NORTH, consecutive=True),
+    PsSend(dst=Direction.SOUTH),
+    PsBypass(src=Direction.NORTH, dst=Direction.SOUTH),
+    SpikeFire(use_noc_sum=True),
+    SpikeFire(use_noc_sum=False),
+    SpikeSend(dst=Direction.EAST),
+    SpikeBypass(src=Direction.WEST, dst=Direction.EAST),
+    CoreLoadWeights(banks=4),
+    CoreAccumulate(banks=4),
+]
+
+
+def test_regenerate_table1(benchmark):
+    rows = {}
+    for op in TABLE_I_OPS:
+        word = encode(op)
+        rows[f"{op.block.name:<12} {mnemonic(op)}"] = dict(word.fields)
+    print_table("Table I: atomic op -> control signals", rows)
+
+    def encode_decode_all():
+        for op in TABLE_I_OPS:
+            assert type(decode(encode(op))) is type(op)
+
+    benchmark(encode_decode_all)
+
+
+def test_encoding_is_lossless_for_every_table1_op(benchmark):
+    ops = TABLE_I_OPS * 50
+
+    def roundtrip():
+        return [decode(encode(op)) for op in ops]
+
+    decoded = benchmark(roundtrip)
+    assert len(decoded) == len(ops)

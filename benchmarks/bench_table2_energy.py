@@ -1,0 +1,44 @@
+"""Table II — active power and energy of the atomic operations.
+
+The per-op energies are the paper's synthesised calibration constants (used
+verbatim — see DESIGN.md substitutions); this benchmark regenerates the table
+and benchmarks the energy-accounting kernel of the architectural power model.
+"""
+
+import pytest
+
+from repro.power.energy_table import DEFAULT_ENERGY_TABLE, REFERENCE_SWITCHING_ACTIVITY
+from repro.power.power_model import PowerModel
+
+from conftest import print_table
+
+
+def test_regenerate_table2(benchmark):
+    rows = {}
+    for key, entry in DEFAULT_ENERGY_TABLE.entries.items():
+        rows[f"{entry.block:<20} {entry.name:<8}"] = (
+            f"{entry.active_power_mw_at_120khz:.4f} mW @120kHz, "
+            f"{entry.energy_per_neuron_pj:.2f} pJ/neuron, {entry.cycles} cycle(s)"
+        )
+    rows["reference switching activity"] = f"{REFERENCE_SWITCHING_ACTIVITY:.4f}"
+    print_table("Table II: active power / energy per atomic operation", rows)
+
+    model = PowerModel()
+    lanes = {key: 100_000 for key in DEFAULT_ENERGY_TABLE.entries}
+
+    energy = benchmark(model.active_energy_pj, lanes)
+    assert energy > 0
+
+
+def test_energy_accounting_scales_linearly(benchmark):
+    model = PowerModel()
+
+    def accumulate():
+        total = 0.0
+        for scale in (1, 10, 100):
+            total += model.active_energy_pj({"core_acc": 256 * scale, "ps_sum": 256 * scale})
+        return total
+
+    total = benchmark(accumulate)
+    single = model.active_energy_pj({"core_acc": 256, "ps_sum": 256})
+    assert total == pytest.approx(111 * single)

@@ -1,0 +1,61 @@
+"""Table III — the four benchmark network structures.
+
+Regenerates the layer structure of each application and checks every feature
+map size implied by the table, then benchmarks network construction and one
+forward pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.networks import (
+    build_cifar_cnn,
+    build_cifar_resnet,
+    build_mnist_cnn,
+    build_mnist_mlp,
+)
+
+from conftest import print_table
+
+
+EXPECTED_SHAPES = {
+    "mnist-mlp": {"fc1": (512,), "fc2": (10,)},
+    "mnist-cnn": {"conv1": (28, 28, 16), "pool1": (14, 14, 16),
+                  "conv2": (14, 14, 32), "pool2": (7, 7, 32),
+                  "fc1": (128,), "fc2": (10,)},
+    "cifar-cnn": {"conv1": (24, 24, 16), "pool1": (12, 12, 16),
+                  "conv2": (12, 12, 32), "pool2": (6, 6, 32),
+                  "conv3": (6, 6, 64), "pool3": (3, 3, 64),
+                  "fc1": (256,), "fc2": (128,), "fc3": (10,)},
+    "cifar-resnet": {"conv1": (24, 24, 16), "pool1": (12, 12, 16),
+                     "res_conv1": (12, 12, 32), "res_block": (12, 12, 32),
+                     "pool2": (6, 6, 32), "conv3": (6, 6, 64),
+                     "pool3": (3, 3, 64), "fc1": (256,), "fc2": (128,),
+                     "fc3": (10,)},
+}
+
+BUILDERS = {
+    "mnist-mlp": build_mnist_mlp,
+    "mnist-cnn": build_mnist_cnn,
+    "cifar-cnn": build_cifar_cnn,
+    "cifar-resnet": build_cifar_resnet,
+}
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+def test_regenerate_table3_structure(benchmark, name):
+    builder = BUILDERS[name]
+    model = benchmark.pedantic(builder, rounds=1, iterations=1)
+    shapes = dict(model.layer_shapes())
+    rows = {layer: shape for layer, shape in model.layer_shapes()}
+    rows["parameters"] = model.parameter_count()
+    print_table(f"Table III: {name}", rows)
+    for layer, expected in EXPECTED_SHAPES[name].items():
+        assert shapes[layer] == expected, layer
+
+
+def test_forward_pass_throughput(benchmark):
+    model = build_mnist_cnn()
+    batch = np.random.default_rng(0).random((8, 28, 28, 1))
+    out = benchmark(model.forward, batch)
+    assert out.shape == (8, 10)

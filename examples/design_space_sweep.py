@@ -1,0 +1,60 @@
+"""Design-space exploration: core size vs resources and power.
+
+An extension experiment the paper's reconfigurable toolchain makes easy: the
+same MNIST MLP is mapped onto Shenjing variants with different core sizes
+(synapses x neurons per core) and the resulting core count, chips, clock
+frequency and power are compared.  Smaller cores need more of them (more NoC
+traffic); larger cores waste SRAM on a small model.
+
+Run with:  python examples/design_space_sweep.py
+"""
+
+from repro.apps import build_mnist_mlp
+from repro.core import ArchitectureConfig
+from repro.datasets import synthetic_mnist
+from repro.mapping import estimate_mapping
+from repro.power import InterchipTraffic, PowerModel
+from repro.snn import ConversionConfig, convert_ann_to_snn
+
+
+CORE_SIZES = [64, 128, 256, 512]
+TARGET_FPS = 40.0
+TIMESTEPS = 20
+
+
+def main() -> None:
+    data = synthetic_mnist(train_size=64, test_size=8, seed=0)
+    model = build_mnist_mlp()
+    snn = convert_ann_to_snn(model, data.train_images[:32],
+                             ConversionConfig(timesteps=TIMESTEPS))
+    power_model = PowerModel()
+
+    print(f"{'core size':>10} {'cores':>7} {'chips':>6} {'freq kHz':>10} "
+          f"{'power mW':>10} {'uJ/frame':>10}")
+    for size in CORE_SIZES:
+        arch = ArchitectureConfig(core_inputs=size, core_neurons=size,
+                                  chip_rows=28, chip_cols=28)
+        estimate = estimate_mapping(snn, arch)
+        spike_bits, ps_bits = estimate.interchip_bits_per_frame()
+        report = power_model.report(
+            name=f"mlp@{size}",
+            cores=estimate.total_cores,
+            chips=estimate.chips,
+            timesteps=TIMESTEPS,
+            lanes_per_frame=estimate.lanes_per_frame(),
+            cycles_per_frame=estimate.cycles_per_frame,
+            target_fps=TARGET_FPS,
+            interchip_traffic=InterchipTraffic(spike_bits=spike_bits, ps_bits=ps_bits),
+        )
+        print(f"{size:>10} {estimate.total_cores:>7} {estimate.chips:>6} "
+              f"{report.frequency_hz / 1e3:>10.1f} {report.power_mw:>10.3f} "
+              f"{report.uj_per_frame:>10.1f}")
+
+    print("\nThe paper's design point (256 x 256 cores) maps the MLP onto 10 cores; "
+          "halving the core size roughly quadruples the core count while the "
+          "energy per frame stays in the same regime — the SRAM-dominated "
+          "background power follows the core count.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""MNIST MLP on Shenjing — the paper's Fig. 1 / Table IV flagship experiment.
+
+Trains the 784-512-10 multilayer perceptron on the synthetic MNIST
+substitute, converts it to a rate-coded SNN with 5-bit weights, maps it onto
+10 Shenjing cores (exactly the paper's count), cycle-simulates a few test
+digits on the hardware model, and reports accuracy, the Fig. 1-style
+placement, and the architectural power estimate next to the paper's numbers.
+
+Run with:  python examples/mnist_mlp_on_shenjing.py
+"""
+
+import numpy as np
+
+from repro.apps import ExperimentConfig, build_mnist_mlp, run_experiment
+from repro.core import DEFAULT_ARCH
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        name="mnist-mlp",
+        model_builder=build_mnist_mlp,
+        dataset="mnist",
+        timesteps=20,
+        target_fps=40,
+        train_epochs=4,
+        train_size=800,
+        test_size=150,
+        hardware_frames=5,
+        seed=0,
+    )
+    print("training the reference ANN, converting and mapping (this takes ~1 minute)...")
+    result = run_experiment(config, arch=DEFAULT_ARCH)
+
+    print("\n=== MNIST MLP on Shenjing ===")
+    for key, value in result.table_iv_row().items():
+        print(f"  {key:<24} {value}")
+    print(f"  hardware == abstract    {result.hardware_matches_abstract}")
+    print(f"  mean spike activity     {result.mean_activity:.4f}")
+
+    print("\npaper's Table IV column for comparison:")
+    print("  ANN 0.9967, SNN 0.9611, 10 cores, T=20, 40 fps, 120 kHz, "
+          "1.35 mW, 0.135 mW/core, 0.038 mJ/frame")
+
+    print("\nNote: absolute accuracy differs because the offline environment uses a "
+          "synthetic MNIST substitute (see DESIGN.md); the structural results "
+          "(10 cores, one chip, ~0.1 mW/core, tens of uJ/frame) and the lossless "
+          "mapping are the reproduced claims.")
+
+
+if __name__ == "__main__":
+    main()

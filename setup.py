@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables legacy
+editable installs (``pip install -e . --no-use-pep517``) on offline machines
+where the PEP 517 build path cannot build wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Reproduction of Shenjing (DATE 2020): a reconfigurable SNN accelerator
+with partial-sum and spike networks-on-chip.
+
+The package is organised as:
+
+* :mod:`repro.core` — hardware model and cycle-level functional simulator;
+* :mod:`repro.mapping` — the software mapping toolchain (logical mapping,
+  placement, routing, compiler);
+* :mod:`repro.nn` — numpy ANN substrate (layers, training, quantisation);
+* :mod:`repro.snn` — ANN-to-SNN conversion and the abstract SNN runner;
+* :mod:`repro.datasets` — synthetic MNIST / CIFAR-10 substitutes;
+* :mod:`repro.power` — energy table, frequency and architectural power model;
+* :mod:`repro.baselines` — block-level-spike baseline and published chip data;
+* :mod:`repro.apps` — the paper's four applications and the experiment pipeline.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,45 @@
+"""The paper's applications (Table III) and the end-to-end experiment pipeline."""
+
+from .networks import (
+    CIFAR_INPUT_SHAPE,
+    MNIST_INPUT_SHAPE,
+    TABLE_III_BUILDERS,
+    build_cifar_cnn,
+    build_cifar_cnn_small,
+    build_cifar_resnet,
+    build_cifar_resnet_small,
+    build_mnist_cnn,
+    build_mnist_cnn_small,
+    build_mnist_mlp,
+    build_mnist_mlp_small,
+)
+from .pipeline import (
+    ExperimentConfig,
+    ExperimentResult,
+    PipelineError,
+    format_table,
+    load_dataset,
+    run_experiment,
+    train_reference_ann,
+)
+
+__all__ = [
+    "CIFAR_INPUT_SHAPE",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MNIST_INPUT_SHAPE",
+    "PipelineError",
+    "TABLE_III_BUILDERS",
+    "build_cifar_cnn",
+    "build_cifar_cnn_small",
+    "build_cifar_resnet",
+    "build_cifar_resnet_small",
+    "build_mnist_cnn",
+    "build_mnist_cnn_small",
+    "build_mnist_mlp",
+    "build_mnist_mlp_small",
+    "format_table",
+    "load_dataset",
+    "run_experiment",
+    "train_reference_ann",
+]

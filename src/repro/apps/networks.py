@@ -1,0 +1,207 @@
+"""The paper's benchmark networks (Table III).
+
+Builders for the four applications the paper evaluates — MNIST MLP, MNIST
+CNN, CIFAR-10 CNN and CIFAR-10 ResNet — as :class:`~repro.nn.model.Sequential`
+ANNs ready for training and conversion.  All parameterised layers are built
+without biases (Shenjing cores have no bias input; see
+:mod:`repro.snn.conversion`).
+
+Each builder also has a ``*_small`` variant with the same layer types but
+scaled-down widths; the test-suite and quick examples use those so that full
+training + compilation + cycle simulation stays fast, while the benchmark
+harness uses the full-size networks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import AvgPool2D, Conv2D, Dense, Flatten, ReLU
+from ..nn.model import ResidualBlock, Sequential
+
+MNIST_INPUT_SHAPE = (28, 28, 1)
+CIFAR_INPUT_SHAPE = (24, 24, 3)
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Table III (a): MNIST MLP — FC1(784, 512), FC2(512, 10)
+# ----------------------------------------------------------------------
+def build_mnist_mlp(hidden: int = 512, seed: int = 0) -> Sequential:
+    """The paper's MNIST multilayer perceptron (Fig. 1 / Table III a)."""
+    rng = _rng(seed)
+    layers = [
+        Flatten(name="flatten"),
+        Dense(784, hidden, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu1"),
+        Dense(hidden, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=MNIST_INPUT_SHAPE, name="mnist-mlp")
+
+
+def build_mnist_mlp_small(hidden: int = 64, seed: int = 0) -> Sequential:
+    """Scaled-down MLP used by fast tests (same structure, smaller hidden layer)."""
+    return build_mnist_mlp(hidden=hidden, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Table III (b): MNIST CNN
+# ----------------------------------------------------------------------
+def build_mnist_cnn(seed: int = 0) -> Sequential:
+    """Conv1(3,3,1,16) - Pool - Conv2(3,3,16,32) - Pool - FC(1568,128) - FC(128,10)."""
+    rng = _rng(seed)
+    layers = [
+        Conv2D(1, 16, 3, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        Conv2D(16, 32, 3, padding="same", bias=False, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+        AvgPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+        Dense(7 * 7 * 32, 128, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu3"),
+        Dense(128, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=MNIST_INPUT_SHAPE, name="mnist-cnn")
+
+
+def build_mnist_cnn_small(seed: int = 0) -> Sequential:
+    """Reduced-width MNIST CNN (4 and 8 channels) for fast end-to-end tests."""
+    rng = _rng(seed)
+    layers = [
+        Conv2D(1, 4, 3, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        Conv2D(4, 8, 3, padding="same", bias=False, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+        AvgPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+        Dense(7 * 7 * 8, 32, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu3"),
+        Dense(32, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=MNIST_INPUT_SHAPE, name="mnist-cnn-small")
+
+
+# ----------------------------------------------------------------------
+# Table III (c): CIFAR-10 CNN
+# ----------------------------------------------------------------------
+def build_cifar_cnn(seed: int = 0) -> Sequential:
+    """The paper's CIFAR-10 CNN (Table III c), with 3-channel colour input."""
+    rng = _rng(seed)
+    layers = [
+        Conv2D(3, 16, 5, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        Conv2D(16, 32, 5, padding="same", bias=False, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+        AvgPool2D(2, name="pool2"),
+        Conv2D(32, 64, 3, padding="same", bias=False, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        AvgPool2D(2, name="pool3"),
+        Flatten(name="flatten"),
+        Dense(3 * 3 * 64, 256, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu4"),
+        Dense(256, 128, bias=False, rng=rng, name="fc2"),
+        ReLU(name="relu5"),
+        Dense(128, 10, bias=False, rng=rng, name="fc3"),
+    ]
+    return Sequential(layers, input_shape=CIFAR_INPUT_SHAPE, name="cifar-cnn")
+
+
+def build_cifar_cnn_small(seed: int = 0) -> Sequential:
+    """Reduced-width CIFAR CNN (4/8/8 channels) for fast end-to-end tests."""
+    rng = _rng(seed)
+    layers = [
+        Conv2D(3, 4, 5, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        Conv2D(4, 8, 5, padding="same", bias=False, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+        AvgPool2D(2, name="pool2"),
+        Conv2D(8, 8, 3, padding="same", bias=False, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        AvgPool2D(2, name="pool3"),
+        Flatten(name="flatten"),
+        Dense(3 * 3 * 8, 32, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu4"),
+        Dense(32, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=CIFAR_INPUT_SHAPE, name="cifar-cnn-small")
+
+
+# ----------------------------------------------------------------------
+# Table III (d): CIFAR-10 ResNet
+# ----------------------------------------------------------------------
+def build_cifar_resnet(seed: int = 0) -> Sequential:
+    """The paper's small CIFAR-10 residual network (Table III d).
+
+    ``Res/Conv1`` changes the channel count from 16 to 32 and therefore sits
+    in front of the residual block; ``Res/Conv2`` and ``Res/Conv3`` (32 -> 32)
+    form the block's body with an identity shortcut, which is normalised by
+    the conversion step (Section III.3).
+    """
+    rng = _rng(seed)
+    res_body = [
+        Conv2D(32, 32, 5, padding="same", bias=False, rng=rng, name="res_conv2"),
+        Conv2D(32, 32, 5, padding="same", bias=False, rng=rng, name="res_conv3"),
+    ]
+    layers = [
+        Conv2D(3, 16, 5, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        Conv2D(16, 32, 5, padding="same", bias=False, rng=rng, name="res_conv1"),
+        ReLU(name="relu2"),
+        ResidualBlock(res_body, name="res_block"),
+        AvgPool2D(2, name="pool2"),
+        Conv2D(32, 64, 3, padding="same", bias=False, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        AvgPool2D(2, name="pool3"),
+        Flatten(name="flatten"),
+        Dense(3 * 3 * 64, 256, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu4"),
+        Dense(256, 128, bias=False, rng=rng, name="fc2"),
+        ReLU(name="relu5"),
+        Dense(128, 10, bias=False, rng=rng, name="fc3"),
+    ]
+    return Sequential(layers, input_shape=CIFAR_INPUT_SHAPE, name="cifar-resnet")
+
+
+def build_cifar_resnet_small(seed: int = 0) -> Sequential:
+    """Reduced-width CIFAR ResNet (4/8 channels) for fast end-to-end tests."""
+    rng = _rng(seed)
+    res_body = [
+        Conv2D(8, 8, 3, padding="same", bias=False, rng=rng, name="res_conv2"),
+        Conv2D(8, 8, 3, padding="same", bias=False, rng=rng, name="res_conv3"),
+    ]
+    layers = [
+        Conv2D(3, 4, 5, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        Conv2D(4, 8, 3, padding="same", bias=False, rng=rng, name="res_conv1"),
+        ReLU(name="relu2"),
+        ResidualBlock(res_body, name="res_block"),
+        AvgPool2D(2, name="pool2"),
+        Conv2D(8, 8, 3, padding="same", bias=False, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        AvgPool2D(2, name="pool3"),
+        Flatten(name="flatten"),
+        Dense(3 * 3 * 8, 32, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu4"),
+        Dense(32, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=CIFAR_INPUT_SHAPE, name="cifar-resnet-small")
+
+
+#: The Table III structures by paper column label.
+TABLE_III_BUILDERS = {
+    "mnist-mlp": build_mnist_mlp,
+    "mnist-cnn": build_mnist_cnn,
+    "cifar-cnn": build_cifar_cnn,
+    "cifar-resnet": build_cifar_resnet,
+}

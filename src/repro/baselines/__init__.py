@@ -1,0 +1,18 @@
+"""Baselines: block-level-spike communication and published chip data (Table V)."""
+
+from .block_spike import BaselineError, BlockSpikeRunner
+from .reference import (
+    ArchitectureReference,
+    PAPER_THIS_WORK,
+    TABLE_V_REFERENCES,
+    energy_ordering,
+)
+
+__all__ = [
+    "ArchitectureReference",
+    "BaselineError",
+    "BlockSpikeRunner",
+    "PAPER_THIS_WORK",
+    "TABLE_V_REFERENCES",
+    "energy_ordering",
+]

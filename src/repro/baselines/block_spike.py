@@ -1,0 +1,151 @@
+"""Block-level spike communication baseline (the architecture Shenjing improves on).
+
+Section II ("Reconfigurability and accuracy") describes how prior SNN
+architectures without partial-sum NoCs handle layers that do not fit in one
+core: every core integrates-and-fires on its *partial* weighted sum, and an
+aggregating core sums the resulting spikes to approximate the full weighted
+sum.  Re-quantising partial sums into 1-bit spikes loses information and is
+the source of the accuracy loss that Shenjing's PS NoCs eliminate.
+
+:class:`BlockSpikeRunner` simulates exactly that baseline on the same
+abstract SNN (same integer weights, thresholds and input spike trains), so
+the accuracy gap attributable to the communication scheme can be measured
+directly — the ablation benchmark of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+from ..snn.neurons import BatchedIfState
+from ..snn.runner import SnnRunResult, _conv_sum, _dense_sum
+from ..snn.spec import ConvSpec, DenseSpec, LayerSpec, ResidualBlockSpec, SnnNetwork
+
+
+class BaselineError(RuntimeError):
+    """Raised on unsupported baseline configurations."""
+
+
+class _BlockSplitDenseState:
+    """A dense layer executed with block-level spike aggregation.
+
+    The layer's inputs are split into blocks of at most ``core_inputs``; each
+    block is a separate core with its own IF state firing on its *partial*
+    sum.  An aggregator core receives only those 1-bit spikes, weighs them by
+    the firing threshold (its best available estimate of the partial sum) and
+    fires the layer's output spikes.
+    """
+
+    def __init__(self, spec: DenseSpec, arch: ArchitectureConfig, batch: int):
+        self.spec = spec
+        self.arch = arch
+        self.n_blocks = max(1, math.ceil(spec.in_size / arch.core_inputs))
+        self.block_states = [
+            BatchedIfState.create(batch, spec.out_size, spec.threshold)
+            for _ in range(self.n_blocks)
+        ]
+        self.aggregator = BatchedIfState.create(batch, spec.out_size, spec.threshold)
+
+    def step(self, spikes: np.ndarray) -> np.ndarray:
+        if self.n_blocks == 1:
+            # Fits in one core: identical to the exact computation.
+            return self.block_states[0].step(_dense_sum(spikes, self.spec))
+        aggregate = np.zeros((spikes.shape[0], self.spec.out_size), dtype=np.int64)
+        for block in range(self.n_blocks):
+            lo = block * self.arch.core_inputs
+            hi = min(lo + self.arch.core_inputs, self.spec.in_size)
+            partial = spikes[:, lo:hi].astype(np.int64) @ self.spec.weights[lo:hi]
+            block_spikes = self.block_states[block].step(partial)
+            # The aggregating core only sees 1-bit spikes; each spike stands
+            # for (at least) one threshold's worth of partial sum.
+            aggregate += block_spikes.astype(np.int64) * self.spec.threshold
+        return self.aggregator.step(aggregate)
+
+
+class _ExactLayerState:
+    """Layers that fit in a core (or are not split) run exactly."""
+
+    def __init__(self, layer: LayerSpec, batch: int):
+        self.layer = layer
+        if isinstance(layer, ResidualBlockSpec):
+            self.body_states = [
+                BatchedIfState.create(batch, spec.out_size, spec.threshold)
+                for spec in layer.body[:-1]
+            ]
+            self.output_state = BatchedIfState.create(
+                batch, layer.out_size, layer.body[-1].threshold
+            )
+        else:
+            self.body_states = []
+            self.output_state = BatchedIfState.create(batch, layer.out_size, layer.threshold)
+
+    def step(self, spikes: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        if isinstance(layer, DenseSpec):
+            return self.output_state.step(_dense_sum(spikes, layer))
+        if isinstance(layer, ConvSpec):
+            return self.output_state.step(_conv_sum(spikes, layer))
+        if isinstance(layer, ResidualBlockSpec):
+            current = spikes
+            for spec, state in zip(layer.body[:-1], self.body_states):
+                current = state.step(_conv_sum(current, spec))
+            body_sum = _conv_sum(current, layer.body[-1])
+            shortcut_sum = _conv_sum(spikes, layer.shortcut)
+            return self.output_state.step(body_sum + shortcut_sum)
+        raise BaselineError(f"unsupported layer spec {layer!r}")
+
+
+class BlockSpikeRunner:
+    """Abstract SNN runner with block-level (spike-quantised) cross-core sums.
+
+    Only fully connected layers larger than one core are affected — they are
+    the layers whose split the paper's Fig. 1 illustrates; other layers run
+    exactly, so any accuracy difference against
+    :class:`~repro.snn.runner.AbstractSnnRunner` is attributable purely to
+    the cross-core communication scheme.
+    """
+
+    def __init__(self, network: SnnNetwork, arch: ArchitectureConfig):
+        network.validate()
+        self.network = network
+        self.arch = arch
+
+    def run_spike_trains(self, spike_trains: np.ndarray) -> SnnRunResult:
+        spike_trains = np.asarray(spike_trains, dtype=bool)
+        if spike_trains.ndim == 2:
+            spike_trains = spike_trains[None, ...]
+        if spike_trains.ndim != 3 or spike_trains.shape[2] != self.network.input_size:
+            raise BaselineError(
+                "spike_trains must have shape (N, T, input_size) with input_size "
+                f"{self.network.input_size}"
+            )
+        batch, timesteps, _ = spike_trains.shape
+        states: List[object] = []
+        for layer in self.network.layers:
+            if isinstance(layer, DenseSpec) and layer.in_size > self.arch.core_inputs:
+                states.append(_BlockSplitDenseState(layer, self.arch, batch))
+            else:
+                states.append(_ExactLayerState(layer, batch))
+        counts = np.zeros((batch, self.network.output_size), dtype=np.int64)
+        for step in range(timesteps):
+            spikes = spike_trains[:, step, :]
+            for state in states:
+                spikes = state.step(spikes)
+            counts += spikes
+        return SnnRunResult(
+            spike_counts=counts,
+            predictions=np.argmax(counts, axis=1),
+            timesteps=timesteps,
+        )
+
+    def split_layer_names(self) -> List[str]:
+        """Names of the layers that suffer block-level spike aggregation."""
+        return [
+            layer.name for layer in self.network.layers
+            if isinstance(layer, DenseSpec) and layer.in_size > self.arch.core_inputs
+        ]

@@ -1,0 +1,97 @@
+"""Hardware model of the Shenjing accelerator.
+
+This package contains the behavioural / cycle-level model of the hardware
+described in Section II and Fig. 2 of the paper: the atomic-operation ISA,
+the neuron core, the partial-sum and spike NoC routers, the tile and chip
+composition, and the functional simulator that executes compiled programs.
+"""
+
+from .chip import ChipError, ShenjingSystem, SystemGeometry
+from .config import (
+    ArchitectureConfig,
+    ConfigurationError,
+    DEFAULT_ARCH,
+    RuntimeConfig,
+    small_test_arch,
+)
+from .isa import (
+    AtomicOp,
+    BlockType,
+    ControlWord,
+    CoreAccumulate,
+    CoreLoadWeights,
+    Direction,
+    IsaError,
+    OpName,
+    PsBypass,
+    PsReceive,
+    PsSend,
+    PsSum,
+    SpikeBypass,
+    SpikeFire,
+    SpikeReceive,
+    SpikeSend,
+    decode,
+    encode,
+    mnemonic,
+    op_latency,
+)
+from .neuron_core import AccumulateResult, NeuronCore, NeuronCoreError
+from .ps_router import PsPacket, PsRouter, PsRouterError
+from .simulator import (
+    FrameResult,
+    ShenjingSimulator,
+    SimulationError,
+    SimulationResult,
+)
+from .spike_router import SpikePacket, SpikeRouter, SpikeRouterError
+from .stats import ExecutionStats, OpCount
+from .tile import Tile, TileCoordinate
+
+__all__ = [
+    "ArchitectureConfig",
+    "AccumulateResult",
+    "AtomicOp",
+    "BlockType",
+    "ChipError",
+    "ConfigurationError",
+    "ControlWord",
+    "CoreAccumulate",
+    "CoreLoadWeights",
+    "DEFAULT_ARCH",
+    "Direction",
+    "ExecutionStats",
+    "FrameResult",
+    "IsaError",
+    "NeuronCore",
+    "NeuronCoreError",
+    "OpCount",
+    "OpName",
+    "PsBypass",
+    "PsPacket",
+    "PsReceive",
+    "PsRouter",
+    "PsRouterError",
+    "PsSend",
+    "PsSum",
+    "RuntimeConfig",
+    "ShenjingSimulator",
+    "ShenjingSystem",
+    "SimulationError",
+    "SimulationResult",
+    "SpikeBypass",
+    "SpikeFire",
+    "SpikePacket",
+    "SpikeReceive",
+    "SpikeRouter",
+    "SpikeRouterError",
+    "SpikeSend",
+    "SystemGeometry",
+    "Tile",
+    "TileCoordinate",
+    "decode",
+    "encode",
+    "mnemonic",
+    "op_latency",
+    "small_test_arch",
+]

@@ -1,0 +1,150 @@
+"""Chip and multi-chip system model.
+
+A Shenjing chip is a ``chip_rows x chip_cols`` grid of tiles (28 x 28 = 784 in
+the paper).  Applications that need more cores span several chips; the
+mapping toolchain treats the system as one large tile grid and the power
+model charges 4.4 pJ/bit for every bit that crosses a chip boundary
+(Section V, "Power").
+
+:class:`ShenjingSystem` materialises only the tiles that the mapping actually
+uses, so simulating a 4-chip CIFAR-10 network does not require allocating
+3136 full-size cores worth of SRAM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator
+
+from .config import ArchitectureConfig
+from .isa import Direction
+from .tile import Tile, TileCoordinate
+
+
+class ChipError(RuntimeError):
+    """Raised on out-of-fabric accesses or inconsistent system shapes."""
+
+
+@dataclass(frozen=True)
+class SystemGeometry:
+    """Size of the tile fabric in tiles and in chips."""
+
+    rows: int
+    cols: int
+    arch: ArchitectureConfig
+
+    @property
+    def chip_grid(self) -> tuple[int, int]:
+        """Number of chips along each dimension."""
+        return (
+            math.ceil(self.rows / self.arch.chip_rows),
+            math.ceil(self.cols / self.arch.chip_cols),
+        )
+
+    @property
+    def chip_count(self) -> int:
+        chips_r, chips_c = self.chip_grid
+        return chips_r * chips_c
+
+    def contains(self, coord: TileCoordinate) -> bool:
+        return 0 <= coord.row < self.rows and 0 <= coord.col < self.cols
+
+
+class ShenjingSystem:
+    """A (possibly multi-chip) fabric of Shenjing tiles.
+
+    Tiles are created lazily on first access; the set of *used* tiles is the
+    set the mapping configured, which is also what the area / core-count
+    reporting of Table IV counts.
+    """
+
+    def __init__(self, arch: ArchitectureConfig, rows: int | None = None,
+                 cols: int | None = None):
+        rows = arch.chip_rows if rows is None else rows
+        cols = arch.chip_cols if cols is None else cols
+        if rows <= 0 or cols <= 0:
+            raise ChipError("system dimensions must be positive")
+        self.arch = arch
+        self.geometry = SystemGeometry(rows=rows, cols=cols, arch=arch)
+        self._tiles: Dict[TileCoordinate, Tile] = {}
+
+    # ------------------------------------------------------------------
+    # Tile access
+    # ------------------------------------------------------------------
+    def tile(self, coord: TileCoordinate | tuple[int, int]) -> Tile:
+        """Return the tile at ``coord``, creating it on first use."""
+        coord = self._normalise(coord)
+        if not self.geometry.contains(coord):
+            raise ChipError(
+                f"tile {coord} outside the {self.geometry.rows}x"
+                f"{self.geometry.cols} fabric"
+            )
+        if coord not in self._tiles:
+            self._tiles[coord] = Tile(self.arch, coord)
+        return self._tiles[coord]
+
+    def has_tile(self, coord: TileCoordinate | tuple[int, int]) -> bool:
+        return self._normalise(coord) in self._tiles
+
+    def tiles(self) -> Iterator[Tile]:
+        """Iterate over all materialised tiles."""
+        return iter(self._tiles.values())
+
+    @property
+    def used_tiles(self) -> int:
+        """Number of tiles instantiated (== cores used by the mapping)."""
+        return len(self._tiles)
+
+    @property
+    def configured_tiles(self) -> int:
+        return sum(1 for tile in self._tiles.values() if tile.configured)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def neighbour(self, coord: TileCoordinate | tuple[int, int],
+                  direction: Direction) -> TileCoordinate:
+        """Coordinate of the neighbour reached by one hop in ``direction``."""
+        coord = self._normalise(coord)
+        drow, dcol = direction.delta()
+        neighbour = TileCoordinate(coord.row + drow, coord.col + dcol)
+        if not self.geometry.contains(neighbour):
+            raise ChipError(
+                f"hop {direction.value} from {coord} leaves the fabric "
+                f"({self.geometry.rows}x{self.geometry.cols})"
+            )
+        return neighbour
+
+    def crosses_chip_boundary(self, src: TileCoordinate, dst: TileCoordinate) -> bool:
+        """True when a link between adjacent tiles crosses a chip boundary."""
+        return src.chip_index(self.arch) != dst.chip_index(self.arch)
+
+    def chips_used(self) -> int:
+        """Number of distinct chips hosting at least one materialised tile."""
+        return len({coord.chip_index(self.arch) for coord in self._tiles})
+
+    # ------------------------------------------------------------------
+    # Whole-system state management
+    # ------------------------------------------------------------------
+    def reset_inference(self) -> None:
+        for tile in self._tiles.values():
+            tile.reset_inference()
+
+    def start_timestep(self) -> None:
+        for tile in self._tiles.values():
+            tile.start_timestep()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(coord: TileCoordinate | tuple[int, int]) -> TileCoordinate:
+        if isinstance(coord, TileCoordinate):
+            return coord
+        row, col = coord
+        return TileCoordinate(int(row), int(col))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShenjingSystem({self.geometry.rows}x{self.geometry.cols} tiles, "
+            f"{self.used_tiles} used, {self.geometry.chip_count} chip(s))"
+        )

@@ -1,0 +1,230 @@
+"""Architecture description of a Shenjing system.
+
+The paper's toolchain (Fig. 3) takes an "Architecture Description: chips,
+cores, NoCs etc." as input.  :class:`ArchitectureConfig` is that description:
+the geometry of a neuron core, the tile grid of a chip, the datapath widths of
+the partial-sum NoC and the electrical operating points reported in Section IV.
+
+All downstream components (hardware model, mapping toolchain, power model)
+take an :class:`ArchitectureConfig` so that the whole system can be re-sized
+for experiments (smaller cores for fast tests, full 784-tile chips for the
+paper's numbers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+#: Default number of synapses (axon inputs) of one neuron core.
+DEFAULT_CORE_INPUTS = 256
+
+#: Default number of neurons (outputs) of one neuron core.
+DEFAULT_CORE_NEURONS = 256
+
+#: Default chip grid (28 x 28 = 784 tiles, Section IV "Area").
+DEFAULT_CHIP_ROWS = 28
+DEFAULT_CHIP_COLS = 28
+
+#: Bit width of the partial-sum NoC datapath (Section II, "PS NoCs' bitwidth").
+DEFAULT_PS_BITS = 16
+
+#: Bit width of a synaptic weight (5-bit signed magnitude in the paper).
+DEFAULT_WEIGHT_BITS = 5
+
+#: Number of SRAM banks in a neuron core (Fig. 2a).
+DEFAULT_SRAM_BANKS = 4
+
+#: Cycles taken by the long atomic operations LD_WT and ACC (Table II note 2).
+DEFAULT_LONG_OP_CYCLES = 131
+
+#: Maximum achievable clock frequency in Hz (Section IV).
+DEFAULT_MAX_FREQUENCY_HZ = 243e6
+
+
+class ConfigurationError(ValueError):
+    """Raised when an architecture description is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """Static description of a Shenjing chip family.
+
+    Parameters
+    ----------
+    core_inputs:
+        Number of synapses per neuron core (``Nin`` in Section III).
+    core_neurons:
+        Number of neurons per neuron core (``Nout`` in Section III).
+    chip_rows, chip_cols:
+        Tile grid dimensions of a single chip.
+    ps_bits:
+        Bit width of one partial-sum NoC lane.
+    weight_bits:
+        Bit width of a synaptic weight (signed).
+    sram_banks:
+        Number of SRAM banks holding the weights of one core.
+    long_op_cycles:
+        Cycle count of the ``LD_WT`` and ``ACC`` atomic operations.
+    max_frequency_hz:
+        Maximum synthesised clock frequency.
+    logic_voltage, sram_voltage:
+        Supply voltages of the logic and SRAM domains (for reporting only).
+    """
+
+    core_inputs: int = DEFAULT_CORE_INPUTS
+    core_neurons: int = DEFAULT_CORE_NEURONS
+    chip_rows: int = DEFAULT_CHIP_ROWS
+    chip_cols: int = DEFAULT_CHIP_COLS
+    ps_bits: int = DEFAULT_PS_BITS
+    weight_bits: int = DEFAULT_WEIGHT_BITS
+    sram_banks: int = DEFAULT_SRAM_BANKS
+    long_op_cycles: int = DEFAULT_LONG_OP_CYCLES
+    max_frequency_hz: float = DEFAULT_MAX_FREQUENCY_HZ
+    logic_voltage: float = 0.85
+    sram_voltage: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.core_inputs <= 0:
+            raise ConfigurationError("core_inputs must be positive")
+        if self.core_neurons <= 0:
+            raise ConfigurationError("core_neurons must be positive")
+        if self.chip_rows <= 0 or self.chip_cols <= 0:
+            raise ConfigurationError("chip grid dimensions must be positive")
+        if self.ps_bits < self.weight_bits + 1:
+            raise ConfigurationError(
+                "ps_bits must be wide enough to hold at least one weight "
+                f"addition (got ps_bits={self.ps_bits}, "
+                f"weight_bits={self.weight_bits})"
+            )
+        if self.weight_bits < 2:
+            raise ConfigurationError("weight_bits must be at least 2")
+        if self.sram_banks <= 0:
+            raise ConfigurationError("sram_banks must be positive")
+        if self.core_inputs % self.sram_banks != 0:
+            raise ConfigurationError(
+                "core_inputs must be divisible by sram_banks "
+                f"({self.core_inputs} % {self.sram_banks} != 0)"
+            )
+        if self.long_op_cycles <= 0:
+            raise ConfigurationError("long_op_cycles must be positive")
+        if self.max_frequency_hz <= 0:
+            raise ConfigurationError("max_frequency_hz must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def tiles_per_chip(self) -> int:
+        """Number of tiles (neuron core + routers) on one chip."""
+        return self.chip_rows * self.chip_cols
+
+    @property
+    def bank_inputs(self) -> int:
+        """Synapses served by one SRAM bank."""
+        return self.core_inputs // self.sram_banks
+
+    @property
+    def weight_min(self) -> int:
+        """Smallest representable signed weight."""
+        return -(1 << (self.weight_bits - 1))
+
+    @property
+    def weight_max(self) -> int:
+        """Largest representable signed weight."""
+        return (1 << (self.weight_bits - 1)) - 1
+
+    @property
+    def ps_min(self) -> int:
+        """Smallest representable signed partial sum."""
+        return -(1 << (self.ps_bits - 1))
+
+    @property
+    def ps_max(self) -> int:
+        """Largest representable signed partial sum."""
+        return (1 << (self.ps_bits - 1)) - 1
+
+    @property
+    def max_safe_accumulations(self) -> int:
+        """Worst-case number of maximal weights that fit in one PS lane.
+
+        The paper notes that a 16-bit lane can accumulate ``2**11`` 5-bit
+        weights in the worst case (all weights maximal and all spikes one).
+        """
+        return (1 << self.ps_bits) // (1 << self.weight_bits)
+
+    # ------------------------------------------------------------------
+    # Helpers for the mapping toolchain
+    # ------------------------------------------------------------------
+    def cores_for_fc_layer(self, inputs: int, outputs: int) -> tuple[int, int]:
+        """Return ``(nrow, ncol)`` cores needed for an FC layer (Section III.1)."""
+        if inputs <= 0 or outputs <= 0:
+            raise ConfigurationError("layer dimensions must be positive")
+        nrow = math.ceil(inputs / self.core_inputs)
+        ncol = math.ceil(outputs / self.core_neurons)
+        return nrow, ncol
+
+    def conv_patch_side(self, kernel: int) -> int:
+        """Effective input patch side covered by one core for a conv layer.
+
+        The paper's formula (Section III.2) is ``sqrt(Nin) - 2 * (k - 1)``:
+        a core holds a ``sqrt(Nin) x sqrt(Nin)`` input patch of which a halo
+        of ``k - 1`` pixels on each side is overlap with the neighbours.
+        """
+        side = int(math.isqrt(self.core_inputs))
+        patch = side - 2 * (kernel - 1)
+        if patch <= 0:
+            raise ConfigurationError(
+                f"kernel {kernel} too large for core with {self.core_inputs} inputs"
+            )
+        return patch
+
+    def with_core_size(self, inputs: int, neurons: int) -> "ArchitectureConfig":
+        """Return a copy with a different core geometry (used by tests)."""
+        return replace(self, core_inputs=inputs, core_neurons=neurons)
+
+    def with_chip_grid(self, rows: int, cols: int) -> "ArchitectureConfig":
+        """Return a copy with a different tile grid."""
+        return replace(self, chip_rows=rows, chip_cols=cols)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Dynamic, per-application execution parameters.
+
+    These correspond to the per-benchmark rows of Table IV: the spike train
+    length ``timestep``, the target frame rate and the clock frequency chosen
+    to sustain it.
+    """
+
+    timesteps: int = 20
+    target_fps: float = 40.0
+    frequency_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timesteps <= 0:
+            raise ConfigurationError("timesteps must be positive")
+        if self.target_fps <= 0:
+            raise ConfigurationError("target_fps must be positive")
+        if self.frequency_hz is not None and self.frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+
+
+DEFAULT_ARCH = ArchitectureConfig()
+"""The paper's architecture point: 256x256 cores, 28x28 tiles per chip."""
+
+
+def small_test_arch(core_inputs: int = 16, core_neurons: int = 16,
+                    chip_rows: int = 4, chip_cols: int = 4) -> ArchitectureConfig:
+    """A deliberately tiny architecture used throughout the test suite.
+
+    Keeping the simulated hardware small keeps cycle-accurate tests fast while
+    exercising exactly the same code paths as the full-size configuration.
+    """
+    return ArchitectureConfig(
+        core_inputs=core_inputs,
+        core_neurons=core_neurons,
+        chip_rows=chip_rows,
+        chip_cols=chip_cols,
+    )

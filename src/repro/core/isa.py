@@ -1,0 +1,673 @@
+"""Atomic-operation ISA of Shenjing (Table I of the paper).
+
+Shenjing's hardware is driven cycle by cycle from a configuration memory.
+Each entry is an *atomic operation* belonging to one of three blocks:
+
+* partial-sum router ops — ``SUM``, ``SEND``, ``BYPASS``;
+* spike router ops — ``SPIKE``, ``SEND``, ``BYPASS``;
+* neuron core ops — ``LD_WT``, ``ACC``.
+
+Table I of the paper defines, for every op, the binary control signals that
+drive the crossbar selects, the adder enables and the SRAM read/write strobes.
+This module provides dataclasses for the operations, the exact bit-level
+encoding of Table I, and the corresponding decoder.
+
+One extension over the paper's table: operations optionally carry a *lane
+set* (a subset of the per-neuron NoCs they apply to).  The paper's per-neuron
+NoCs are physically independent, so its compiler emits one such op per lane;
+the lane set is simply a compact representation of "the same op on these
+lanes" and defaults to *all* lanes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Sequence, Union
+
+
+class IsaError(ValueError):
+    """Raised on malformed atomic operations or undecodable signal words."""
+
+
+class Direction(enum.Enum):
+    """Mesh port directions used by $SRC / $DST operands."""
+
+    NORTH = "N"
+    SOUTH = "S"
+    EAST = "E"
+    WEST = "W"
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITE[self]
+
+    @property
+    def code(self) -> int:
+        """2-bit port encoding used in the control words."""
+        return _DIRECTION_CODE[self]
+
+    @classmethod
+    def from_code(cls, code: int) -> "Direction":
+        try:
+            return _CODE_DIRECTION[code]
+        except KeyError as exc:
+            raise IsaError(f"invalid direction code {code}") from exc
+
+    @classmethod
+    def parse(cls, value: Union[str, "Direction"]) -> "Direction":
+        if isinstance(value, Direction):
+            return value
+        try:
+            return cls(value.upper()[0])
+        except (ValueError, IndexError, AttributeError) as exc:
+            raise IsaError(f"invalid direction {value!r}") from exc
+
+    def delta(self) -> tuple[int, int]:
+        """Grid displacement ``(drow, dcol)`` of a hop in this direction.
+
+        Rows grow southwards and columns grow eastwards, matching the
+        ``(row, col)`` coordinates used by :mod:`repro.core.chip`.
+        """
+        return _DELTA[self]
+
+
+_OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+}
+
+_DIRECTION_CODE = {
+    Direction.NORTH: 0,
+    Direction.SOUTH: 1,
+    Direction.EAST: 2,
+    Direction.WEST: 3,
+}
+_CODE_DIRECTION = {code: d for d, code in _DIRECTION_CODE.items()}
+
+_DELTA = {
+    Direction.NORTH: (-1, 0),
+    Direction.SOUTH: (1, 0),
+    Direction.EAST: (0, 1),
+    Direction.WEST: (0, -1),
+}
+
+
+class BlockType(enum.IntEnum):
+    """The 2-bit ``type`` field selecting the hardware block (Table I)."""
+
+    PS_ROUTER = 0b00
+    SPIKE_ROUTER = 0b01
+    NEURON_CORE = 0b10
+
+
+class OpName(str, enum.Enum):
+    """Human-readable mnemonics of the atomic operations."""
+
+    PS_SUM = "PS.SUM"
+    PS_SEND = "PS.SEND"
+    PS_BYPASS = "PS.BYPASS"
+    SPIKE_FIRE = "SPIKE.SPIKE"
+    SPIKE_SEND = "SPIKE.SEND"
+    SPIKE_BYPASS = "SPIKE.BYPASS"
+    CORE_LD_WT = "CORE.LD_WT"
+    CORE_ACC = "CORE.ACC"
+
+
+LaneSet = Optional[FrozenSet[int]]
+
+
+def normalise_lanes(lanes: Optional[Iterable[int]]) -> LaneSet:
+    """Normalise a lane selection: ``None`` means *all* lanes."""
+    if lanes is None:
+        return None
+    lane_set = frozenset(int(lane) for lane in lanes)
+    if not lane_set:
+        raise IsaError("lane set must not be empty; use None for all lanes")
+    if any(lane < 0 for lane in lane_set):
+        raise IsaError("lane indices must be non-negative")
+    return lane_set
+
+
+@dataclass(frozen=True)
+class AtomicOp:
+    """Base class of all atomic operations."""
+
+    @property
+    def block(self) -> BlockType:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> OpName:
+        raise NotImplementedError
+
+    @property
+    def energy_key(self) -> str:
+        """Key into :class:`repro.power.energy_table.EnergyTable`."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Partial-sum router operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PsSum(AtomicOp):
+    """``SUM $SRC, $CONSEC`` — add the value arriving from ``src``.
+
+    When ``consecutive`` is False the adder's first operand is the local
+    partial sum produced by the neuron core; when True it is the previous
+    sum held in the accumulation register (``consec_add`` in Fig. 2b).
+    """
+
+    src: Direction
+    consecutive: bool = False
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", Direction.parse(self.src))
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.PS_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.PS_SUM
+
+    @property
+    def energy_key(self) -> str:
+        return "ps_sum"
+
+
+@dataclass(frozen=True)
+class PsSend(AtomicOp):
+    """``SEND $SRC, $DST`` — inject a partial sum towards ``dst``.
+
+    Table I's ``$SRC`` operand selects the register whose content is
+    injected: the local partial sum produced by the neuron core
+    (``use_sum_buf = False``) or the router's accumulation register holding a
+    previously assembled partial result (``use_sum_buf = True``).
+    """
+
+    dst: Direction
+    use_sum_buf: bool = False
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dst", Direction.parse(self.dst))
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.PS_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.PS_SEND
+
+    @property
+    def energy_key(self) -> str:
+        return "ps_send"
+
+
+@dataclass(frozen=True)
+class PsBypass(AtomicOp):
+    """``BYPASS $SRC, $DST`` — forward an in-flight PS packet without adding."""
+
+    src: Direction
+    dst: Direction
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", Direction.parse(self.src))
+        object.__setattr__(self, "dst", Direction.parse(self.dst))
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+        if self.src == self.dst:
+            raise IsaError("BYPASS source and destination ports must differ")
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.PS_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.PS_BYPASS
+
+    @property
+    def energy_key(self) -> str:
+        return "ps_bypass"
+
+
+# ----------------------------------------------------------------------
+# Spike router operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpikeFire(AtomicOp):
+    """``SPIKE $SUM_OR_LOCAL`` — run the IF/spiking logic.
+
+    ``use_noc_sum`` selects the multiplexer of Fig. 2c: True integrates the
+    full weighted sum arriving from the PS router, False integrates the local
+    partial sum from the neuron core (layer fits in one core).
+    """
+
+    use_noc_sum: bool
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.SPIKE_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.SPIKE_FIRE
+
+    @property
+    def energy_key(self) -> str:
+        return "spike_fire"
+
+
+@dataclass(frozen=True)
+class SpikeSend(AtomicOp):
+    """``SEND $DST`` — inject locally generated spikes towards ``dst``."""
+
+    dst: Direction
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dst", Direction.parse(self.dst))
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.SPIKE_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.SPIKE_SEND
+
+    @property
+    def energy_key(self) -> str:
+        return "spike_send"
+
+
+@dataclass(frozen=True)
+class SpikeBypass(AtomicOp):
+    """``BYPASS $SRC, $DST`` — forward spikes in flight, optionally ejecting.
+
+    ``eject`` models the multicast behaviour described in Section II: a spike
+    packet can be ejected at a destination *and* forwarded to the next
+    multicast destination in the same hop.
+    """
+
+    src: Direction
+    dst: Direction
+    eject: bool = False
+    axon_offset: int = 0
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", Direction.parse(self.src))
+        object.__setattr__(self, "dst", Direction.parse(self.dst))
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+        if self.src == self.dst:
+            raise IsaError("BYPASS source and destination ports must differ")
+        if self.axon_offset < 0:
+            raise IsaError("axon_offset must be non-negative")
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.SPIKE_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.SPIKE_BYPASS
+
+    @property
+    def energy_key(self) -> str:
+        return "spike_bypass"
+
+
+@dataclass(frozen=True)
+class SpikeReceive(AtomicOp):
+    """``RECV $SRC`` — eject spikes arriving from ``src`` into the local core.
+
+    The paper folds ejection into the destination operand of the previous
+    hop's SEND/BYPASS; the simulator makes the ejection explicit so that the
+    receiving tile's axon buffer update is an observable, countable event.
+    Its control-signal encoding reuses the BYPASS format with the output
+    select pointing at the local core (out_sel = local).
+    """
+
+    src: Direction
+    axon_offset: int = 0
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", Direction.parse(self.src))
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+        if self.axon_offset < 0:
+            raise IsaError("axon_offset must be non-negative")
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.SPIKE_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.SPIKE_BYPASS
+
+    @property
+    def energy_key(self) -> str:
+        return "spike_bypass"
+
+
+# ----------------------------------------------------------------------
+# Neuron core operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PsReceive(AtomicOp):
+    """``RECV $SRC`` — latch a partial sum arriving from ``src`` locally.
+
+    Used when the full weighted sum assembled in the PS NoC terminates at
+    this tile and must be handed to the spike router (``A weighted sum``
+    input of Fig. 2c).  Encoded as a SUM with the adder disabled.
+    """
+
+    src: Direction
+    lanes: LaneSet = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", Direction.parse(self.src))
+        object.__setattr__(self, "lanes", normalise_lanes(self.lanes))
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.PS_ROUTER
+
+    @property
+    def name(self) -> OpName:
+        return OpName.PS_SUM
+
+    @property
+    def energy_key(self) -> str:
+        return "ps_sum"
+
+
+@dataclass(frozen=True)
+class CoreLoadWeights(AtomicOp):
+    """``LD_WT`` — load the synaptic weight SRAM banks (initialisation)."""
+
+    banks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0:
+            raise IsaError("banks must be positive")
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.NEURON_CORE
+
+    @property
+    def name(self) -> OpName:
+        return OpName.CORE_LD_WT
+
+    @property
+    def energy_key(self) -> str:
+        return "core_ld_wt"
+
+
+@dataclass(frozen=True)
+class CoreAccumulate(AtomicOp):
+    """``ACC`` — accumulate the weights of all spiking axons into local PS."""
+
+    banks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0:
+            raise IsaError("banks must be positive")
+
+    @property
+    def block(self) -> BlockType:
+        return BlockType.NEURON_CORE
+
+    @property
+    def name(self) -> OpName:
+        return OpName.CORE_ACC
+
+    @property
+    def energy_key(self) -> str:
+        return "core_acc"
+
+
+PS_OPS = (PsSum, PsSend, PsBypass, PsReceive)
+SPIKE_OPS = (SpikeFire, SpikeSend, SpikeBypass, SpikeReceive)
+CORE_OPS = (CoreLoadWeights, CoreAccumulate)
+ALL_OPS = PS_OPS + SPIKE_OPS + CORE_OPS
+
+
+# ----------------------------------------------------------------------
+# Control signal encoding (Table I)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ControlWord:
+    """Bit-level control signals for one atomic operation.
+
+    The field layout follows Table I.  Partial-sum router and spike router
+    control words have different field names but the same overall shape
+    (a 2-bit type field followed by block-specific fields); neuron core
+    control words use the read/write/accumulate strobes.
+    """
+
+    block: BlockType
+    fields: tuple[tuple[str, int], ...]
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.fields)
+
+    def packed(self) -> int:
+        """Pack the word into a single integer (type in the top 2 bits)."""
+        value = int(self.block)
+        for _, bits in self.fields:
+            # every field in Table I is at most 5 bits wide
+            value = (value << 5) | (bits & 0b11111)
+        return value
+
+
+def _word(block: BlockType, **fields: int) -> ControlWord:
+    return ControlWord(block=block, fields=tuple(fields.items()))
+
+
+def encode(op: AtomicOp) -> ControlWord:
+    """Encode an atomic operation into its Table I control signals."""
+    if isinstance(op, PsSum):
+        return _word(
+            BlockType.PS_ROUTER,
+            sum_buf=0,
+            add_en=1,
+            consec_add=int(op.consecutive),
+            bypass=0,
+            in_sel=op.src.code,
+            out_sel=0,
+        )
+    if isinstance(op, PsReceive):
+        return _word(
+            BlockType.PS_ROUTER,
+            sum_buf=0,
+            add_en=0,
+            consec_add=0,
+            bypass=1,
+            in_sel=op.src.code,
+            out_sel=_LOCAL_OUT_CODE,
+        )
+    if isinstance(op, PsSend):
+        return _word(
+            BlockType.PS_ROUTER,
+            sum_buf=int(op.use_sum_buf),
+            add_en=0,
+            consec_add=0,
+            bypass=0,
+            in_sel=0,
+            out_sel=_out_code(op.dst),
+        )
+    if isinstance(op, PsBypass):
+        return _word(
+            BlockType.PS_ROUTER,
+            sum_buf=0,
+            add_en=0,
+            consec_add=0,
+            bypass=1,
+            in_sel=op.src.code,
+            out_sel=_out_code(op.dst),
+        )
+    if isinstance(op, SpikeFire):
+        return _word(
+            BlockType.SPIKE_ROUTER,
+            spike_en=1,
+            sum_or_local=int(op.use_noc_sum),
+            inject_en=0,
+            bypass=0,
+            in_sel=0,
+            out_sel=0,
+        )
+    if isinstance(op, SpikeSend):
+        return _word(
+            BlockType.SPIKE_ROUTER,
+            spike_en=0,
+            sum_or_local=0,
+            inject_en=1,
+            bypass=0,
+            in_sel=0,
+            out_sel=_out_code(op.dst),
+        )
+    if isinstance(op, SpikeBypass):
+        return _word(
+            BlockType.SPIKE_ROUTER,
+            spike_en=0,
+            sum_or_local=0,
+            inject_en=0,
+            bypass=1,
+            in_sel=op.src.code,
+            out_sel=_out_code(op.dst),
+        )
+    if isinstance(op, SpikeReceive):
+        return _word(
+            BlockType.SPIKE_ROUTER,
+            spike_en=0,
+            sum_or_local=0,
+            inject_en=0,
+            bypass=1,
+            in_sel=op.src.code,
+            out_sel=_LOCAL_OUT_CODE,
+        )
+    if isinstance(op, CoreLoadWeights):
+        return _word(
+            BlockType.NEURON_CORE,
+            r_weight=0,
+            w_weight=(1 << op.banks) - 1,
+            acc=0,
+            pad=0,
+        )
+    if isinstance(op, CoreAccumulate):
+        return _word(
+            BlockType.NEURON_CORE,
+            r_weight=1,
+            w_weight=0,
+            acc=(1 << op.banks) - 1,
+            pad=0,
+        )
+    raise IsaError(f"cannot encode unknown atomic operation {op!r}")
+
+
+#: Output-select code meaning "eject to the local neuron core / spiking logic".
+_LOCAL_OUT_CODE = 4
+
+
+def _out_code(dst: Direction) -> int:
+    return dst.code
+
+
+def decode(word: ControlWord) -> AtomicOp:
+    """Decode a control word back into an atomic operation.
+
+    The decoder covers every word produced by :func:`encode`; for the neuron
+    core and routers it reconstructs the mnemonic-level op (lane sets are not
+    part of the hardware word and therefore come back as ``None`` = all).
+    """
+    fields = word.as_dict()
+    if word.block == BlockType.PS_ROUTER:
+        if fields.get("add_en"):
+            return PsSum(
+                src=Direction.from_code(fields["in_sel"]),
+                consecutive=bool(fields.get("consec_add", 0)),
+            )
+        if fields.get("bypass"):
+            if fields.get("out_sel") == _LOCAL_OUT_CODE:
+                return PsReceive(src=Direction.from_code(fields["in_sel"]))
+            return PsBypass(
+                src=Direction.from_code(fields["in_sel"]),
+                dst=Direction.from_code(fields["out_sel"]),
+            )
+        return PsSend(
+            dst=Direction.from_code(fields["out_sel"]),
+            use_sum_buf=bool(fields.get("sum_buf", 0)),
+        )
+    if word.block == BlockType.SPIKE_ROUTER:
+        if fields.get("spike_en"):
+            return SpikeFire(use_noc_sum=bool(fields.get("sum_or_local", 0)))
+        if fields.get("inject_en"):
+            return SpikeSend(dst=Direction.from_code(fields["out_sel"]))
+        if fields.get("bypass"):
+            if fields.get("out_sel") == _LOCAL_OUT_CODE:
+                return SpikeReceive(src=Direction.from_code(fields["in_sel"]))
+            return SpikeBypass(
+                src=Direction.from_code(fields["in_sel"]),
+                dst=Direction.from_code(fields["out_sel"]),
+            )
+        raise IsaError(f"undecodable spike router word: {fields}")
+    if word.block == BlockType.NEURON_CORE:
+        if fields.get("w_weight"):
+            return CoreLoadWeights(banks=int(fields["w_weight"]).bit_count())
+        if fields.get("acc"):
+            return CoreAccumulate(banks=int(fields["acc"]).bit_count())
+        raise IsaError(f"undecodable neuron core word: {fields}")
+    raise IsaError(f"unknown block type {word.block!r}")
+
+
+def op_latency(op: AtomicOp, long_op_cycles: int = 131) -> int:
+    """Cycle latency of an atomic operation (Table II, note 2).
+
+    Router operations take a single cycle; ``LD_WT`` and ``ACC`` sweep the
+    SRAM banks and take ``long_op_cycles`` (131 in the synthesised design).
+    """
+    if isinstance(op, (CoreLoadWeights, CoreAccumulate)):
+        return long_op_cycles
+    return 1
+
+
+def mnemonic(op: AtomicOp) -> str:
+    """Render an op in the assembly-like syntax used by Table I."""
+    if isinstance(op, PsSum):
+        return f"SUM {op.src.value}, {'CONSEC' if op.consecutive else 'LOCAL'}"
+    if isinstance(op, PsReceive):
+        return f"RECV {op.src.value}"
+    if isinstance(op, PsSend):
+        return f"SEND {'SUMBUF' if op.use_sum_buf else 'LOCAL'}, {op.dst.value}"
+    if isinstance(op, (SpikeBypass, PsBypass)):
+        return f"BYPASS {op.src.value}, {op.dst.value}"
+    if isinstance(op, SpikeFire):
+        return f"SPIKE {'SUM' if op.use_noc_sum else 'LOCAL'}"
+    if isinstance(op, SpikeSend):
+        return f"SEND {op.dst.value}"
+    if isinstance(op, SpikeReceive):
+        return f"RECV {op.src.value}"
+    if isinstance(op, CoreLoadWeights):
+        return "LD_WT"
+    if isinstance(op, CoreAccumulate):
+        return "ACC"
+    raise IsaError(f"unknown op {op!r}")

@@ -1,0 +1,205 @@
+"""Behavioural model of a Shenjing neuron core (Fig. 2a).
+
+A neuron core stores a ``core_inputs x core_neurons`` matrix of signed
+synaptic weights across four SRAM banks.  Each time step, input spikes
+(one bit per axon) select rows of the weight matrix; the accumulators add the
+selected rows to produce one *local partial sum* per neuron.  The local
+partial sums feed either the partial-sum NoC router (layer spans several
+cores) or directly the spiking logic in the spike router (layer fits in one
+core).
+
+Because a SNN performs an addition only for axons that actually spiked, the
+model also records the number of active (spiking) axons per accumulation,
+which the power model uses to scale the switching activity of the ``ACC``
+operation exactly as the paper does (Table II was measured at the MNIST-MLP
+activity of 6.25 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import ArchitectureConfig
+
+
+class NeuronCoreError(RuntimeError):
+    """Raised on illegal neuron core usage (bad shapes, missing weights)."""
+
+
+@dataclass
+class AccumulateResult:
+    """Outcome of one ``ACC`` atomic operation."""
+
+    local_ps: np.ndarray
+    active_axons: int
+    total_axons: int
+
+    @property
+    def activity(self) -> float:
+        """Fraction of axons that spiked (switching activity of the op)."""
+        if self.total_axons == 0:
+            return 0.0
+        return self.active_axons / self.total_axons
+
+
+class NeuronCore:
+    """State and behaviour of one neuron core.
+
+    Parameters
+    ----------
+    arch:
+        Architecture description defining the core geometry and weight range.
+    coordinate:
+        Grid coordinate of the owning tile; only used in error messages.
+    """
+
+    def __init__(self, arch: ArchitectureConfig, coordinate: tuple[int, int] | None = None):
+        self.arch = arch
+        self.coordinate = coordinate
+        self._weights: np.ndarray | None = None
+        self._axon_buffer = np.zeros(arch.core_inputs, dtype=bool)
+        self._local_ps = np.zeros(arch.core_neurons, dtype=np.int64)
+        self._weights_loaded = False
+
+    # ------------------------------------------------------------------
+    # Configuration / weight loading
+    # ------------------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """The ``core_inputs x core_neurons`` signed weight matrix."""
+        if self._weights is None:
+            raise NeuronCoreError(self._msg("weights have not been loaded"))
+        return self._weights
+
+    @property
+    def weights_loaded(self) -> bool:
+        return self._weights_loaded
+
+    def load_weights(self, weights: np.ndarray) -> None:
+        """Execute ``LD_WT``: load a full weight matrix into the SRAM banks.
+
+        ``weights`` must be integer-valued, of shape
+        ``(core_inputs, core_neurons)`` and within the representable range of
+        ``arch.weight_bits`` bits (signed).
+        """
+        weights = np.asarray(weights)
+        expected = (self.arch.core_inputs, self.arch.core_neurons)
+        if weights.shape != expected:
+            raise NeuronCoreError(
+                self._msg(f"weight shape {weights.shape} != expected {expected}")
+            )
+        if not np.issubdtype(weights.dtype, np.integer):
+            if not np.allclose(weights, np.round(weights)):
+                raise NeuronCoreError(self._msg("weights must be integer-valued"))
+            weights = np.round(weights).astype(np.int64)
+        weights = weights.astype(np.int64)
+        if weights.min(initial=0) < self.arch.weight_min or weights.max(initial=0) > self.arch.weight_max:
+            raise NeuronCoreError(
+                self._msg(
+                    f"weights outside the {self.arch.weight_bits}-bit signed range "
+                    f"[{self.arch.weight_min}, {self.arch.weight_max}]"
+                )
+            )
+        self._weights = weights.copy()
+        self._weights_loaded = True
+
+    # ------------------------------------------------------------------
+    # Axon buffer (input spikes for the current time step)
+    # ------------------------------------------------------------------
+    @property
+    def axon_buffer(self) -> np.ndarray:
+        """Current input-spike buffer (read-only view)."""
+        view = self._axon_buffer.view()
+        view.flags.writeable = False
+        return view
+
+    def clear_axons(self) -> None:
+        """Clear the axon buffer at the start of a time step."""
+        self._axon_buffer[:] = False
+
+    def set_axons(self, spikes: np.ndarray, offset: int = 0) -> None:
+        """Write a block of input spikes starting at axon ``offset``.
+
+        Spikes already present are OR-ed with the new ones, matching the
+        behaviour of spike ejection into the axon buffer: several source cores
+        may target disjoint (or, pathologically, overlapping) axon ranges.
+        """
+        spikes = np.asarray(spikes, dtype=bool).ravel()
+        end = offset + spikes.size
+        if offset < 0 or end > self.arch.core_inputs:
+            raise NeuronCoreError(
+                self._msg(
+                    f"axon range [{offset}, {end}) outside core with "
+                    f"{self.arch.core_inputs} axons"
+                )
+            )
+        self._axon_buffer[offset:end] |= spikes
+
+    def set_axon_lanes(self, lanes: np.ndarray, values: np.ndarray) -> None:
+        """Write individual axon lanes (used for lane-masked spike ejection)."""
+        lanes = np.asarray(lanes, dtype=np.int64)
+        values = np.asarray(values, dtype=bool)
+        if lanes.size != values.size:
+            raise NeuronCoreError(self._msg("lanes and values must have equal size"))
+        if lanes.size and (lanes.min() < 0 or lanes.max() >= self.arch.core_inputs):
+            raise NeuronCoreError(self._msg("axon lane index out of range"))
+        self._axon_buffer[lanes] |= values
+
+    # ------------------------------------------------------------------
+    # Accumulation (ACC)
+    # ------------------------------------------------------------------
+    def accumulate(self) -> AccumulateResult:
+        """Execute ``ACC``: sum the weight rows of all spiking axons.
+
+        Returns the local partial sums (one per neuron) together with the
+        switching-activity statistics.  The result is also latched in the
+        core's local partial-sum register, from where the PS router or the
+        spike router picks it up.
+        """
+        if self._weights is None:
+            raise NeuronCoreError(self._msg("cannot accumulate before LD_WT"))
+        active = self._axon_buffer
+        active_count = int(active.sum())
+        if active_count == 0:
+            sums = np.zeros(self.arch.core_neurons, dtype=np.int64)
+        else:
+            sums = self._weights[active].sum(axis=0, dtype=np.int64)
+        self._check_ps_range(sums)
+        self._local_ps = sums
+        return AccumulateResult(
+            local_ps=sums.copy(),
+            active_axons=active_count,
+            total_axons=self.arch.core_inputs,
+        )
+
+    @property
+    def local_ps(self) -> np.ndarray:
+        """Latest local partial sums (read-only view)."""
+        view = self._local_ps.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_ps_range(self, sums: np.ndarray) -> None:
+        lo, hi = self.arch.ps_min, self.arch.ps_max
+        if sums.size and (sums.min() < lo or sums.max() > hi):
+            raise NeuronCoreError(
+                self._msg(
+                    f"local partial sum overflowed the {self.arch.ps_bits}-bit "
+                    f"range [{lo}, {hi}]"
+                )
+            )
+
+    def _msg(self, text: str) -> str:
+        where = f" at tile {self.coordinate}" if self.coordinate is not None else ""
+        return f"neuron core{where}: {text}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"NeuronCore(inputs={self.arch.core_inputs}, "
+            f"neurons={self.arch.core_neurons}, loaded={self._weights_loaded})"
+        )

@@ -1,0 +1,320 @@
+"""Cycle-level functional simulator of a Shenjing system.
+
+This is the Python counterpart of the paper's Java functional simulator
+(Section V): it executes the atomic operations of a compiled
+:class:`~repro.mapping.program.Program` on a behavioural model of the tiles,
+moves partial-sum and spike packets across the per-neuron NoCs, and collects
+the execution statistics (atomic-operation counts, switching activity,
+inter-chip traffic, cycles) from which the architectural power model derives
+the numbers of Table IV.
+
+Timing model
+------------
+Instructions are organised in instruction groups; all instructions of a group
+execute concurrently and the group costs the latency of its slowest operation
+(1 cycle for router ops, ``long_op_cycles`` for ``ACC``/``LD_WT``).  Packets
+injected by a group are latched into the input registers of the destination
+routers at the end of the group, becoming available to the next group —
+exactly the per-hop register timing of the software-scheduled NoCs.  Because
+the schedule is produced at compile time, a correctly compiled program never
+finds a link occupied; the simulator verifies this and reports any conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mapping.program import InstructionGroup, Program
+from .chip import ShenjingSystem
+from .config import ArchitectureConfig
+from .isa import (
+    AtomicOp,
+    CoreAccumulate,
+    CoreLoadWeights,
+    Direction,
+    PsBypass,
+    PsReceive,
+    PsSend,
+    PsSum,
+    SpikeBypass,
+    SpikeFire,
+    SpikeReceive,
+    SpikeSend,
+)
+from .ps_router import PsPacket
+from .spike_router import SpikePacket
+from .stats import ExecutionStats
+from .tile import Tile, TileCoordinate
+
+
+class SimulationError(RuntimeError):
+    """Raised when the program violates a hardware constraint at run time."""
+
+
+@dataclass
+class FrameResult:
+    """Result of simulating one input frame (one image)."""
+
+    spike_counts: np.ndarray
+    per_timestep: np.ndarray
+
+    @property
+    def prediction(self) -> int:
+        return int(np.argmax(self.spike_counts))
+
+
+@dataclass
+class SimulationResult:
+    """Result of simulating a batch of frames."""
+
+    spike_counts: np.ndarray
+    predictions: np.ndarray
+    stats: ExecutionStats
+
+    def accuracy(self, labels: np.ndarray) -> float:
+        labels = np.asarray(labels).ravel()
+        if labels.shape[0] != self.predictions.shape[0]:
+            raise ValueError("label count does not match simulated frame count")
+        return float(np.mean(self.predictions == labels))
+
+
+_LinkKey = Tuple[TileCoordinate, Direction, str]
+
+
+class ShenjingSimulator:
+    """Executes a compiled :class:`Program` on a behavioural Shenjing system."""
+
+    def __init__(self, program: Program, collect_stats: bool = True):
+        program.validate()
+        self.program = program
+        self.arch: ArchitectureConfig = program.arch
+        self.system = ShenjingSystem(self.arch, rows=program.rows, cols=program.cols)
+        self.stats = ExecutionStats()
+        self.collect_stats = collect_stats
+        #: packets in flight, keyed by (destination tile, destination port, net)
+        self._pending: Dict[_LinkKey, object] = {}
+        self._configure()
+
+    # ------------------------------------------------------------------
+    # Static configuration
+    # ------------------------------------------------------------------
+    def _configure(self) -> None:
+        for config in self.program.tile_configs.values():
+            tile = self.system.tile(config.tile)
+            tile.configure(config.weights, config.thresholds)
+            if self.collect_stats:
+                # Weight loading happens once at initialisation (Table II note 2).
+                self.stats.record_op("core_ld_wt", lanes=self.arch.core_neurons)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+        """Simulate a batch of frames.
+
+        Parameters
+        ----------
+        spike_trains:
+            Boolean array of shape ``(frames, timesteps, input_size)`` holding
+            the externally generated input spike trains (see
+            :mod:`repro.snn.encoding`).
+        """
+        spike_trains = np.asarray(spike_trains, dtype=bool)
+        if spike_trains.ndim == 2:
+            spike_trains = spike_trains[None, ...]
+        if spike_trains.ndim != 3:
+            raise SimulationError(
+                "spike_trains must have shape (frames, timesteps, input_size)"
+            )
+        frames, _, input_size = spike_trains.shape
+        if input_size != self.program.input_size:
+            raise SimulationError(
+                f"input size {input_size} does not match the program's "
+                f"{self.program.input_size}"
+            )
+        counts = np.zeros((frames, self.program.output_size), dtype=np.int64)
+        for index in range(frames):
+            result = self.run_frame(spike_trains[index])
+            counts[index] = result.spike_counts
+        predictions = np.argmax(counts, axis=1)
+        return SimulationResult(spike_counts=counts, predictions=predictions,
+                                stats=self.stats)
+
+    def run_frame(self, spike_train: np.ndarray) -> FrameResult:
+        """Simulate a single frame (``(timesteps, input_size)`` spike train)."""
+        spike_train = np.asarray(spike_train, dtype=bool)
+        if spike_train.ndim != 2 or spike_train.shape[1] != self.program.input_size:
+            raise SimulationError(
+                "spike_train must have shape (timesteps, input_size) matching "
+                f"the program input size {self.program.input_size}"
+            )
+        timesteps = spike_train.shape[0]
+        self.system.reset_inference()
+        self._pending.clear()
+        per_timestep = np.zeros((timesteps, self.program.output_size), dtype=bool)
+        for step in range(timesteps):
+            self._run_timestep(spike_train[step])
+            per_timestep[step] = self._collect_outputs()
+        counts = per_timestep.sum(axis=0).astype(np.int64)
+        if self.collect_stats:
+            self.stats.frames += 1
+            self.stats.timesteps += timesteps
+        return FrameResult(spike_counts=counts, per_timestep=per_timestep)
+
+    # ------------------------------------------------------------------
+    # Time step execution
+    # ------------------------------------------------------------------
+    def _run_timestep(self, input_spikes: np.ndarray) -> None:
+        self.system.start_timestep()
+        self._inject_inputs(input_spikes)
+        for phase in self.program.phases:
+            for group in phase.groups:
+                self._execute_group(group)
+
+    def _inject_inputs(self, input_spikes: np.ndarray) -> None:
+        for binding in self.program.input_bindings:
+            tile = self.system.tile(binding.tile)
+            spikes = input_spikes[binding.indices]
+            tile.core.set_axons(spikes, offset=binding.axon_offset)
+
+    def _collect_outputs(self) -> np.ndarray:
+        outputs = np.zeros(self.program.output_size, dtype=bool)
+        for binding in self.program.output_bindings:
+            tile = self.system.tile(binding.tile)
+            lanes = np.asarray(binding.lanes, dtype=np.int64)
+            indices = np.asarray(binding.output_indices, dtype=np.int64)
+            outputs[indices] = tile.spike_router.spike_register[lanes]
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Instruction group execution
+    # ------------------------------------------------------------------
+    def _execute_group(self, group: InstructionGroup) -> None:
+        if not group.instructions:
+            return
+        outgoing: List[Tuple[TileCoordinate, Direction, object]] = []
+        for instruction in group:
+            effects = self._execute_op(instruction.tile, instruction.op)
+            outgoing.extend(effects)
+        self._deliver(outgoing)
+        if self.collect_stats:
+            self.stats.advance_cycles(group.latency(self.arch.long_op_cycles))
+
+    def _execute_op(self, coord: TileCoordinate, op: AtomicOp,
+                    ) -> List[Tuple[TileCoordinate, Direction, object]]:
+        tile = self.system.tile(coord)
+        outgoing: List[Tuple[TileCoordinate, Direction, object]] = []
+
+        if isinstance(op, CoreAccumulate):
+            result = tile.core.accumulate()
+            if self.collect_stats:
+                self.stats.record_op(op.energy_key, lanes=self.arch.core_neurons)
+                self.stats.record_accumulate(result.active_axons, result.total_axons)
+            return outgoing
+
+        if isinstance(op, CoreLoadWeights):
+            if self.collect_stats:
+                self.stats.record_op(op.energy_key, lanes=self.arch.core_neurons)
+            return outgoing
+
+        if isinstance(op, PsSum):
+            tile.ps_router.op_sum(op.src, tile.core.local_ps, op.consecutive, op.lanes)
+            self._count(op)
+            return outgoing
+
+        if isinstance(op, PsReceive):
+            tile.ps_router.op_receive(op.src, op.lanes)
+            self._count(op)
+            return outgoing
+
+        if isinstance(op, PsSend):
+            packet = tile.ps_router.op_send(tile.core.local_ps, op.lanes, op.use_sum_buf)
+            outgoing.append((coord, op.dst, packet))
+            self._count(op, lanes=packet.lanes.size)
+            return outgoing
+
+        if isinstance(op, PsBypass):
+            packet = tile.ps_router.op_bypass(op.src, op.lanes)
+            outgoing.append((coord, op.dst, packet))
+            self._count(op, lanes=packet.lanes.size)
+            return outgoing
+
+        if isinstance(op, SpikeFire):
+            if op.use_noc_sum:
+                weighted = tile.ps_router.weighted_sum()
+            else:
+                weighted = tile.core.local_ps
+            tile.spike_router.op_spike(np.asarray(weighted), op.lanes)
+            self._count(op)
+            return outgoing
+
+        if isinstance(op, SpikeSend):
+            packet = tile.spike_router.op_send(op.lanes)
+            outgoing.append((coord, op.dst, packet))
+            self._count(op, lanes=packet.lanes.size)
+            return outgoing
+
+        if isinstance(op, SpikeBypass):
+            packet = tile.spike_router.op_bypass(op.src, op.lanes)
+            if op.eject:
+                self._eject_spikes(tile, packet, op.axon_offset)
+            outgoing.append((coord, op.dst, packet))
+            self._count(op, lanes=packet.lanes.size)
+            return outgoing
+
+        if isinstance(op, SpikeReceive):
+            packet = tile.spike_router.op_receive(op.src)
+            self._eject_spikes(tile, packet, op.axon_offset)
+            self._count(op, lanes=packet.lanes.size)
+            return outgoing
+
+        raise SimulationError(f"unsupported atomic operation {op!r}")
+
+    def _eject_spikes(self, tile: Tile, packet: SpikePacket, axon_offset: int) -> None:
+        """Write an ejected spike packet into the local core's axon buffer.
+
+        Lanes are packed densely starting at ``axon_offset`` in the order of
+        their lane indices, so a packet carrying lanes ``{3, 7, 9}`` lands on
+        axons ``offset``, ``offset + 1`` and ``offset + 2``.
+        """
+        tile.core.set_axons(packet.values, offset=axon_offset)
+
+    def _count(self, op: AtomicOp, lanes: Optional[int] = None) -> None:
+        if not self.collect_stats:
+            return
+        if lanes is None:
+            lanes = self.arch.core_neurons if op.lanes is None else len(op.lanes)
+        self.stats.record_op(op.energy_key, lanes=lanes)
+
+    # ------------------------------------------------------------------
+    # Link / packet movement
+    # ------------------------------------------------------------------
+    def _deliver(self, outgoing: List[Tuple[TileCoordinate, Direction, object]]) -> None:
+        pending: Dict[_LinkKey, object] = {}
+        for src, direction, packet in outgoing:
+            dst = self.system.neighbour(src, direction)
+            port = direction.opposite
+            net = "ps" if isinstance(packet, PsPacket) else "spike"
+            key: _LinkKey = (dst, port, net)
+            if key in pending:
+                raise SimulationError(
+                    f"link into {dst} port {port.value} ({net}) used twice in one group"
+                )
+            pending[key] = packet
+            if self.collect_stats and self.system.crosses_chip_boundary(src, dst):
+                if net == "ps":
+                    self.stats.record_interchip(ps_bits=packet.lanes.size * self.arch.ps_bits)
+                else:
+                    self.stats.record_interchip(spike_bits=packet.lanes.size)
+        # Latch all packets into the destination routers at the end of the group.
+        # The routers themselves reject a latch into an occupied input register,
+        # which is how a compile-time scheduling conflict surfaces.
+        for (dst, port, net), packet in pending.items():
+            tile = self.system.tile(dst)
+            if net == "ps":
+                tile.ps_router.deliver(port, packet)  # type: ignore[arg-type]
+            else:
+                tile.spike_router.deliver(port, packet)  # type: ignore[arg-type]

@@ -1,0 +1,146 @@
+"""Execution statistics collected by the functional simulator.
+
+The paper's functional simulator exists to (1) verify functional equivalence
+with the RTL and (2) count atomic operations so that architectural power can
+be estimated by multiplying the counts with the per-op energies of Table II.
+:class:`ExecutionStats` is that counter: it records, per atomic-operation
+kind, how many operations executed, how many neuron-lanes they touched and —
+for ``ACC`` — the switching activity (fraction of spiking axons).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass
+class OpCount:
+    """Counts for one atomic-operation kind."""
+
+    operations: int = 0
+    lanes: int = 0
+
+    def add(self, lanes: int) -> None:
+        self.operations += 1
+        self.lanes += lanes
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregated statistics of one simulation run."""
+
+    #: per energy-key operation counts (keys match EnergyTable entries)
+    ops: Dict[str, OpCount] = field(default_factory=dict)
+    #: total simulated cycles
+    cycles: int = 0
+    #: number of time steps simulated
+    timesteps: int = 0
+    #: number of frames (input samples) simulated
+    frames: int = 0
+    #: spiking axons observed by ACC operations (for switching activity)
+    active_axons: int = 0
+    #: axons scanned by ACC operations
+    scanned_axons: int = 0
+    #: spikes that crossed a chip boundary (for inter-chip I/O energy)
+    interchip_spike_bits: int = 0
+    #: partial-sum bits that crossed a chip boundary
+    interchip_ps_bits: int = 0
+    #: link-occupancy stalls inserted by the simulator
+    stalls: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_op(self, energy_key: str, lanes: int = 1) -> None:
+        """Record one executed atomic operation touching ``lanes`` lanes."""
+        if lanes < 0:
+            raise ValueError("lanes must be non-negative")
+        self.ops.setdefault(energy_key, OpCount()).add(lanes)
+
+    def record_accumulate(self, active_axons: int, total_axons: int) -> None:
+        """Record the switching activity of one ``ACC`` operation."""
+        self.active_axons += int(active_axons)
+        self.scanned_axons += int(total_axons)
+
+    def record_interchip(self, spike_bits: int = 0, ps_bits: int = 0) -> None:
+        self.interchip_spike_bits += int(spike_bits)
+        self.interchip_ps_bits += int(ps_bits)
+
+    def advance_cycles(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.cycles += int(cycles)
+
+    def record_stall(self, cycles: int = 1) -> None:
+        self.stalls += int(cycles)
+        self.advance_cycles(cycles)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def switching_activity(self) -> float:
+        """Average fraction of spiking axons per ``ACC`` (paper: 6.25 % for MNIST MLP)."""
+        if self.scanned_axons == 0:
+            return 0.0
+        return self.active_axons / self.scanned_axons
+
+    @property
+    def total_operations(self) -> int:
+        return sum(count.operations for count in self.ops.values())
+
+    @property
+    def total_lanes(self) -> int:
+        return sum(count.lanes for count in self.ops.values())
+
+    def operations_by_key(self) -> Dict[str, int]:
+        return {key: count.operations for key, count in self.ops.items()}
+
+    def lanes_by_key(self) -> Dict[str, int]:
+        return {key: count.lanes for key, count in self.ops.items()}
+
+    @property
+    def cycles_per_frame(self) -> float:
+        if self.frames == 0:
+            return 0.0
+        return self.cycles / self.frames
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Return a new statistics object combining ``self`` and ``other``."""
+        merged = ExecutionStats()
+        for source in (self, other):
+            for key, count in source.ops.items():
+                target = merged.ops.setdefault(key, OpCount())
+                target.operations += count.operations
+                target.lanes += count.lanes
+        merged.cycles = self.cycles + other.cycles
+        merged.timesteps = self.timesteps + other.timesteps
+        merged.frames = self.frames + other.frames
+        merged.active_axons = self.active_axons + other.active_axons
+        merged.scanned_axons = self.scanned_axons + other.scanned_axons
+        merged.interchip_spike_bits = self.interchip_spike_bits + other.interchip_spike_bits
+        merged.interchip_ps_bits = self.interchip_ps_bits + other.interchip_ps_bits
+        merged.stalls = self.stalls + other.stalls
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        """A flat, printable summary of the run."""
+        result: Dict[str, float] = {
+            "cycles": self.cycles,
+            "timesteps": self.timesteps,
+            "frames": self.frames,
+            "total_operations": self.total_operations,
+            "switching_activity": self.switching_activity,
+            "interchip_spike_bits": self.interchip_spike_bits,
+            "interchip_ps_bits": self.interchip_ps_bits,
+            "stalls": self.stalls,
+        }
+        for key, count in sorted(self.ops.items()):
+            result[f"ops[{key}]"] = count.operations
+            result[f"lanes[{key}]"] = count.lanes
+        return result

@@ -1,0 +1,83 @@
+"""A Shenjing tile: one neuron core plus its PS-NoC and spike-NoC routers.
+
+The tile is the unit replicated across the chip (Section IV reports area and
+power per tile).  It owns the three hardware blocks and the per-tile
+configuration that the mapping toolchain produces: the weight matrix, the
+firing thresholds and, implicitly, the cycle-by-cycle schedule (held by the
+:class:`~repro.mapping.program.Program`, not by the tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import ArchitectureConfig
+from .neuron_core import NeuronCore
+from .ps_router import PsRouter
+from .spike_router import SpikeRouter
+
+
+@dataclass(frozen=True, order=True)
+class TileCoordinate:
+    """Global tile coordinate.
+
+    ``row`` / ``col`` index the tile inside the *system-wide* grid; the chip a
+    tile belongs to is derived from the architecture's chip grid dimensions,
+    so multi-chip systems are simply larger grids whose chip boundaries are
+    known (used to account inter-chip I/O energy).
+    """
+
+    row: int
+    col: int
+
+    def chip_index(self, arch: ArchitectureConfig) -> tuple[int, int]:
+        """The (chip_row, chip_col) of the chip this tile belongs to."""
+        return self.row // arch.chip_rows, self.col // arch.chip_cols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.row},{self.col})"
+
+
+class Tile:
+    """One tile of the Shenjing fabric."""
+
+    def __init__(self, arch: ArchitectureConfig, coordinate: TileCoordinate):
+        self.arch = arch
+        self.coordinate = coordinate
+        coord = (coordinate.row, coordinate.col)
+        self.core = NeuronCore(arch, coord)
+        self.ps_router = PsRouter(arch, coord)
+        self.spike_router = SpikeRouter(arch, coord)
+        #: set when the mapping assigns a logical core to this tile
+        self.configured = False
+
+    # ------------------------------------------------------------------
+    # Configuration (performed once, before execution)
+    # ------------------------------------------------------------------
+    def configure(self, weights: np.ndarray,
+                  thresholds: np.ndarray | float | int | None = None) -> None:
+        """Load weights (LD_WT) and thresholds into the tile."""
+        self.core.load_weights(weights)
+        if thresholds is not None:
+            self.spike_router.configure_threshold(thresholds)
+        self.configured = True
+
+    # ------------------------------------------------------------------
+    # Per-inference / per-step state handling
+    # ------------------------------------------------------------------
+    def reset_inference(self) -> None:
+        """Reset all dynamic state at the start of a new input frame."""
+        self.core.clear_axons()
+        self.ps_router.clear_step()
+        self.spike_router.reset_potentials()
+
+    def start_timestep(self) -> None:
+        """Clear per-step latches at the start of a time step."""
+        self.core.clear_axons()
+        self.ps_router.clear_step()
+        self.spike_router.clear_step()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tile({self.coordinate}, configured={self.configured})"

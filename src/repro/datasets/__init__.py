@@ -1,0 +1,7 @@
+"""Synthetic dataset substitutes for MNIST and CIFAR-10 (see DESIGN.md)."""
+
+from .base import Dataset, DatasetError
+from .synthetic_cifar import synthetic_cifar10
+from .synthetic_mnist import synthetic_mnist
+
+__all__ = ["Dataset", "DatasetError", "synthetic_cifar10", "synthetic_mnist"]

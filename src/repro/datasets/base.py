@@ -1,0 +1,79 @@
+"""Dataset container shared by the synthetic dataset generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DatasetError(ValueError):
+    """Raised on inconsistent dataset construction."""
+
+
+@dataclass
+class Dataset:
+    """A labelled image dataset with a train and a test split.
+
+    Images are float arrays in ``[0, 1]`` with NHWC layout; labels are
+    integer class indices.
+    """
+
+    name: str
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        self.train_images = np.asarray(self.train_images, dtype=np.float64)
+        self.test_images = np.asarray(self.test_images, dtype=np.float64)
+        self.train_labels = np.asarray(self.train_labels, dtype=np.int64).ravel()
+        self.test_labels = np.asarray(self.test_labels, dtype=np.int64).ravel()
+        if self.train_images.shape[0] != self.train_labels.shape[0]:
+            raise DatasetError("train image/label counts differ")
+        if self.test_images.shape[0] != self.test_labels.shape[0]:
+            raise DatasetError("test image/label counts differ")
+        if self.train_images.ndim != 4 or self.test_images.ndim != 4:
+            raise DatasetError("images must be NHWC arrays")
+        if self.train_images.shape[1:] != self.test_images.shape[1:]:
+            raise DatasetError("train and test image shapes differ")
+        for split in (self.train_images, self.test_images):
+            if split.size and (split.min() < 0.0 or split.max() > 1.0):
+                raise DatasetError("image intensities must lie in [0, 1]")
+        for labels in (self.train_labels, self.test_labels):
+            if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+                raise DatasetError("labels out of range")
+
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        return tuple(int(v) for v in self.train_images.shape[1:])  # type: ignore[return-value]
+
+    @property
+    def train_size(self) -> int:
+        return int(self.train_images.shape[0])
+
+    @property
+    def test_size(self) -> int:
+        return int(self.test_images.shape[0])
+
+    def flat_train(self) -> np.ndarray:
+        """Training images flattened to ``(N, H*W*C)`` (C-order)."""
+        return self.train_images.reshape(self.train_size, -1)
+
+    def flat_test(self) -> np.ndarray:
+        return self.test_images.reshape(self.test_size, -1)
+
+    def subset(self, train: int | None = None, test: int | None = None) -> "Dataset":
+        """A smaller view of the dataset (used by fast tests)."""
+        train = self.train_size if train is None else min(train, self.train_size)
+        test = self.test_size if test is None else min(test, self.test_size)
+        return Dataset(
+            name=f"{self.name}-subset",
+            train_images=self.train_images[:train],
+            train_labels=self.train_labels[:train],
+            test_images=self.test_images[:test],
+            test_labels=self.test_labels[:test],
+            num_classes=self.num_classes,
+        )

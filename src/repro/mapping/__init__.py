@@ -1,0 +1,96 @@
+"""Software mapping toolchain (Fig. 3 of the paper).
+
+Logical mapping (layer splitting, PS adder trees, spike-NoC source/destination
+matching), physical mapping (greedy placement, deterministic XY routing,
+conflict-free wave packing) and compilation into a cycle-by-cycle program of
+atomic operations, plus a structural estimator for very large networks.
+"""
+
+from .compiler import CompiledNetwork, build_logical_network, compile_network
+from .conv import ConvGeometry, conv_block_size, conv_geometry, estimate_conv_cores, map_conv
+from .estimator import LayerEstimate, MappingEstimate, estimate_mapping
+from .fc import FcGeometry, algorithm1_schedule, fc_geometry, fold_rounds, map_dense
+from .logical import (
+    EXTERNAL_INPUT,
+    LogicalCore,
+    LogicalLayer,
+    LogicalNetwork,
+    MappingError,
+    ReductionGroup,
+)
+from .placement import Placement, fabric_summary, place_network
+from .pool import estimate_pool_cores, is_pool_spec, map_pool
+from .program import (
+    InputBinding,
+    Instruction,
+    InstructionGroup,
+    OutputBinding,
+    Phase,
+    Program,
+    ProgramError,
+    TileConfig,
+)
+from .residual import estimate_residual_cores, map_residual_block
+from .routing import (
+    Hop,
+    Transfer,
+    Wave,
+    pack_waves,
+    route_length,
+    serial_waves,
+    total_hop_count,
+    xy_route,
+)
+from .spike_mapping import DeliverySegment, canonicalise_axons, segments_summary
+
+__all__ = [
+    "CompiledNetwork",
+    "ConvGeometry",
+    "DeliverySegment",
+    "EXTERNAL_INPUT",
+    "FcGeometry",
+    "Hop",
+    "InputBinding",
+    "Instruction",
+    "InstructionGroup",
+    "LayerEstimate",
+    "LogicalCore",
+    "LogicalLayer",
+    "LogicalNetwork",
+    "MappingError",
+    "MappingEstimate",
+    "OutputBinding",
+    "Phase",
+    "Placement",
+    "Program",
+    "ProgramError",
+    "ReductionGroup",
+    "TileConfig",
+    "Transfer",
+    "Wave",
+    "algorithm1_schedule",
+    "build_logical_network",
+    "canonicalise_axons",
+    "compile_network",
+    "conv_block_size",
+    "conv_geometry",
+    "estimate_conv_cores",
+    "estimate_mapping",
+    "estimate_pool_cores",
+    "estimate_residual_cores",
+    "fabric_summary",
+    "fc_geometry",
+    "fold_rounds",
+    "is_pool_spec",
+    "map_conv",
+    "map_dense",
+    "map_pool",
+    "map_residual_block",
+    "pack_waves",
+    "place_network",
+    "route_length",
+    "segments_summary",
+    "serial_waves",
+    "total_hop_count",
+    "xy_route",
+]

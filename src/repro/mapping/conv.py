@@ -1,0 +1,242 @@
+"""Logical mapping of convolutional (and pooling) layers (Section III.2).
+
+A convolution layer of kernel ``k x k x cin x cout`` over an ``h x w`` input
+is mapped by tiling the *output* feature map into rectangular blocks small
+enough that
+
+* the block's output pixels fit in one core's neurons, and
+* the input patch needed to compute them (block footprint plus the ``k - 1``
+  halo) fits in one core's synapses.
+
+Each logical core then computes the partial sums of one output block for one
+(input channel, output channel) pair; the contributions of all input channels
+are added across cores through the partial-sum NoC, exactly as the paper
+accumulates partial sums "among the channels ... to complete the convolution".
+
+The overlapping halo pixels at block boundaries are *duplicated* into the
+cores that need them (the toolchain routes the same spikes to several
+destination cores, which is what Shenjing's spike-NoC multicast is for),
+rather than exchanged as boundary partial sums as in the paper's Fig. 4.
+This substitution — documented in DESIGN.md — produces the same complete
+sums through the same PS-NoC mechanism while keeping the per-core lane
+allocation uniform; the resulting core counts match the paper's Table IV
+closely (e.g. ~680 vs 705 cores for the MNIST CNN).
+
+Average pooling is a special case: a strided convolution with a diagonal
+kernel (see :func:`repro.snn.spec.pool_spec`).  The mapper skips
+(input-channel, output-channel) pairs whose kernel slice is entirely zero, so
+pooling costs one core per (block, channel) rather than ``cin x cout`` cores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+from ..snn.spec import ConvSpec
+from .logical import EXTERNAL_INPUT, LogicalCore, LogicalLayer, MappingError, ReductionGroup
+
+
+@dataclass(frozen=True)
+class ConvGeometry:
+    """Output-block tiling chosen for a convolution layer."""
+
+    tile_h: int
+    tile_w: int
+    blocks_h: int
+    blocks_w: int
+    out_h: int
+    out_w: int
+
+    @property
+    def n_blocks(self) -> int:
+        return self.blocks_h * self.blocks_w
+
+
+def conv_block_size(spec: ConvSpec, arch: ArchitectureConfig) -> Tuple[int, int]:
+    """Largest square output block that fits one core (neurons and synapses)."""
+    out_h, out_w, _ = spec.output_shape
+    k, stride = spec.kernel, spec.stride
+    best = 0
+    limit = min(max(out_h, out_w), arch.core_neurons)
+    for side in range(1, limit + 1):
+        if side * side > arch.core_neurons:
+            break
+        patch = (side - 1) * stride + k
+        if patch * patch > arch.core_inputs:
+            break
+        best = side
+    if best == 0:
+        raise MappingError(
+            f"layer {spec.name}: kernel {k} (stride {stride}) does not fit a core "
+            f"with {arch.core_inputs} synapses"
+        )
+    return min(best, out_h), min(best, out_w)
+
+
+def conv_geometry(spec: ConvSpec, arch: ArchitectureConfig,
+                  block: Optional[Tuple[int, int]] = None) -> ConvGeometry:
+    """Tiling geometry of a convolution layer (optionally with a forced block size)."""
+    out_h, out_w, _ = spec.output_shape
+    tile_h, tile_w = block if block is not None else conv_block_size(spec, arch)
+    if tile_h <= 0 or tile_w <= 0:
+        raise MappingError("block dimensions must be positive")
+    patch = (max(tile_h, tile_w) - 1) * spec.stride + spec.kernel
+    if tile_h * tile_w > arch.core_neurons or patch * patch > arch.core_inputs:
+        raise MappingError(
+            f"layer {spec.name}: forced block {tile_h}x{tile_w} does not fit a core"
+        )
+    return ConvGeometry(
+        tile_h=tile_h,
+        tile_w=tile_w,
+        blocks_h=math.ceil(out_h / tile_h),
+        blocks_w=math.ceil(out_w / tile_w),
+        out_h=out_h,
+        out_w=out_w,
+    )
+
+
+def estimate_conv_cores(spec: ConvSpec, arch: ArchitectureConfig) -> int:
+    """Number of logical cores the mapper will use for ``spec``."""
+    geometry = conv_geometry(spec, arch)
+    contributing = _contributing_pairs(spec)
+    per_block = sum(max(1, len(cins)) for cins in contributing.values())
+    return geometry.n_blocks * per_block
+
+
+def _contributing_pairs(spec: ConvSpec) -> Dict[int, List[int]]:
+    """For each output channel, the input channels with a non-zero kernel slice."""
+    pairs: Dict[int, List[int]] = {}
+    for co in range(spec.out_channels):
+        cins = [
+            ci for ci in range(spec.in_channels)
+            if np.any(spec.weights[:, :, ci, co] != 0)
+        ]
+        pairs[co] = cins
+    return pairs
+
+
+def map_conv(spec: ConvSpec, arch: ArchitectureConfig, source: str = EXTERNAL_INPUT,
+             start_index: int = 0, materialize: bool = True,
+             block: Optional[Tuple[int, int]] = None) -> LogicalLayer:
+    """Map a :class:`ConvSpec` onto logical cores.
+
+    ``block`` forces a specific output-block size; it is used to align the
+    tiling of a residual block's output layer and its shortcut layer so their
+    partial sums land on matching lanes.
+    """
+    geometry = conv_geometry(spec, arch, block=block)
+    h, w, cin = spec.input_shape
+    out_h, out_w, cout = spec.output_shape
+    k, stride, pad = spec.kernel, spec.stride, spec.pad
+    contributing = _contributing_pairs(spec)
+
+    cores: List[LogicalCore] = []
+    groups: List[ReductionGroup] = []
+    index = start_index
+
+    for block_row in range(geometry.blocks_h):
+        row_start = block_row * geometry.tile_h
+        row_stop = min(row_start + geometry.tile_h, out_h)
+        out_rows = np.arange(row_start, row_stop, dtype=np.int64)
+        for block_col in range(geometry.blocks_w):
+            col_start = block_col * geometry.tile_w
+            col_stop = min(col_start + geometry.tile_w, out_w)
+            out_cols = np.arange(col_start, col_stop, dtype=np.int64)
+            n_lanes = out_rows.size * out_cols.size
+            lanes = np.arange(n_lanes, dtype=np.int64)
+
+            # Input patch needed by this output block (clipped to the image).
+            in_row_lo = max(0, int(out_rows[0]) * stride - pad)
+            in_row_hi = min(h, int(out_rows[-1]) * stride - pad + k)
+            in_col_lo = max(0, int(out_cols[0]) * stride - pad)
+            in_col_hi = min(w, int(out_cols[-1]) * stride - pad + k)
+            patch_rows = np.arange(in_row_lo, in_row_hi, dtype=np.int64)
+            patch_cols = np.arange(in_col_lo, in_col_hi, dtype=np.int64)
+
+            for co in range(cout):
+                lane_outputs = np.empty(n_lanes, dtype=np.int64)
+                for lane, (orow, ocol) in enumerate(
+                        (int(r), int(c)) for r in out_rows for c in out_cols):
+                    lane_outputs[lane] = (orow * out_w + ocol) * cout + co
+                cins = contributing[co] or [0]
+                block_cores: List[int] = []
+                for ci in cins:
+                    axons, weights = _build_core_slice(
+                        spec, patch_rows, patch_cols, out_rows, out_cols,
+                        ci, co, materialize,
+                    )
+                    core = LogicalCore(
+                        index=index,
+                        layer=spec.name,
+                        source=source,
+                        axon_sources=axons,
+                        lane_outputs=lane_outputs.copy(),
+                        weights=weights,
+                    )
+                    core.check_fits(arch)
+                    cores.append(core)
+                    block_cores.append(index)
+                    index += 1
+                groups.append(ReductionGroup(
+                    lanes=lanes.copy(),
+                    core_indices=block_cores,
+                    head=block_cores[0],
+                ))
+
+    return LogicalLayer(
+        name=spec.name,
+        cores=cores,
+        groups=groups,
+        threshold=spec.threshold,
+        out_size=spec.out_size,
+    )
+
+
+def _build_core_slice(spec: ConvSpec, patch_rows: np.ndarray, patch_cols: np.ndarray,
+                      out_rows: np.ndarray, out_cols: np.ndarray, ci: int, co: int,
+                      materialize: bool) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Axon list and weight matrix of one (block, cin, cout) logical core."""
+    h, w, cin = spec.input_shape
+    k, stride, pad = spec.kernel, spec.stride, spec.pad
+
+    # Axons: the patch pixels of input channel ci, row-major, as global
+    # indices into the flattened (h, w, cin) input of this layer.
+    patch_grid_r, patch_grid_c = np.meshgrid(patch_rows, patch_cols, indexing="ij")
+    axons = ((patch_grid_r * w + patch_grid_c) * cin + ci).ravel()
+
+    if not materialize:
+        return axons, None
+
+    position = {
+        (int(r), int(c)): pos
+        for pos, (r, c) in enumerate(
+            (r, c) for r in patch_rows for c in patch_cols)
+    }
+    n_lanes = out_rows.size * out_cols.size
+    weights = np.zeros((axons.size, n_lanes), dtype=np.int16)
+    kernel = spec.weights[:, :, ci, co]
+    for lane, (orow, ocol) in enumerate(
+            (int(r), int(c)) for r in out_rows for c in out_cols):
+        base_r = orow * stride - pad
+        base_c = ocol * stride - pad
+        for kr in range(k):
+            in_r = base_r + kr
+            if in_r < 0 or in_r >= h:
+                continue
+            for kc in range(k):
+                in_c = base_c + kc
+                if in_c < 0 or in_c >= w:
+                    continue
+                value = kernel[kr, kc]
+                if value == 0:
+                    continue
+                pos = position.get((in_r, in_c))
+                if pos is None:
+                    continue
+                weights[pos, lane] = value
+    return axons, weights

@@ -1,0 +1,208 @@
+"""Structural resource and operation-count estimation.
+
+For the largest benchmarks (CIFAR-10 CNN and ResNet, thousands of cores) the
+paper does not run RTL simulation; it counts atomic operations with the
+functional simulator and multiplies by per-op energies.  For networks too
+large to cycle-simulate comfortably in Python, this module derives the same
+per-time-step operation counts *structurally* from the logical mapping and the
+placement — without materialising weights or executing anything — so that the
+power model can produce Table IV's rows for every benchmark.
+
+The cycle estimate per time step uses, for every NoC phase, the classical
+congestion/dilation bound: ``max(most-loaded link, longest route) + 1``,
+which closely tracks what the wave-packed schedule achieves.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+from ..snn.spec import SnnNetwork
+from .compiler import build_logical_network
+from .logical import EXTERNAL_INPUT, LogicalLayer, LogicalNetwork
+from .placement import Placement, place_network
+from .routing import Transfer, route_length, xy_route
+from .spike_mapping import canonicalise_axons
+
+
+@dataclass
+class LayerEstimate:
+    """Per-time-step operation counts of one logical layer."""
+
+    name: str
+    cores: int
+    groups: int
+    ops: Dict[str, int] = field(default_factory=dict)
+    lanes: Dict[str, int] = field(default_factory=dict)
+    interchip_spike_bits: int = 0
+    interchip_ps_bits: int = 0
+    cycles: int = 0
+
+    def add_op(self, key: str, lanes: int, count: int = 1) -> None:
+        self.ops[key] = self.ops.get(key, 0) + count
+        self.lanes[key] = self.lanes.get(key, 0) + lanes * count
+
+
+@dataclass
+class MappingEstimate:
+    """Whole-network structural estimate (one time step, one frame)."""
+
+    name: str
+    arch: ArchitectureConfig
+    layers: List[LayerEstimate]
+    total_cores: int
+    chips: int
+    fabric: Tuple[int, int]
+    timesteps: int
+
+    @property
+    def cycles_per_timestep(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def cycles_per_frame(self) -> int:
+        return self.cycles_per_timestep * self.timesteps
+
+    def ops_per_timestep(self) -> Dict[str, int]:
+        totals: Counter = Counter()
+        for layer in self.layers:
+            totals.update(layer.ops)
+        return dict(totals)
+
+    def lanes_per_timestep(self) -> Dict[str, int]:
+        totals: Counter = Counter()
+        for layer in self.layers:
+            totals.update(layer.lanes)
+        return dict(totals)
+
+    def lanes_per_frame(self) -> Dict[str, int]:
+        return {key: value * self.timesteps for key, value in self.lanes_per_timestep().items()}
+
+    def interchip_bits_per_frame(self) -> Tuple[int, int]:
+        spike = sum(layer.interchip_spike_bits for layer in self.layers) * self.timesteps
+        ps = sum(layer.interchip_ps_bits for layer in self.layers) * self.timesteps
+        return spike, ps
+
+    def describe(self) -> str:
+        lines = [
+            f"MappingEstimate '{self.name}': {self.total_cores} cores, "
+            f"{self.chips} chip(s), fabric {self.fabric[0]}x{self.fabric[1]}, "
+            f"{self.cycles_per_timestep} cycles/timestep",
+        ]
+        for layer in self.layers:
+            lines.append(
+                f"  {layer.name:<24} {layer.cores:>6} cores  {layer.cycles:>6} cycles"
+            )
+        return "\n".join(lines)
+
+
+def estimate_mapping(snn: SnnNetwork, arch: ArchitectureConfig,
+                     rows: Optional[int] = None,
+                     logical: Optional[LogicalNetwork] = None,
+                     placement: Optional[Placement] = None) -> MappingEstimate:
+    """Estimate per-time-step operation counts for ``snn`` on ``arch``.
+
+    A pre-built logical network / placement can be passed in to avoid
+    recomputing them (the experiment pipeline reuses the compiled ones for
+    networks it also simulates).
+    """
+    if logical is None:
+        logical = build_logical_network(snn, arch, materialize=False)
+    if placement is None:
+        placement = place_network(logical, arch, rows=rows)
+
+    locators = {layer.name: layer.output_locations() for layer in logical.layers}
+    estimates: List[LayerEstimate] = []
+    for layer in logical.layers:
+        estimates.append(
+            _estimate_layer(layer, logical, placement, arch, locators)
+        )
+    return MappingEstimate(
+        name=snn.name,
+        arch=arch,
+        layers=estimates,
+        total_cores=logical.n_cores,
+        chips=placement.chips_used(),
+        fabric=(placement.rows, placement.cols),
+        timesteps=snn.timesteps,
+    )
+
+
+def _estimate_layer(layer: LogicalLayer, logical: LogicalNetwork, placement: Placement,
+                    arch: ArchitectureConfig,
+                    locators: Dict[str, Dict[int, Tuple[int, int]]]) -> LayerEstimate:
+    estimate = LayerEstimate(name=layer.name, cores=layer.n_cores, groups=len(layer.groups))
+
+    # --- spike delivery from the source layers -------------------------------
+    delivery_routes: List[Tuple[int, int]] = []  # (hops, lanes)
+    link_load: Counter = Counter()
+    longest = 0
+    for core in layer.cores:
+        if core.source == EXTERNAL_INPUT:
+            continue
+        segments = canonicalise_axons(core, locators[core.source])
+        dst = placement.position(core.index)
+        for segment in segments:
+            src = placement.position(segment.producer_core)
+            hops = route_length(src, dst)
+            lanes = segment.width
+            estimate.add_op("spike_send", lanes)
+            if hops > 1:
+                estimate.add_op("spike_bypass", lanes, count=hops - 1)
+            estimate.add_op("spike_bypass", lanes)  # the RECV / ejection
+            longest = max(longest, hops)
+            for hop in xy_route(src, dst):
+                link_load[(hop.tile, hop.direction)] += 1
+                nxt = hop.next_tile
+                if hop.tile.chip_index(arch) != nxt.chip_index(arch):
+                    estimate.interchip_spike_bits += lanes
+            delivery_routes.append((hops, lanes))
+    delivery_cycles = 0
+    if delivery_routes:
+        congestion = max(link_load.values()) if link_load else 0
+        delivery_cycles = max(congestion, longest) + 1
+
+    # --- weight accumulation --------------------------------------------------
+    estimate.add_op("core_acc", arch.core_neurons, count=layer.n_cores)
+    acc_cycles = arch.long_op_cycles
+
+    # --- partial-sum reduction -------------------------------------------------
+    ps_link_load: Counter = Counter()
+    ps_longest = 0
+    max_members = 0
+    for group in layer.groups:
+        head_pos = placement.position(group.head)
+        lanes = int(group.lanes.size)
+        max_members = max(max_members, len(group.members))
+        for member in group.members:
+            src = placement.position(member)
+            hops = route_length(src, head_pos)
+            estimate.add_op("ps_send", lanes)
+            if hops > 1:
+                estimate.add_op("ps_bypass", lanes, count=hops - 1)
+            estimate.add_op("ps_sum", lanes)
+            ps_longest = max(ps_longest, hops)
+            for hop in xy_route(src, head_pos):
+                ps_link_load[(hop.tile, hop.direction)] += 1
+                nxt = hop.next_tile
+                if hop.tile.chip_index(arch) != nxt.chip_index(arch):
+                    estimate.interchip_ps_bits += lanes * arch.ps_bits
+    reduce_cycles = 0
+    if max_members:
+        congestion = max(ps_link_load.values()) if ps_link_load else 0
+        # one round per member (a head consumes one packet per cycle), each
+        # round at least as long as its longest route
+        reduce_cycles = max(congestion, max_members * (ps_longest + 1))
+
+    # --- spike generation -------------------------------------------------------
+    for group in layer.groups:
+        estimate.add_op("spike_fire", int(group.lanes.size))
+    fire_cycles = 1
+
+    estimate.cycles = delivery_cycles + acc_cycles + reduce_cycles + fire_cycles
+    return estimate

@@ -1,0 +1,181 @@
+"""Logical mapping of fully connected layers (Section III.1 and Algorithm 1).
+
+An ``m x n`` fully connected layer is split over ``nrow x ncol`` logical
+cores, where ``nrow = ceil(m / Nin)`` and ``ncol = ceil(n / Nout)``.  The
+cores of one column all compute partial sums for the same output slice (on
+the same lanes — the per-neuron PS NoC constraint), and the partial-sum NoC
+adds them together.  Algorithm 1 of the paper schedules that addition as a
+logarithmic fold along the column; :func:`algorithm1_schedule` reproduces the
+paper's pseudo-code verbatim (it is used by the Fig. 1 benchmark and as an
+alternative reduction order in the compiler).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+from ..snn.spec import DenseSpec
+from .logical import EXTERNAL_INPUT, LogicalCore, LogicalLayer, MappingError, ReductionGroup
+
+
+@dataclass(frozen=True)
+class FcGeometry:
+    """Core-grid geometry of a fully connected layer mapping."""
+
+    inputs: int
+    outputs: int
+    nrow: int
+    ncol: int
+
+    @property
+    def n_cores(self) -> int:
+        return self.nrow * self.ncol
+
+
+def fc_geometry(inputs: int, outputs: int, arch: ArchitectureConfig) -> FcGeometry:
+    """Number of core rows/columns needed for an FC layer (paper formulas)."""
+    if inputs <= 0 or outputs <= 0:
+        raise MappingError("FC layer dimensions must be positive")
+    nrow = math.ceil(inputs / arch.core_inputs)
+    ncol = math.ceil(outputs / arch.core_neurons)
+    return FcGeometry(inputs=inputs, outputs=outputs, nrow=nrow, ncol=ncol)
+
+
+def map_dense(spec: DenseSpec, arch: ArchitectureConfig, source: str = EXTERNAL_INPUT,
+              start_index: int = 0, materialize: bool = True) -> LogicalLayer:
+    """Map a :class:`DenseSpec` onto logical cores.
+
+    Parameters
+    ----------
+    spec:
+        The quantised fully connected layer.
+    arch:
+        Architecture description (core geometry).
+    source:
+        Name of the layer whose outputs feed this layer (or external input).
+    start_index:
+        First logical core index to assign (indices are network-global).
+    materialize:
+        When False, weight sub-matrices are not materialised (structure-only
+        mapping used for resource/energy estimation of very large networks).
+    """
+    geometry = fc_geometry(spec.in_size, spec.out_size, arch)
+    cores: List[LogicalCore] = []
+    groups: List[ReductionGroup] = []
+    index = start_index
+    for col in range(geometry.ncol):
+        out_start = col * arch.core_neurons
+        out_stop = min(out_start + arch.core_neurons, spec.out_size)
+        outputs = np.arange(out_start, out_stop, dtype=np.int64)
+        lanes = np.arange(outputs.size, dtype=np.int64)
+        column_cores: List[int] = []
+        for row in range(geometry.nrow):
+            in_start = row * arch.core_inputs
+            in_stop = min(in_start + arch.core_inputs, spec.in_size)
+            axons = np.arange(in_start, in_stop, dtype=np.int64)
+            lane_outputs = np.full(outputs.size, -1, dtype=np.int64)
+            lane_outputs[lanes] = outputs
+            weights = None
+            if materialize:
+                weights = spec.weights[in_start:in_stop, out_start:out_stop].astype(np.int16)
+            core = LogicalCore(
+                index=index,
+                layer=spec.name,
+                source=source,
+                axon_sources=axons,
+                lane_outputs=lane_outputs,
+                weights=weights,
+            )
+            core.check_fits(arch)
+            cores.append(core)
+            column_cores.append(index)
+            index += 1
+        groups.append(ReductionGroup(lanes=lanes, core_indices=column_cores,
+                                     head=column_cores[0]))
+    return LogicalLayer(
+        name=spec.name,
+        cores=cores,
+        groups=groups,
+        threshold=spec.threshold,
+        out_size=spec.out_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 of the paper, reproduced literally
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceEntry:
+    """One atomic entry of the Algorithm-1 network trace."""
+
+    action: str          # "SEND" or "ADD"
+    source: Tuple[int, int]
+    destination: Tuple[int, int]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.action == "SEND":
+            return f"Send PS{self.source} FROM {self.source} TO {self.destination}"
+        return f"Add PS{self.source} TO PS{self.destination}"
+
+
+def algorithm1_schedule(nrow: int, ncol: int) -> List[List[TraceEntry]]:
+    """The paper's Algorithm 1: partial-sum NoC schedule for an FC layer.
+
+    Returns the network trace ``N`` — a list of parallel step lists ``L``,
+    alternating SEND steps and ADD steps — for an ``nrow x ncol`` rectangle of
+    cores whose row 0 holds the heads.  The schedule folds the rows in
+    ``ceil(log2(nrow))`` rounds: in round ``f`` (fold distance), rows
+    ``f, f + 2f, ...`` send their partial sums ``f`` rows up and the receiving
+    rows accumulate them.
+    """
+    if nrow <= 0 or ncol <= 0:
+        raise MappingError("nrow and ncol must be positive")
+    trace: List[List[TraceEntry]] = []
+    fold = 1
+    while fold < nrow:
+        sends: List[TraceEntry] = []
+        adds: List[TraceEntry] = []
+        for row in range(fold, nrow, 2 * fold):
+            for col in range(ncol):
+                sends.append(TraceEntry(
+                    action="SEND", source=(row, col), destination=(row - fold, col)
+                ))
+                adds.append(TraceEntry(
+                    action="ADD", source=(row, col), destination=(row - fold, col)
+                ))
+        if sends:
+            trace.append(sends)
+            trace.append(adds)
+        fold *= 2
+    return trace
+
+
+def fold_rounds(nrow: int) -> int:
+    """Number of fold rounds Algorithm 1 needs for ``nrow`` rows."""
+    if nrow <= 0:
+        raise MappingError("nrow must be positive")
+    return max(0, math.ceil(math.log2(nrow))) if nrow > 1 else 0
+
+
+def reduction_order_fold(members: Sequence[int], head: int) -> List[Tuple[int, int]]:
+    """Pairwise accumulation order implied by Algorithm 1 for one column.
+
+    Returns a list of ``(src, dst)`` core positions (indices into the column,
+    0 being the head) such that applying the additions in order accumulates
+    every member into the head.  Used by the compiler when it schedules a
+    column reduction as a fold rather than a chain.
+    """
+    column = [head] + list(members)
+    nrow = len(column)
+    order: List[Tuple[int, int]] = []
+    fold = 1
+    while fold < nrow:
+        for row in range(fold, nrow, 2 * fold):
+            order.append((row, row - fold))
+        fold *= 2
+    return order

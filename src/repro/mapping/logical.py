@@ -1,0 +1,276 @@
+"""Logical mapping intermediate representation.
+
+The first phase of the paper's toolchain (Fig. 3) maps each layer's weights
+onto a set of *logical cores* and schedules the partial-sum and spike NoCs at
+the source/destination level.  This module defines that intermediate
+representation:
+
+``LogicalCore``
+    A slice of a layer assigned to one (not yet placed) core: which elements
+    of the source layer's output feed its axons, the weight sub-matrix, and
+    which global output element each neuron lane contributes to.
+
+``ReductionGroup``
+    The set of logical cores whose partial sums must be added — through the
+    partial-sum NoC — to form the complete weighted sums of a set of output
+    elements, plus the *head* core where the full sum is integrated and fired.
+
+``LogicalLayer`` / ``LogicalNetwork``
+    Per-layer and whole-network containers with consistency checks.
+
+The key hardware constraint enforced here is the paper's "each PS NoC is
+dedicated exclusively to the same neuron in each core": partial sums that are
+added together must sit on the *same lane index* in every core of a group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+
+#: Pseudo layer name used as the ``source`` of first-layer cores.
+EXTERNAL_INPUT = "__input__"
+
+
+class MappingError(ValueError):
+    """Raised when a layer cannot be mapped or the mapping is inconsistent."""
+
+
+@dataclass
+class LogicalCore:
+    """One logical core: a weight slice plus its input/output wiring."""
+
+    index: int
+    layer: str
+    source: str
+    axon_sources: np.ndarray
+    lane_outputs: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.axon_sources = np.asarray(self.axon_sources, dtype=np.int64).ravel()
+        self.lane_outputs = np.asarray(self.lane_outputs, dtype=np.int64).ravel()
+        if self.axon_sources.size == 0:
+            raise MappingError(f"core {self.index} of {self.layer} has no axons")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights)
+            expected = (self.axon_sources.size, self.lane_outputs.size)
+            if self.weights.shape != expected:
+                raise MappingError(
+                    f"core {self.index} of {self.layer}: weight shape "
+                    f"{self.weights.shape} != {expected}"
+                )
+
+    @property
+    def n_axons(self) -> int:
+        return int(self.axon_sources.size)
+
+    @property
+    def used_lanes(self) -> np.ndarray:
+        """Lane indices that carry a meaningful partial sum."""
+        return np.flatnonzero(self.lane_outputs >= 0)
+
+    @property
+    def n_outputs(self) -> int:
+        return int((self.lane_outputs >= 0).sum())
+
+    def check_fits(self, arch: ArchitectureConfig) -> None:
+        if self.n_axons > arch.core_inputs:
+            raise MappingError(
+                f"core {self.index} of {self.layer} needs {self.n_axons} axons, "
+                f"core has {arch.core_inputs}"
+            )
+        if self.lane_outputs.size > arch.core_neurons:
+            raise MappingError(
+                f"core {self.index} of {self.layer} uses {self.lane_outputs.size} "
+                f"lanes, core has {arch.core_neurons}"
+            )
+
+    def reorder_axons(self, order: np.ndarray) -> None:
+        """Permute the axon list (and weight rows) by ``order``."""
+        order = np.asarray(order, dtype=np.int64)
+        if order.shape != (self.n_axons,) or set(order.tolist()) != set(range(self.n_axons)):
+            raise MappingError("axon reorder must be a permutation of the axon indices")
+        self.axon_sources = self.axon_sources[order]
+        if self.weights is not None:
+            self.weights = self.weights[order]
+
+
+@dataclass
+class ReductionGroup:
+    """Cores whose partial sums are added in the PS NoC to form full sums."""
+
+    lanes: np.ndarray
+    core_indices: List[int]
+    head: int
+
+    def __post_init__(self) -> None:
+        self.lanes = np.asarray(self.lanes, dtype=np.int64).ravel()
+        if self.lanes.size == 0:
+            raise MappingError("reduction group has no lanes")
+        if self.head not in self.core_indices:
+            raise MappingError("reduction group head must be one of its cores")
+        if len(set(self.core_indices)) != len(self.core_indices):
+            raise MappingError("reduction group contains duplicate cores")
+
+    @property
+    def members(self) -> List[int]:
+        """Non-head cores, in accumulation order."""
+        return [core for core in self.core_indices if core != self.head]
+
+    @property
+    def size(self) -> int:
+        return len(self.core_indices)
+
+
+@dataclass
+class LogicalLayer:
+    """The logical mapping of one firing layer."""
+
+    name: str
+    cores: List[LogicalCore]
+    groups: List[ReductionGroup]
+    threshold: int
+    out_size: int
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise MappingError(f"layer {self.name} mapped to zero cores")
+        if self.threshold <= 0:
+            raise MappingError(f"layer {self.name} has a non-positive threshold")
+        if self.out_size <= 0:
+            raise MappingError(f"layer {self.name} has no outputs")
+
+    # ------------------------------------------------------------------
+    def core_by_index(self, index: int) -> LogicalCore:
+        for core in self.cores:
+            if core.index == index:
+                return core
+        raise MappingError(f"layer {self.name} has no core with index {index}")
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def sources(self) -> List[str]:
+        """Distinct source layers feeding this layer's cores."""
+        seen: List[str] = []
+        for core in self.cores:
+            if core.source not in seen:
+                seen.append(core.source)
+        return seen
+
+    def output_locations(self) -> Dict[int, Tuple[int, int]]:
+        """Map global output index -> (head core index, lane)."""
+        locations: Dict[int, Tuple[int, int]] = {}
+        for group in self.groups:
+            head = self.core_by_index(group.head)
+            for lane in group.lanes:
+                output = int(head.lane_outputs[lane])
+                if output < 0:
+                    raise MappingError(
+                        f"layer {self.name}: head core {group.head} lane {lane} "
+                        "carries no output"
+                    )
+                if output in locations:
+                    raise MappingError(
+                        f"layer {self.name}: output {output} produced twice"
+                    )
+                locations[output] = (group.head, int(lane))
+        return locations
+
+    def validate(self, arch: ArchitectureConfig) -> None:
+        """Check all the structural invariants of the logical mapping."""
+        for core in self.cores:
+            core.check_fits(arch)
+        indices = [core.index for core in self.cores]
+        if len(set(indices)) != len(indices):
+            raise MappingError(f"layer {self.name} has duplicate core indices")
+        grouped = [idx for group in self.groups for idx in group.core_indices]
+        if sorted(grouped) != sorted(indices):
+            raise MappingError(
+                f"layer {self.name}: reduction groups must partition the cores"
+            )
+        # Lane-consistency: all cores of a group expose the same output index
+        # on every group lane (the per-neuron PS NoC constraint).
+        for group in self.groups:
+            head = self.core_by_index(group.head)
+            reference = head.lane_outputs[group.lanes]
+            if np.any(reference < 0):
+                raise MappingError(
+                    f"layer {self.name}: group head {group.head} has unused lanes "
+                    "inside the group lane set"
+                )
+            for index in group.core_indices:
+                core = self.core_by_index(index)
+                outputs = core.lane_outputs[group.lanes]
+                if not np.array_equal(outputs, reference):
+                    raise MappingError(
+                        f"layer {self.name}: core {index} lane outputs differ from "
+                        f"head {group.head} on the group lanes"
+                    )
+        locations = self.output_locations()
+        covered = set(locations)
+        if covered != set(range(self.out_size)):
+            missing = sorted(set(range(self.out_size)) - covered)[:5]
+            raise MappingError(
+                f"layer {self.name}: outputs not fully covered "
+                f"(first missing: {missing})"
+            )
+
+
+@dataclass
+class LogicalNetwork:
+    """Whole-network logical mapping: layers in topological order."""
+
+    name: str
+    input_size: int
+    layers: List[LogicalLayer] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_cores(self) -> int:
+        return sum(layer.n_cores for layer in self.layers)
+
+    @property
+    def output_size(self) -> int:
+        if not self.layers:
+            return self.input_size
+        return self.layers[-1].out_size
+
+    def layer_by_name(self, name: str) -> LogicalLayer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise MappingError(f"no logical layer named {name!r}")
+
+    def validate(self, arch: ArchitectureConfig) -> None:
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise MappingError("duplicate logical layer names")
+        known = {EXTERNAL_INPUT}
+        sizes = {EXTERNAL_INPUT: self.input_size}
+        for layer in self.layers:
+            layer.validate(arch)
+            for core in layer.cores:
+                if core.source not in known:
+                    raise MappingError(
+                        f"layer {layer.name}: core {core.index} reads from "
+                        f"{core.source!r} which is not produced earlier"
+                    )
+                limit = sizes[core.source]
+                if core.axon_sources.size and int(core.axon_sources.max()) >= limit:
+                    raise MappingError(
+                        f"layer {layer.name}: core {core.index} reads element "
+                        f"{int(core.axon_sources.max())} of {core.source!r} "
+                        f"which only has {limit} outputs"
+                    )
+            known.add(layer.name)
+            sizes[layer.name] = layer.out_size
+
+    def core_count_by_layer(self) -> Dict[str, int]:
+        return {layer.name: layer.n_cores for layer in self.layers}

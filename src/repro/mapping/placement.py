@@ -1,0 +1,147 @@
+"""Physical placement of logical cores onto the tile fabric (Section III).
+
+The paper uses a greedy algorithm that allocates adjacent layers next to each
+other in rectangles while minimising the number of chips and the cost of data
+movement.  This module implements the same idea:
+
+* layers are placed left to right, each starting on a fresh column, so a
+  layer occupies a rectangle of columns and consecutive layers are adjacent;
+* within a layer, each reduction group is packed vertically (head on top,
+  members below) so the partial-sum accumulation runs along short vertical
+  paths — the arrangement shown in Fig. 1 for the MNIST MLP;
+* a group that does not fit in the remaining rows of the current column
+  starts a new column; groups taller than the fabric wrap (snake) into the
+  next column.
+
+The fabric height defaults to the chip's row count; the fabric grows in
+columns, and every ``chip_cols`` columns start a new chip (multi-chip
+systems, accounted for by the inter-chip I/O energy model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import ArchitectureConfig
+from ..core.tile import TileCoordinate
+from .logical import LogicalNetwork, MappingError
+
+
+@dataclass
+class Placement:
+    """Result of physical placement."""
+
+    arch: ArchitectureConfig
+    positions: Dict[int, TileCoordinate] = field(default_factory=dict)
+    rows: int = 0
+    cols: int = 0
+    layer_columns: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def position(self, core_index: int) -> TileCoordinate:
+        try:
+            return self.positions[core_index]
+        except KeyError as exc:
+            raise MappingError(f"core {core_index} has not been placed") from exc
+
+    @property
+    def n_placed(self) -> int:
+        return len(self.positions)
+
+    def chips_used(self) -> int:
+        """Number of chips touched by the placement (784 tiles per chip)."""
+        chips = {
+            coordinate.chip_index(self.arch) for coordinate in self.positions.values()
+        }
+        return max(1, len(chips))
+
+    def occupancy(self) -> float:
+        """Fraction of the bounding fabric actually occupied by cores."""
+        if self.rows == 0 or self.cols == 0:
+            return 0.0
+        return self.n_placed / (self.rows * self.cols)
+
+    def validate(self) -> None:
+        seen: Dict[TileCoordinate, int] = {}
+        for core, coordinate in self.positions.items():
+            if coordinate.row < 0 or coordinate.row >= self.rows:
+                raise MappingError(f"core {core} placed outside fabric rows")
+            if coordinate.col < 0 or coordinate.col >= self.cols:
+                raise MappingError(f"core {core} placed outside fabric columns")
+            if coordinate in seen:
+                raise MappingError(
+                    f"cores {seen[coordinate]} and {core} both placed at {coordinate}"
+                )
+            seen[coordinate] = core
+
+
+def place_network(network: LogicalNetwork, arch: ArchitectureConfig,
+                  rows: Optional[int] = None,
+                  column_aligned_groups: bool = False,
+                  layer_fresh_columns: bool = False) -> Placement:
+    """Greedy rectangle placement of a logical network.
+
+    Parameters
+    ----------
+    network:
+        The logical mapping to place.
+    arch:
+        Architecture description (chip geometry).
+    rows:
+        Fabric height in tiles; defaults to one chip's row count.
+    column_aligned_groups:
+        When True, a reduction group that fits in one column never straddles
+        two columns (the Fig. 1 arrangement: head on top, members below).
+        The default packs cores densely, which is what keeps the MNIST CNN on
+        a single chip and the CIFAR CNN on 4 chips as in Table IV.
+    layer_fresh_columns:
+        When True, every layer starts on a fresh column so the layer regions
+        are clean rectangles (costs up to one column per layer).
+    """
+    rows = arch.chip_rows if rows is None else rows
+    if rows <= 0:
+        raise MappingError("fabric must have at least one row")
+    placement = Placement(arch=arch, rows=rows)
+
+    col = 0
+    row = 0
+
+    def advance() -> None:
+        nonlocal row, col
+        row += 1
+        if row >= rows:
+            row = 0
+            col += 1
+
+    for layer in network.layers:
+        if layer_fresh_columns and row != 0:
+            row = 0
+            col += 1
+        first_col = col
+        for group in layer.groups:
+            group_size = group.size
+            if column_aligned_groups and group_size <= rows and row + group_size > rows:
+                row = 0
+                col += 1
+            ordered = [group.head] + group.members
+            for core_index in ordered:
+                placement.positions[core_index] = TileCoordinate(row, col)
+                advance()
+        last_col = col if row > 0 else max(first_col, col - 1)
+        placement.layer_columns[layer.name] = (first_col, last_col)
+
+    placement.cols = max(coordinate.col for coordinate in placement.positions.values()) + 1
+    placement.validate()
+    return placement
+
+
+def fabric_summary(placement: Placement) -> Dict[str, float]:
+    """Printable summary of the placement (used by reports and benches)."""
+    return {
+        "rows": placement.rows,
+        "cols": placement.cols,
+        "cores": placement.n_placed,
+        "chips": placement.chips_used(),
+        "occupancy": round(placement.occupancy(), 4),
+    }

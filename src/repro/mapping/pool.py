@@ -1,0 +1,51 @@
+"""Logical mapping of average-pooling layers.
+
+In the spiking domain average pooling is a strided convolution with a
+diagonal kernel (:func:`repro.snn.spec.pool_spec`), so its mapping reuses the
+convolution mapper.  Because the kernel slice between different channels is
+all-zero, :func:`repro.mapping.conv.map_conv` creates exactly one core per
+(output block, channel) pair and no cross-core partial-sum accumulation is
+needed — each pooling core fires locally.
+"""
+
+from __future__ import annotations
+
+from ..core.config import ArchitectureConfig
+from ..snn.spec import ConvSpec
+from .conv import conv_geometry, estimate_conv_cores, map_conv
+from .logical import EXTERNAL_INPUT, LogicalLayer, MappingError
+
+
+def is_pool_spec(spec: ConvSpec) -> bool:
+    """True when a ConvSpec has the structure produced by ``pool_spec``.
+
+    A pooling layer has a diagonal channel structure (no cross-channel
+    weights), stride equal to its kernel size and no padding.
+    """
+    if spec.stride != spec.kernel or spec.pad != 0:
+        return False
+    if spec.in_channels != spec.out_channels:
+        return False
+    for ci in range(spec.in_channels):
+        for co in range(spec.out_channels):
+            if ci != co and bool((spec.weights[:, :, ci, co] != 0).any()):
+                return False
+    return True
+
+
+def map_pool(spec: ConvSpec, arch: ArchitectureConfig, source: str = EXTERNAL_INPUT,
+             start_index: int = 0, materialize: bool = True) -> LogicalLayer:
+    """Map a pooling layer (a diagonal strided ConvSpec) onto logical cores."""
+    if not is_pool_spec(spec):
+        raise MappingError(
+            f"layer {spec.name} is not a pooling layer; use map_conv instead"
+        )
+    return map_conv(spec, arch, source=source, start_index=start_index,
+                    materialize=materialize)
+
+
+def estimate_pool_cores(spec: ConvSpec, arch: ArchitectureConfig) -> int:
+    """Number of cores a pooling layer needs (one per block and channel)."""
+    if not is_pool_spec(spec):
+        raise MappingError(f"layer {spec.name} is not a pooling layer")
+    return estimate_conv_cores(spec, arch)

@@ -1,0 +1,277 @@
+"""Compiled program representation.
+
+The output of the mapping toolchain (Fig. 3) is a cycle-by-cycle schedule of
+atomic operations for every tile, together with the static per-tile
+configuration (weights, thresholds) and the bindings that connect the
+network's external inputs and outputs to tiles.
+
+The schedule is organised hierarchically:
+
+``Program`` -> list of ``Phase`` (one per layer stage: accumulate, PS-NoC
+reduction, spike generation, spike routing) -> list of ``InstructionGroup``.
+
+All instructions inside a group are data-independent and execute "in the same
+cycle"; packets injected onto links by a group become visible to consumers in
+later groups, which models the per-hop link registers of the NoCs.  The
+simulator (:mod:`repro.core.simulator`) therefore charges each group the
+latency of its slowest operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+from ..core.isa import AtomicOp, op_latency
+from ..core.tile import TileCoordinate
+
+
+class ProgramError(ValueError):
+    """Raised on malformed programs (bad bindings, empty groups, ...)."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One atomic operation scheduled on one tile."""
+
+    tile: TileCoordinate
+    op: AtomicOp
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.tile}: {self.op}"
+
+
+@dataclass
+class InstructionGroup:
+    """A set of data-independent instructions that execute concurrently."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    label: str = ""
+
+    def add(self, tile: TileCoordinate, op: AtomicOp) -> None:
+        self.instructions.append(Instruction(tile=tile, op=op))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def latency(self, long_op_cycles: int) -> int:
+        """Cycle cost of the group: the latency of its slowest op."""
+        if not self.instructions:
+            return 0
+        return max(op_latency(instr.op, long_op_cycles) for instr in self.instructions)
+
+
+@dataclass
+class Phase:
+    """A named sequence of instruction groups (e.g. ``fc1/ps-reduce``)."""
+
+    name: str
+    groups: List[InstructionGroup] = field(default_factory=list)
+
+    def new_group(self, label: str = "") -> InstructionGroup:
+        group = InstructionGroup(label=label)
+        self.groups.append(group)
+        return group
+
+    def extend(self, groups: Iterable[InstructionGroup]) -> None:
+        self.groups.extend(groups)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+    def __iter__(self) -> Iterator[InstructionGroup]:
+        return iter(self.groups)
+
+
+@dataclass
+class InputBinding:
+    """Connects elements of the network input vector to a tile's axons.
+
+    ``indices`` selects elements of the flattened external input spike vector
+    (in the order they should appear on the axons); they are written to the
+    tile's axon buffer starting at ``axon_offset`` at the beginning of every
+    time step.  Layers whose cores read contiguous input slices (fully
+    connected layers) use ``np.arange`` ranges; convolutional patches use the
+    scattered pixel indices of the patch.
+    """
+
+    tile: TileCoordinate
+    indices: np.ndarray
+    axon_offset: int = 0
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64).ravel()
+        if self.axon_offset < 0:
+            raise ProgramError("input binding axon offset must be >= 0")
+        if self.indices.size == 0:
+            raise ProgramError("input binding must select at least one input")
+        if self.indices.min() < 0:
+            raise ProgramError("input binding indices must be non-negative")
+
+    @property
+    def count(self) -> int:
+        return int(self.indices.size)
+
+
+@dataclass
+class OutputBinding:
+    """Connects lanes of a tile's spike register to the network output vector.
+
+    ``lanes[i]`` of the tile's spike register is the network output element
+    ``output_indices[i]``.
+    """
+
+    tile: TileCoordinate
+    lanes: tuple[int, ...]
+    output_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        self.lanes = tuple(int(v) for v in self.lanes)
+        self.output_indices = tuple(int(v) for v in self.output_indices)
+        if not self.lanes:
+            raise ProgramError("output binding must select at least one lane")
+        if len(self.lanes) != len(self.output_indices):
+            raise ProgramError("output binding lanes and indices differ in length")
+        if any(lane < 0 for lane in self.lanes):
+            raise ProgramError("output lanes must be non-negative")
+        if any(index < 0 for index in self.output_indices):
+            raise ProgramError("output indices must be non-negative")
+
+
+@dataclass
+class TileConfig:
+    """Static configuration of one tile (weights and thresholds)."""
+
+    tile: TileCoordinate
+    weights: np.ndarray
+    thresholds: Optional[np.ndarray] = None
+    label: str = ""
+
+
+@dataclass
+class Program:
+    """A complete, executable Shenjing program."""
+
+    arch: ArchitectureConfig
+    rows: int
+    cols: int
+    tile_configs: Dict[TileCoordinate, TileConfig] = field(default_factory=dict)
+    phases: List[Phase] = field(default_factory=list)
+    input_bindings: List[InputBinding] = field(default_factory=list)
+    output_bindings: List[OutputBinding] = field(default_factory=list)
+    input_size: int = 0
+    output_size: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_tile_config(self, config: TileConfig) -> None:
+        if config.tile in self.tile_configs:
+            raise ProgramError(f"tile {config.tile} configured twice")
+        self.tile_configs[config.tile] = config
+
+    def new_phase(self, name: str) -> Phase:
+        phase = Phase(name=name)
+        self.phases.append(phase)
+        return phase
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_tiles(self) -> int:
+        """Number of physical cores the mapping uses (Table IV ``#Cores``)."""
+        return len(self.tile_configs)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(phase.instruction_count for phase in self.phases)
+
+    def cycles_per_timestep(self, long_op_cycles: int | None = None) -> int:
+        """Nominal cycles needed to run one time step (no stalls)."""
+        cycles = long_op_cycles if long_op_cycles is not None else self.arch.long_op_cycles
+        return sum(
+            group.latency(cycles)
+            for phase in self.phases
+            for group in phase.groups
+        )
+
+    def validate(self) -> None:
+        """Check internal consistency of the program.
+
+        Verifies that every scheduled tile is configured, that bindings stay
+        within the fabric and the configured vector sizes, and that lane
+        indices fit the core geometry.
+        """
+        for phase in self.phases:
+            for group in phase.groups:
+                for instr in group:
+                    if not self._in_fabric(instr.tile):
+                        raise ProgramError(
+                            f"instruction on tile {instr.tile} outside the "
+                            f"{self.rows}x{self.cols} fabric (phase {phase.name})"
+                        )
+        for binding in self.input_bindings:
+            if not self._in_fabric(binding.tile):
+                raise ProgramError(f"input binding on tile {binding.tile} outside fabric")
+            if binding.tile not in self.tile_configs:
+                raise ProgramError(f"input binding on unconfigured tile {binding.tile}")
+            if binding.axon_offset + binding.count > self.arch.core_inputs:
+                raise ProgramError(
+                    f"input binding exceeds the {self.arch.core_inputs} axons "
+                    f"of tile {binding.tile}"
+                )
+            if int(binding.indices.max()) >= self.input_size:
+                raise ProgramError(
+                    "input binding exceeds the declared network input size "
+                    f"({self.input_size})"
+                )
+        covered = np.zeros(self.output_size, dtype=bool)
+        for binding in self.output_bindings:
+            if not self._in_fabric(binding.tile):
+                raise ProgramError(f"output binding on tile {binding.tile} outside fabric")
+            if binding.tile not in self.tile_configs:
+                raise ProgramError(f"output binding on unconfigured tile {binding.tile}")
+            if max(binding.lanes) >= self.arch.core_neurons:
+                raise ProgramError(
+                    f"output binding lane exceeds the {self.arch.core_neurons} "
+                    f"neurons of tile {binding.tile}"
+                )
+            if max(binding.output_indices) >= self.output_size:
+                raise ProgramError(
+                    "output binding exceeds the declared network output size "
+                    f"({self.output_size})"
+                )
+            indices = np.asarray(binding.output_indices, dtype=np.int64)
+            if covered[indices].any():
+                raise ProgramError("output bindings overlap")
+            covered[indices] = True
+        if self.output_size and not covered.all():
+            raise ProgramError("output bindings do not cover the full output vector")
+
+    def _in_fabric(self, tile: TileCoordinate) -> bool:
+        return 0 <= tile.row < self.rows and 0 <= tile.col < self.cols
+
+    def describe(self) -> str:
+        """A human-readable multi-line summary of the program."""
+        lines = [
+            f"Program: {self.metadata.get('name', '<unnamed>')}",
+            f"  fabric: {self.rows}x{self.cols} tiles, {self.used_tiles} cores used",
+            f"  input size: {self.input_size}, output size: {self.output_size}",
+            f"  phases: {len(self.phases)}, instructions/timestep: {self.instruction_count}",
+            f"  nominal cycles/timestep: {self.cycles_per_timestep()}",
+        ]
+        for phase in self.phases:
+            lines.append(
+                f"    {phase.name}: {len(phase.groups)} groups, "
+                f"{phase.instruction_count} instructions"
+            )
+        return "\n".join(lines)

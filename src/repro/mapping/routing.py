@@ -1,0 +1,184 @@
+"""Physical NoC routing: XY routes, transfers and wave packing.
+
+After placement, every logical partial-sum or spike movement becomes a
+*transfer* between two tiles.  Transfers are expanded into per-hop atomic
+operations (SEND on the first hop, BYPASS on intermediate hops, and a
+consuming operation — SUM/RECV for partial sums, RECV for spikes — at the
+destination) along a deterministic X-then-Y route, exactly the paper's
+"simple deterministic XY routing".
+
+Because the NoCs have no buffers or flow control, two packets must never use
+the same directed link in the same cycle.  The compile-time *wave packing*
+pass groups transfers into waves such that, hop index by hop index, no two
+transfers in a wave share a directed link or a destination input register;
+transfers that would conflict wait for a later wave — the paper's "a packet
+is scheduled to wait if the output port/link is occupied".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.isa import Direction
+from ..core.tile import TileCoordinate
+from .logical import MappingError
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One hop of a route: the directed link leaving ``tile`` towards ``direction``."""
+
+    tile: TileCoordinate
+    direction: Direction
+
+    @property
+    def next_tile(self) -> TileCoordinate:
+        drow, dcol = self.direction.delta()
+        return TileCoordinate(self.tile.row + drow, self.tile.col + dcol)
+
+
+def xy_route(src: TileCoordinate, dst: TileCoordinate) -> List[Hop]:
+    """Deterministic X-then-Y route from ``src`` to ``dst`` (exclusive of dst).
+
+    "X" is the column (east/west) direction and "Y" the row (north/south)
+    direction; the route first aligns the column, then the row.
+    """
+    if src == dst:
+        raise MappingError("cannot route a packet from a tile to itself")
+    hops: List[Hop] = []
+    current = src
+    while current.col != dst.col:
+        direction = Direction.EAST if dst.col > current.col else Direction.WEST
+        hops.append(Hop(tile=current, direction=direction))
+        current = hops[-1].next_tile
+    while current.row != dst.row:
+        direction = Direction.SOUTH if dst.row > current.row else Direction.NORTH
+        hops.append(Hop(tile=current, direction=direction))
+        current = hops[-1].next_tile
+    return hops
+
+
+def route_length(src: TileCoordinate, dst: TileCoordinate) -> int:
+    """Manhattan distance between two tiles (number of hops of the XY route)."""
+    return abs(src.row - dst.row) + abs(src.col - dst.col)
+
+
+@dataclass
+class Transfer:
+    """A packet movement from ``src`` to ``dst`` plus its payload description.
+
+    ``net`` is ``"ps"`` or ``"spike"``; ``lanes`` the lane subset carried
+    (``None`` = all lanes); ``payload`` carries scheduling details consumed by
+    the compiler when it turns the transfer into atomic operations (e.g. the
+    axon offset of a spike delivery, or whether a PS send injects the local
+    partial sum or the router's accumulated sum).
+    """
+
+    src: TileCoordinate
+    dst: TileCoordinate
+    net: str
+    lanes: Optional[FrozenSet[int]] = None
+    payload: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.net not in ("ps", "spike"):
+            raise MappingError(f"unknown NoC {self.net!r}")
+        if self.src == self.dst:
+            raise MappingError("transfer source and destination must differ")
+
+    @property
+    def route(self) -> List[Hop]:
+        return xy_route(self.src, self.dst)
+
+    @property
+    def hops(self) -> int:
+        return route_length(self.src, self.dst)
+
+
+@dataclass
+class Wave:
+    """A set of transfers whose routes never collide hop-by-hop."""
+
+    transfers: List[Transfer] = field(default_factory=list)
+    _links_by_step: List[Set[Tuple[TileCoordinate, object, str]]] = field(
+        default_factory=list
+    )
+
+    @staticmethod
+    def _resources(transfer: Transfer, route: List[Hop]):
+        """Per-step resources a transfer occupies.
+
+        Each hop occupies its directed link; injection occupies the source
+        router's single injection path in the first cycle; the final delivery
+        occupies the destination router's ejection/adder port one step later.
+        This guarantees that no router has to inject or consume two packets of
+        the same NoC in one cycle.
+        """
+        yield 0, (transfer.src, "INJECT", transfer.net)
+        for step, hop in enumerate(route):
+            yield step, (hop.tile, hop.direction, transfer.net)
+        yield len(route), (transfer.dst, "LOCAL", transfer.net)
+
+    def can_accept(self, transfer: Transfer, route: List[Hop]) -> bool:
+        for step, key in self._resources(transfer, route):
+            if step < len(self._links_by_step) and key in self._links_by_step[step]:
+                return False
+        return True
+
+    def add(self, transfer: Transfer, route: List[Hop]) -> None:
+        for step, key in self._resources(transfer, route):
+            while step >= len(self._links_by_step):
+                self._links_by_step.append(set())
+            self._links_by_step[step].add(key)
+        self.transfers.append(transfer)
+
+    @property
+    def depth(self) -> int:
+        """Longest route in the wave, in hops (including the delivery step)."""
+        return len(self._links_by_step)
+
+    def __len__(self) -> int:
+        return len(self.transfers)
+
+
+def pack_waves(transfers: Sequence[Transfer]) -> List[Wave]:
+    """Pack transfers into conflict-free waves (greedy, first-fit).
+
+    Within one wave, all transfers start in the same cycle; transfer ``t``'s
+    hop ``i`` happens in the wave's cycle ``i``.  Two transfers of the same
+    NoC conflict if any of their hops would drive the same directed link in
+    the same cycle.  First-fit into the earliest non-conflicting wave keeps
+    the schedule short without needing an optimal (NP-hard) packing.
+    """
+    waves: List[Wave] = []
+    for transfer in transfers:
+        route = transfer.route
+        placed = False
+        for wave in waves:
+            if wave.can_accept(transfer, route):
+                wave.add(transfer, route)
+                placed = True
+                break
+        if not placed:
+            wave = Wave()
+            wave.add(transfer, route)
+            waves.append(wave)
+    return waves
+
+
+def serial_waves(transfers: Sequence[Transfer]) -> List[Wave]:
+    """One transfer per wave — the fully serialised (reference) schedule."""
+    waves = []
+    for transfer in transfers:
+        wave = Wave()
+        wave.add(transfer, transfer.route)
+        waves.append(wave)
+    return waves
+
+
+def total_hop_count(transfers: Sequence[Transfer]) -> int:
+    """Total number of link traversals of a set of transfers."""
+    return sum(transfer.hops for transfer in transfers)

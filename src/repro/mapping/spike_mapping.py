@@ -1,0 +1,105 @@
+"""Logical spike-NoC mapping: matching producers to consumers.
+
+Once a layer is split over logical cores, every consumer core of the *next*
+layer needs specific output elements of the producing layer on its axons.
+Those elements live on specific (head core, lane) pairs of the producer.
+This module computes, for each consumer core, the minimal set of
+producer-to-consumer *delivery segments* — one spike packet per producing
+head core, carrying exactly the lanes the consumer needs — and rearranges the
+consumer's axons so that each segment lands on a contiguous block of axons in
+lane order (which is how the spike router ejects a packet into the core).
+
+This realises the paper's "logical spike NoC mapping": output sizes naturally
+fit input sizes (one segment per producer core for fully connected layers),
+and when a layer's cores are small, several producers' outputs are packed
+onto non-overlapping axon ranges of the same consumer core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .logical import LogicalCore, MappingError
+
+
+@dataclass
+class DeliverySegment:
+    """One spike packet from a producing head core to a consumer core."""
+
+    producer_core: int
+    lanes: np.ndarray
+    axon_offset: int
+    consumer_core: int
+
+    def __post_init__(self) -> None:
+        self.lanes = np.asarray(self.lanes, dtype=np.int64).ravel()
+        if self.lanes.size == 0:
+            raise MappingError("delivery segment must carry at least one lane")
+        if self.axon_offset < 0:
+            raise MappingError("axon offset must be non-negative")
+        if np.any(np.diff(self.lanes) <= 0):
+            raise MappingError("delivery segment lanes must be strictly increasing")
+
+    @property
+    def width(self) -> int:
+        return int(self.lanes.size)
+
+
+def canonicalise_axons(consumer: LogicalCore,
+                       locator: Dict[int, Tuple[int, int]]) -> List[DeliverySegment]:
+    """Reorder a consumer core's axons and compute its delivery segments.
+
+    ``locator`` maps every global output element of the consumer's source
+    layer to the ``(head core index, lane)`` that produces it.  After this
+    call the consumer's axons are sorted by ``(producer core, lane)`` (the
+    weight rows are permuted identically, so the computation is unchanged)
+    and each producer contributes one contiguous, lane-ascending axon block —
+    exactly what a single ejected spike packet fills.
+    """
+    try:
+        keys = [locator[int(element)] for element in consumer.axon_sources]
+    except KeyError as exc:
+        raise MappingError(
+            f"core {consumer.index} of {consumer.layer} reads output element "
+            f"{exc.args[0]} which its source layer does not produce"
+        ) from exc
+    order = np.array(
+        sorted(range(len(keys)), key=lambda position: keys[position]),
+        dtype=np.int64,
+    )
+    consumer.reorder_axons(order)
+    sorted_keys = [keys[int(position)] for position in order]
+
+    segments: List[DeliverySegment] = []
+    start = 0
+    while start < len(sorted_keys):
+        producer = sorted_keys[start][0]
+        stop = start
+        while stop < len(sorted_keys) and sorted_keys[stop][0] == producer:
+            stop += 1
+        lanes = np.array([sorted_keys[i][1] for i in range(start, stop)], dtype=np.int64)
+        if np.unique(lanes).size != lanes.size:
+            raise MappingError(
+                f"core {consumer.index} of {consumer.layer} requests the same "
+                f"producer lane twice from core {producer}"
+            )
+        segments.append(DeliverySegment(
+            producer_core=producer,
+            lanes=lanes,
+            axon_offset=start,
+            consumer_core=consumer.index,
+        ))
+        start = stop
+    return segments
+
+
+def segments_summary(segments: List[DeliverySegment]) -> Dict[str, int]:
+    """Aggregate statistics over a set of delivery segments."""
+    return {
+        "segments": len(segments),
+        "spike_lanes": int(sum(segment.width for segment in segments)),
+        "producers": len({segment.producer_core for segment in segments}),
+    }

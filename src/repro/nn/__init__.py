@@ -1,0 +1,52 @@
+"""Numpy ANN substrate: layers, models, training and quantisation.
+
+The paper maps *pre-trained* conventional ANNs onto Shenjing.  This package
+provides the reference ANN implementation those experiments start from:
+fully connected, convolutional, pooling and residual layers with explicit
+backward passes, a mini-batch trainer and fixed-point quantisation helpers.
+"""
+
+from .layers import AvgPool2D, Conv2D, Dense, Flatten, Layer, LayerError, ReLU
+from .model import ResidualBlock, Sequential
+from .quantize import (
+    QuantizationError,
+    QuantizedTensor,
+    quantization_error,
+    quantize_symmetric,
+    quantize_threshold,
+)
+from .training import (
+    Adam,
+    Optimizer,
+    SGD,
+    Trainer,
+    TrainingError,
+    TrainingHistory,
+    cross_entropy,
+    softmax,
+)
+
+__all__ = [
+    "Adam",
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "LayerError",
+    "Optimizer",
+    "QuantizationError",
+    "QuantizedTensor",
+    "ReLU",
+    "ResidualBlock",
+    "SGD",
+    "Sequential",
+    "Trainer",
+    "TrainingError",
+    "TrainingHistory",
+    "cross_entropy",
+    "quantization_error",
+    "quantize_symmetric",
+    "quantize_threshold",
+    "softmax",
+]

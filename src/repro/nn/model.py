@@ -1,0 +1,189 @@
+"""Network containers: sequential models and residual blocks.
+
+The paper's four benchmarks (Table III) are sequential stacks of layers,
+except the CIFAR-10 ResNet which inserts residual blocks whose shortcut skips
+a stack of convolutions and is added to the block output.  ``Sequential`` and
+``ResidualBlock`` cover both; a residual block is itself a layer, so the
+ResNet remains a sequential model at the top level — which is also how the
+mapping toolchain walks it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Layer, LayerError, ReLU
+
+
+class ResidualBlock(Layer):
+    """A residual block ``y = relu(F(x) + x)``.
+
+    ``body`` is the stack of layers computing ``F``; the shortcut is the
+    identity (the paper's small ResNet keeps channel counts equal inside a
+    block, so no projection is needed — when it is, pass ``projection``).
+    """
+
+    def __init__(self, body: Sequence[Layer], projection: Optional[Layer] = None,
+                 name: str = ""):
+        super().__init__(name)
+        if not body:
+            raise LayerError("residual block body must not be empty")
+        self.body = list(body)
+        self.projection = projection
+        self.activation = ReLU(name=f"{self.name}.relu")
+        self._x: Optional[np.ndarray] = None
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.asarray(x, dtype=np.float64)
+        out = self._x
+        for layer in self.body:
+            out = layer.forward(out)
+        shortcut = self._x if self.projection is None else self.projection.forward(self._x)
+        if out.shape != shortcut.shape:
+            raise LayerError(
+                f"{self.name}: body output {out.shape} does not match "
+                f"shortcut {shortcut.shape}"
+            )
+        return self.activation.forward(out + shortcut)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.activation.backward(grad)
+        grad_body = grad
+        for layer in reversed(self.body):
+            grad_body = layer.backward(grad_body)
+        if self.projection is None:
+            grad_short = grad
+        else:
+            grad_short = self.projection.backward(grad)
+        return grad_body + grad_short
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        shape = input_shape
+        for layer in self.body:
+            shape = layer.output_shape(shape)
+        return shape
+
+    # -- parameter plumbing -------------------------------------------------
+    def sublayers(self) -> List[Layer]:
+        layers = list(self.body)
+        if self.projection is not None:
+            layers.append(self.projection)
+        return layers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResidualBlock(name={self.name!r}, body={len(self.body)} layers)"
+
+
+class Sequential:
+    """A feed-forward stack of layers with a flat parameter view."""
+
+    def __init__(self, layers: Sequence[Layer], input_shape: Tuple[int, ...],
+                 name: str = "model"):
+        if not layers:
+            raise LayerError("a model needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(int(v) for v in input_shape)
+        self.name = name
+
+    # -- inference / training ------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad
+        for layer in reversed(self.layers):
+            out = layer.backward(out)
+        return out
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions for a batch of inputs."""
+        x = np.asarray(x, dtype=np.float64)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start:start + batch_size]))
+        return np.argmax(np.concatenate(outputs, axis=0), axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+        labels = np.asarray(labels).ravel()
+        return float(np.mean(self.predict(x, batch_size=batch_size) == labels))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- structure ------------------------------------------------------------
+    def output_shape(self) -> Tuple[int, ...]:
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def layer_shapes(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Per-layer output shapes for a single sample (used for reporting)."""
+        shapes = []
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            shapes.append((layer.name, shape))
+        return shapes
+
+    def all_layers(self) -> Iterator[Layer]:
+        """Iterate over every parameterised leaf layer, descending into blocks."""
+        for layer in self.layers:
+            if isinstance(layer, ResidualBlock):
+                yield layer
+                for sub in layer.sublayers():
+                    yield sub
+            else:
+                yield layer
+
+    # -- parameters -----------------------------------------------------------
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """All trainable parameters, keyed by ``layer_name/param_name``."""
+        params: Dict[str, np.ndarray] = {}
+        for layer in self.all_layers():
+            for key, value in layer.params.items():
+                params[f"{layer.name}/{key}"] = value
+        return params
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        grads: Dict[str, np.ndarray] = {}
+        for layer in self.all_layers():
+            for key, value in layer.grads.items():
+                grads[f"{layer.name}/{key}"] = value
+        return grads
+
+    def load_parameters(self, params: Dict[str, np.ndarray]) -> None:
+        """Load parameters previously produced by :meth:`parameters`."""
+        own = self.parameters()
+        missing = set(own) - set(params)
+        if missing:
+            raise LayerError(f"missing parameters: {sorted(missing)}")
+        for layer in self.all_layers():
+            for key in layer.params:
+                full_key = f"{layer.name}/{key}"
+                value = np.asarray(params[full_key], dtype=np.float64)
+                if value.shape != layer.params[key].shape:
+                    raise LayerError(
+                        f"parameter {full_key} has shape {value.shape}, "
+                        f"expected {layer.params[key].shape}"
+                    )
+                layer.params[key] = value.copy()
+
+    def parameter_count(self) -> int:
+        return int(sum(p.size for p in self.parameters().values()))
+
+    def summary(self) -> str:
+        lines = [f"Sequential '{self.name}' (input {self.input_shape})"]
+        for name, shape in self.layer_shapes():
+            lines.append(f"  {name:<24} -> {shape}")
+        lines.append(f"  parameters: {self.parameter_count()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sequential(name={self.name!r}, layers={len(self.layers)})"

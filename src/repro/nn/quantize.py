@@ -1,0 +1,83 @@
+"""Fixed-point weight quantisation.
+
+Shenjing stores 5-bit signed synaptic weights in the neuron core SRAMs, and
+the partial-sum NoC datapath is 16 bits wide (Section II).  The conversion
+toolchain therefore quantises each layer's real-valued weights to integers
+with a per-layer scale factor; the firing threshold of the layer is scaled by
+the same factor, so the spiking behaviour is unchanged up to rounding error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class QuantizationError(ValueError):
+    """Raised on invalid quantisation parameters."""
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor together with the scale that maps it back to reals.
+
+    ``real ~= values * scale``.
+    """
+
+    values: np.ndarray
+    scale: float
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float64) * self.scale
+
+    @property
+    def bits_used(self) -> int:
+        """Smallest signed bit width able to hold every value."""
+        magnitude = int(np.abs(self.values).max(initial=0))
+        bits = 2
+        while magnitude > (1 << (bits - 1)) - 1:
+            bits += 1
+        return bits
+
+
+def quantize_symmetric(values: np.ndarray, bits: int,
+                       scale: float | None = None) -> QuantizedTensor:
+    """Symmetric signed quantisation of ``values`` to ``bits`` bits.
+
+    When ``scale`` is not given it is chosen so that the largest magnitude
+    maps to the largest representable integer.
+    """
+    if bits < 2:
+        raise QuantizationError("need at least 2 bits for signed quantisation")
+    values = np.asarray(values, dtype=np.float64)
+    qmax = (1 << (bits - 1)) - 1
+    if scale is None:
+        magnitude = float(np.abs(values).max(initial=0.0))
+        scale = magnitude / qmax
+        if scale == 0.0:
+            # all-zero tensor, or magnitudes so small the scale underflows
+            scale = 1.0
+    if scale <= 0:
+        raise QuantizationError("scale must be positive")
+    quantized = np.clip(np.round(values / scale), -qmax, qmax).astype(np.int64)
+    return QuantizedTensor(values=quantized, scale=float(scale))
+
+
+def quantization_error(values: np.ndarray, quantized: QuantizedTensor) -> float:
+    """Root-mean-square error introduced by quantisation (for diagnostics)."""
+    values = np.asarray(values, dtype=np.float64)
+    diff = values - quantized.dequantize()
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def quantize_threshold(threshold: float, scale: float) -> int:
+    """Quantise a firing threshold with the layer's weight scale.
+
+    The threshold lives in the same units as the weighted sum, so dividing by
+    the weight scale expresses it in integer partial-sum units.  It is clamped
+    to at least 1 because a non-positive threshold would fire on every step.
+    """
+    if scale <= 0:
+        raise QuantizationError("scale must be positive")
+    return max(1, int(round(threshold / scale)))

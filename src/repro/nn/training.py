@@ -1,0 +1,177 @@
+"""Training loop for the reference ANNs.
+
+The paper trains its reference ANNs offline and then converts them to SNNs;
+this module provides the minimal but complete training machinery needed for
+that step: softmax cross-entropy loss, SGD-with-momentum and Adam optimisers,
+mini-batching and accuracy evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .model import Sequential
+
+
+class TrainingError(RuntimeError):
+    """Raised on invalid training configuration."""
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. the logits."""
+    labels = np.asarray(labels).ravel()
+    n = logits.shape[0]
+    if labels.shape[0] != n:
+        raise TrainingError("label count does not match batch size")
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = float(-np.mean(np.log(probs[np.arange(n), labels] + eps)))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+class Optimizer:
+    """Base optimiser interface: update parameters in place from gradients."""
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, learning_rate: float = 0.05, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        if learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        for key, param in params.items():
+            grad = grads.get(key)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(param)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            self._velocity[key] = velocity
+            param += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser (used for the CNN benchmarks, which SGD trains slowly)."""
+
+    def __init__(self, learning_rate: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        if learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        self._t += 1
+        for key, param in params.items():
+            grad = grads.get(key)
+            if grad is None:
+                continue
+            m = self._m.get(key, np.zeros_like(param))
+            v = self._v.get(key, np.zeros_like(param))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[key] = m
+            self._v[key] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class TrainingHistory:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    val_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracies[-1] if self.val_accuracies else float("nan")
+
+
+class Trainer:
+    """Mini-batch trainer for :class:`~repro.nn.model.Sequential` models."""
+
+    def __init__(self, model: Sequential, optimizer: Optional[Optimizer] = None,
+                 batch_size: int = 64, seed: int = 0):
+        if batch_size <= 0:
+            raise TrainingError("batch_size must be positive")
+        self.model = model
+        self.optimizer = optimizer or SGD()
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+
+    def train_epoch(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Train for one epoch; returns the mean loss."""
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(labels).ravel()
+        if x.shape[0] != labels.shape[0]:
+            raise TrainingError("data and label counts differ")
+        order = self.rng.permutation(x.shape[0])
+        losses = []
+        for start in range(0, x.shape[0], self.batch_size):
+            batch_idx = order[start:start + self.batch_size]
+            loss = self.train_batch(x[batch_idx], labels[batch_idx])
+            losses.append(loss)
+        return float(np.mean(losses)) if losses else 0.0
+
+    def train_batch(self, x: np.ndarray, labels: np.ndarray) -> float:
+        logits = self.model.forward(x)
+        loss, grad = cross_entropy(logits, labels)
+        self.model.backward(grad)
+        self.optimizer.step(self.model.parameters(), self.model.gradients())
+        return loss
+
+    def fit(self, x: np.ndarray, labels: np.ndarray, epochs: int,
+            val_x: Optional[np.ndarray] = None, val_labels: Optional[np.ndarray] = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train for several epochs, tracking accuracy after each one."""
+        if epochs <= 0:
+            raise TrainingError("epochs must be positive")
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            loss = self.train_epoch(x, labels)
+            history.losses.append(loss)
+            train_acc = self.model.accuracy(x, labels)
+            history.train_accuracies.append(train_acc)
+            if val_x is not None and val_labels is not None:
+                val_acc = self.model.accuracy(val_x, val_labels)
+                history.val_accuracies.append(val_acc)
+            if verbose:  # pragma: no cover - console output only
+                val = history.val_accuracies[-1] if history.val_accuracies else float("nan")
+                print(f"epoch {epoch + 1}/{epochs}: loss={loss:.4f} "
+                      f"train_acc={train_acc:.4f} val_acc={val:.4f}")
+        return history

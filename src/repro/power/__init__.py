@@ -1,0 +1,53 @@
+"""Energy table (Table II), frequency/throughput trade-off (Fig. 5) and the
+architectural power model that reproduces Table IV's power columns."""
+
+from .energy_table import (
+    DEFAULT_ENERGY_TABLE,
+    EnergyTable,
+    EnergyTableError,
+    INTERCHIP_PJ_PER_BIT,
+    OpEnergy,
+    REFERENCE_SWITCHING_ACTIVITY,
+)
+from .frequency import (
+    FIG5_FPS_TARGETS,
+    FIG5_PAPER_POINTS,
+    FrequencyError,
+    ThroughputPoint,
+    achievable_fps,
+    check_feasible,
+    required_frequency,
+    throughput_sweep,
+)
+from .interchip import (
+    InterchipError,
+    InterchipTraffic,
+    interchip_energy_pj,
+    interchip_power_w,
+)
+from .power_model import PowerModel, PowerModelConfig, PowerModelError, PowerReport
+
+__all__ = [
+    "DEFAULT_ENERGY_TABLE",
+    "EnergyTable",
+    "EnergyTableError",
+    "FIG5_FPS_TARGETS",
+    "FIG5_PAPER_POINTS",
+    "FrequencyError",
+    "INTERCHIP_PJ_PER_BIT",
+    "InterchipError",
+    "InterchipTraffic",
+    "OpEnergy",
+    "PowerModel",
+    "PowerModelConfig",
+    "PowerModelError",
+    "PowerReport",
+    "REFERENCE_SWITCHING_ACTIVITY",
+    "ThroughputPoint",
+    "achievable_fps",
+    "check_feasible",
+    "interchip_energy_pj",
+    "interchip_power_w",
+    "required_frequency",
+    "throughput_sweep",
+]

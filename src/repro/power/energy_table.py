@@ -1,0 +1,107 @@
+"""Per-atomic-operation energies (Table II of the paper).
+
+The paper synthesises Shenjing on a 28 nm process and reports, for every
+atomic operation, the active power at 120 kHz and the active energy *per
+neuron* (per lane).  These numbers are the calibration constants of the
+architectural power model: system-level power is obtained by multiplying each
+operation's lane count (from the functional simulator or the structural
+estimator) by its per-lane energy.
+
+Since RTL synthesis is outside the scope of a Python reproduction, the values
+are taken verbatim from Table II (documented substitution in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+class EnergyTableError(ValueError):
+    """Raised on malformed energy tables."""
+
+
+@dataclass(frozen=True)
+class OpEnergy:
+    """Energy and power of one atomic operation."""
+
+    name: str
+    block: str
+    active_power_mw_at_120khz: float
+    energy_per_neuron_pj: float
+    cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.active_power_mw_at_120khz < 0 or self.energy_per_neuron_pj < 0:
+            raise EnergyTableError(f"negative energy/power for {self.name}")
+        if self.cycles <= 0:
+            raise EnergyTableError(f"non-positive cycle count for {self.name}")
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Table II: active power and per-neuron energy of every atomic operation."""
+
+    entries: Dict[str, OpEnergy] = field(default_factory=dict)
+
+    def energy_pj(self, key: str, lanes: int) -> float:
+        """Active energy (pJ) of one operation touching ``lanes`` lanes."""
+        return self.entry(key).energy_per_neuron_pj * lanes
+
+    def entry(self, key: str) -> OpEnergy:
+        try:
+            return self.entries[key]
+        except KeyError as exc:
+            raise EnergyTableError(f"unknown atomic operation {key!r}") from exc
+
+    def keys(self):
+        return self.entries.keys()
+
+    def with_entry(self, key: str, entry: OpEnergy) -> "EnergyTable":
+        updated = dict(self.entries)
+        updated[key] = entry
+        return replace(self, entries=updated)
+
+
+#: Table II, verbatim.  Keys match ``AtomicOp.energy_key``.
+DEFAULT_ENERGY_TABLE = EnergyTable(entries={
+    "ps_sum": OpEnergy(
+        name="SUM", block="partial sum router",
+        active_power_mw_at_120khz=0.0383, energy_per_neuron_pj=1.25,
+    ),
+    "ps_send": OpEnergy(
+        name="SEND", block="partial sum router",
+        active_power_mw_at_120khz=0.0443, energy_per_neuron_pj=1.44,
+    ),
+    "ps_bypass": OpEnergy(
+        name="BYPASS", block="partial sum router",
+        active_power_mw_at_120khz=0.0455, energy_per_neuron_pj=1.48,
+    ),
+    "spike_fire": OpEnergy(
+        name="SPIKE", block="spike router",
+        active_power_mw_at_120khz=0.0689, energy_per_neuron_pj=2.24,
+    ),
+    "spike_send": OpEnergy(
+        name="SEND", block="spike router",
+        active_power_mw_at_120khz=0.0721, energy_per_neuron_pj=2.35,
+    ),
+    "spike_bypass": OpEnergy(
+        name="BYPASS", block="spike router",
+        active_power_mw_at_120khz=0.0381, energy_per_neuron_pj=1.24,
+    ),
+    "core_acc": OpEnergy(
+        name="ACC", block="neuron core",
+        active_power_mw_at_120khz=0.0412, energy_per_neuron_pj=171.67, cycles=131,
+    ),
+    "core_ld_wt": OpEnergy(
+        name="LD_WT", block="initialization",
+        active_power_mw_at_120khz=0.0568, energy_per_neuron_pj=236.67, cycles=131,
+    ),
+})
+
+#: Switching activity (fraction of spiking axons) at which Table II's ACC
+#: energy was characterised (Section IV: 6.25 % for MNIST MLP).
+REFERENCE_SWITCHING_ACTIVITY = 0.0625
+
+#: Inter-chip I/O energy, pJ per bit (Section V, 56 Gb/s serial link on 28 nm).
+INTERCHIP_PJ_PER_BIT = 4.4

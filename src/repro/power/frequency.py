@@ -1,0 +1,96 @@
+"""Clock frequency / throughput trade-off (Section IV, Fig. 5).
+
+Shenjing's clock frequency is chosen per application so that one inference
+frame (``timesteps`` passes through the whole compiled schedule) completes
+within the frame budget of the target throughput.  Higher throughput targets
+therefore require proportionally higher frequency — and power scales with
+frequency — which is the trade-off of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.config import ArchitectureConfig
+
+
+class FrequencyError(ValueError):
+    """Raised on infeasible throughput targets."""
+
+
+def required_frequency(cycles_per_frame: int, target_fps: float) -> float:
+    """Clock frequency (Hz) needed to sustain ``target_fps`` frames/second."""
+    if cycles_per_frame <= 0:
+        raise FrequencyError("cycles_per_frame must be positive")
+    if target_fps <= 0:
+        raise FrequencyError("target_fps must be positive")
+    return cycles_per_frame * target_fps
+
+
+def achievable_fps(cycles_per_frame: int, frequency_hz: float) -> float:
+    """Throughput achievable at a given clock frequency."""
+    if cycles_per_frame <= 0:
+        raise FrequencyError("cycles_per_frame must be positive")
+    if frequency_hz <= 0:
+        raise FrequencyError("frequency_hz must be positive")
+    return frequency_hz / cycles_per_frame
+
+
+def check_feasible(frequency_hz: float, arch: ArchitectureConfig) -> None:
+    """Verify the frequency does not exceed the synthesised maximum (243 MHz)."""
+    if frequency_hz > arch.max_frequency_hz:
+        raise FrequencyError(
+            f"required frequency {frequency_hz / 1e6:.2f} MHz exceeds the "
+            f"maximum achievable {arch.max_frequency_hz / 1e6:.2f} MHz"
+        )
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One point of the Fig. 5 trade-off curve."""
+
+    fps: float
+    frequency_hz: float
+    tile_power_w: float
+
+    @property
+    def frequency_khz(self) -> float:
+        return self.frequency_hz / 1e3
+
+    @property
+    def tile_power_uw(self) -> float:
+        return self.tile_power_w * 1e6
+
+
+def throughput_sweep(cycles_per_frame: int, fps_targets: Sequence[float],
+                     tile_power_fn) -> List[ThroughputPoint]:
+    """Evaluate the frequency/power trade-off over a set of throughput targets.
+
+    ``tile_power_fn(frequency_hz, fps)`` returns the per-tile power in watts;
+    the power model provides it.  The paper's Fig. 5 sweeps
+    ``fps in {24, 30, 35, 40, 48, 60}`` for the MNIST MLP.
+    """
+    points = []
+    for fps in fps_targets:
+        frequency = required_frequency(cycles_per_frame, fps)
+        points.append(ThroughputPoint(
+            fps=fps,
+            frequency_hz=frequency,
+            tile_power_w=tile_power_fn(frequency, fps),
+        ))
+    return points
+
+
+#: The throughput targets of Fig. 5.
+FIG5_FPS_TARGETS = (24, 30, 35, 40, 48, 60)
+
+#: The (frequency kHz, tile power uW) pairs reported in Fig. 5, for comparison.
+FIG5_PAPER_POINTS = {
+    24: (73, 139),
+    30: (91, 155),
+    35: (106, 169),
+    40: (120, 181),
+    48: (145, 203),
+    60: (181, 235),
+}

@@ -1,0 +1,51 @@
+"""Inter-chip I/O energy model.
+
+Applications that span several chips (CIFAR-10 CNN uses 4 chips, the ResNet
+8) pay for every bit that crosses a chip boundary.  The paper assumes
+4.4 pJ/bit based on a state-of-the-art 56 Gb/s serial link in the same 28 nm
+process (reference [8]); the functional simulator and the structural
+estimator both count boundary-crossing partial-sum and spike bits, and this
+module converts them to energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .energy_table import INTERCHIP_PJ_PER_BIT
+
+
+class InterchipError(ValueError):
+    """Raised on invalid inter-chip traffic figures."""
+
+
+@dataclass(frozen=True)
+class InterchipTraffic:
+    """Bits crossing chip boundaries, per frame."""
+
+    spike_bits: int = 0
+    ps_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.spike_bits < 0 or self.ps_bits < 0:
+            raise InterchipError("bit counts must be non-negative")
+
+    @property
+    def total_bits(self) -> int:
+        return self.spike_bits + self.ps_bits
+
+
+def interchip_energy_pj(traffic: InterchipTraffic,
+                        pj_per_bit: float = INTERCHIP_PJ_PER_BIT) -> float:
+    """Energy (pJ) spent on inter-chip I/O for one frame."""
+    if pj_per_bit < 0:
+        raise InterchipError("pj_per_bit must be non-negative")
+    return traffic.total_bits * pj_per_bit
+
+
+def interchip_power_w(traffic: InterchipTraffic, fps: float,
+                      pj_per_bit: float = INTERCHIP_PJ_PER_BIT) -> float:
+    """Average inter-chip I/O power (W) at a given frame rate."""
+    if fps <= 0:
+        raise InterchipError("fps must be positive")
+    return interchip_energy_pj(traffic, pj_per_bit) * 1e-12 * fps

@@ -1,0 +1,53 @@
+"""SNN substrate: conversion, encoding, IF dynamics and the abstract runner.
+
+This package turns trained ANNs into abstract spiking networks (integer
+weights, integer thresholds, binary spikes) and simulates them exactly as the
+hardware does — which is what makes the paper's "no accuracy loss from
+mapping" claim checkable bit for bit.
+"""
+
+from .conversion import ConversionConfig, ConversionError, convert_ann_to_snn
+from .encoding import (
+    EncodingError,
+    deterministic_encode,
+    encode,
+    flatten_images,
+    poisson_encode,
+    spike_rates,
+)
+from .neurons import BatchedIfState, IfNeuronArray, NeuronError
+from .runner import AbstractSnnRunner, RunnerError, SnnRunResult
+from .spec import (
+    ConvSpec,
+    DenseSpec,
+    LayerSpec,
+    ResidualBlockSpec,
+    SnnNetwork,
+    SpecError,
+    pool_spec,
+)
+
+__all__ = [
+    "AbstractSnnRunner",
+    "BatchedIfState",
+    "ConversionConfig",
+    "ConversionError",
+    "ConvSpec",
+    "DenseSpec",
+    "EncodingError",
+    "IfNeuronArray",
+    "LayerSpec",
+    "NeuronError",
+    "ResidualBlockSpec",
+    "RunnerError",
+    "SnnNetwork",
+    "SnnRunResult",
+    "SpecError",
+    "convert_ann_to_snn",
+    "deterministic_encode",
+    "encode",
+    "flatten_images",
+    "pool_spec",
+    "poisson_encode",
+    "spike_rates",
+]

@@ -1,0 +1,109 @@
+"""Input spike-train encoding.
+
+SNN inputs are binary spike trains; the real-valued pixels of an image must
+be converted to spikes before entering the first layer.  Table IV's
+``Timestep (T)`` row is exactly the length of this spike train per image
+(20 for MNIST, 80 for CIFAR-10).
+
+Two rate encoders are provided:
+
+``deterministic`` (default)
+    An error-diffusion encoder: each input accumulates its intensity every
+    step and emits a spike whenever the accumulator reaches 1 (subtracting 1).
+    Over ``T`` steps an intensity ``p`` produces ``floor(p * T)`` or
+    ``ceil(p * T)`` spikes — the lowest-variance rate code, and fully
+    reproducible, which is what the equivalence tests need.
+
+``poisson``
+    Bernoulli sampling with probability equal to the intensity, the encoding
+    most commonly cited for rate-coded SNNs.  Seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+
+class EncodingError(ValueError):
+    """Raised on invalid encoder inputs."""
+
+
+EncoderName = Literal["deterministic", "poisson"]
+
+
+def _check_intensities(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.min(initial=0.0) < 0.0 or values.max(initial=0.0) > 1.0:
+        raise EncodingError("input intensities must lie in [0, 1]")
+    return values
+
+
+def deterministic_encode(values: np.ndarray, timesteps: int) -> np.ndarray:
+    """Error-diffusion rate coding.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(..., n)`` with intensities in ``[0, 1]``.
+    timesteps:
+        Length of the spike train.
+
+    Returns
+    -------
+    Boolean array of shape ``(..., timesteps, n)``.
+    """
+    if timesteps <= 0:
+        raise EncodingError("timesteps must be positive")
+    values = _check_intensities(values)
+    accumulator = np.zeros_like(values)
+    spikes = np.zeros(values.shape[:-1] + (timesteps, values.shape[-1]), dtype=bool)
+    for step in range(timesteps):
+        accumulator = accumulator + values
+        fired = accumulator >= 1.0
+        accumulator = accumulator - fired.astype(np.float64)
+        spikes[..., step, :] = fired
+    return spikes
+
+
+def poisson_encode(values: np.ndarray, timesteps: int, seed: int = 0) -> np.ndarray:
+    """Bernoulli (Poisson-like) rate coding with a fixed seed."""
+    if timesteps <= 0:
+        raise EncodingError("timesteps must be positive")
+    values = _check_intensities(values)
+    rng = np.random.default_rng(seed)
+    shape = values.shape[:-1] + (timesteps, values.shape[-1])
+    uniform = rng.random(shape)
+    return uniform < values[..., None, :]
+
+
+def encode(values: np.ndarray, timesteps: int, method: EncoderName = "deterministic",
+           seed: int = 0) -> np.ndarray:
+    """Encode intensities into spike trains with the selected method."""
+    if method == "deterministic":
+        return deterministic_encode(values, timesteps)
+    if method == "poisson":
+        return poisson_encode(values, timesteps, seed=seed)
+    raise EncodingError(f"unknown encoding method {method!r}")
+
+
+def spike_rates(spikes: np.ndarray) -> np.ndarray:
+    """Mean firing rate over the time axis of a ``(..., T, n)`` spike train."""
+    spikes = np.asarray(spikes, dtype=np.float64)
+    if spikes.ndim < 2:
+        raise EncodingError("spike train must have at least 2 dimensions")
+    return spikes.mean(axis=-2)
+
+
+def flatten_images(images: np.ndarray) -> np.ndarray:
+    """Flatten ``(N, H, W, C)`` images to ``(N, H*W*C)`` vectors (C order).
+
+    This is the canonical flattening used everywhere in the reproduction
+    (ANN ``Flatten`` layer, SNN specs, hardware input bindings), so encoders
+    and the mapping toolchain agree on input index meaning.
+    """
+    images = np.asarray(images)
+    if images.ndim == 2:
+        return images
+    return images.reshape(images.shape[0], -1)

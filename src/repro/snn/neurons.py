@@ -1,0 +1,106 @@
+"""Integrate-and-fire neuron dynamics.
+
+Shenjing's spiking logic (Fig. 2c) integrates the weighted sum into a
+membrane potential, fires when the potential reaches the threshold, and
+subtracts the threshold on firing ("the potential value is subtracted from
+the threshold" in the paper's wording — the standard reset-by-subtraction
+used for rate-coded ANN-to-SNN conversion, which preserves the information
+carried by the residual potential).
+
+:class:`IfNeuronArray` is the vectorised version used by the abstract SNN
+runner; the hardware spike router re-implements the same arithmetic on its
+own state so that the two can be compared bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class NeuronError(ValueError):
+    """Raised on invalid neuron configuration."""
+
+
+class IfNeuronArray:
+    """A vector of integrate-and-fire neurons with reset by subtraction."""
+
+    def __init__(self, size: int, threshold: int | np.ndarray):
+        if size <= 0:
+            raise NeuronError("size must be positive")
+        threshold_array = np.asarray(threshold, dtype=np.int64)
+        if threshold_array.ndim == 0:
+            threshold_array = np.full(size, int(threshold_array), dtype=np.int64)
+        if threshold_array.shape != (size,):
+            raise NeuronError(f"threshold shape {threshold_array.shape} != ({size},)")
+        if np.any(threshold_array <= 0):
+            raise NeuronError("thresholds must be positive")
+        self.size = size
+        self.threshold = threshold_array
+        self.potential = np.zeros(size, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Clear the membrane potentials (start of a new input frame)."""
+        self.potential[:] = 0
+
+    def step(self, weighted_sum: np.ndarray) -> np.ndarray:
+        """Integrate one time step of input and return the emitted spikes."""
+        weighted_sum = np.asarray(weighted_sum, dtype=np.int64)
+        if weighted_sum.shape != (self.size,):
+            raise NeuronError(
+                f"weighted sum shape {weighted_sum.shape} != ({self.size},)"
+            )
+        self.potential += weighted_sum
+        fired = self.potential >= self.threshold
+        self.potential -= np.where(fired, self.threshold, 0)
+        return fired
+
+    def run(self, weighted_sums: np.ndarray) -> np.ndarray:
+        """Run a whole spike train: ``(T, size)`` sums -> ``(T, size)`` spikes."""
+        weighted_sums = np.asarray(weighted_sums, dtype=np.int64)
+        if weighted_sums.ndim != 2 or weighted_sums.shape[1] != self.size:
+            raise NeuronError("weighted_sums must have shape (T, size)")
+        spikes = np.zeros_like(weighted_sums, dtype=bool)
+        for step in range(weighted_sums.shape[0]):
+            spikes[step] = self.step(weighted_sums[step])
+        return spikes
+
+
+@dataclass
+class BatchedIfState:
+    """Integrate-and-fire state for a batch of samples processed together.
+
+    The abstract SNN runner evaluates whole test batches at once; potentials
+    are then ``(batch, size)`` and the arithmetic is identical per row.
+    """
+
+    threshold: np.ndarray
+    potential: np.ndarray
+
+    @classmethod
+    def create(cls, batch: int, size: int, threshold: int | np.ndarray) -> "BatchedIfState":
+        if batch <= 0 or size <= 0:
+            raise NeuronError("batch and size must be positive")
+        threshold_array = np.asarray(threshold, dtype=np.int64)
+        if threshold_array.ndim == 0:
+            threshold_array = np.full(size, int(threshold_array), dtype=np.int64)
+        if threshold_array.shape != (size,):
+            raise NeuronError(f"threshold shape {threshold_array.shape} != ({size},)")
+        if np.any(threshold_array <= 0):
+            raise NeuronError("thresholds must be positive")
+        return cls(
+            threshold=threshold_array,
+            potential=np.zeros((batch, size), dtype=np.int64),
+        )
+
+    def step(self, weighted_sum: np.ndarray) -> np.ndarray:
+        weighted_sum = np.asarray(weighted_sum, dtype=np.int64)
+        if weighted_sum.shape != self.potential.shape:
+            raise NeuronError(
+                f"weighted sum shape {weighted_sum.shape} != {self.potential.shape}"
+            )
+        self.potential += weighted_sum
+        fired = self.potential >= self.threshold[None, :]
+        self.potential -= np.where(fired, self.threshold[None, :], 0)
+        return fired

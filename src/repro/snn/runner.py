@@ -1,0 +1,192 @@
+"""Abstract SNN simulator.
+
+Executes an :class:`~repro.snn.spec.SnnNetwork` layer by layer, time step by
+time step, using exactly the integer arithmetic that the hardware performs:
+integer weighted sums, integrate-and-fire with reset by subtraction, binary
+spikes between layers.  Its accuracy is the "Abstract SNN Accu." row of
+Table IV; the hardware functional simulator must reproduce its spike output
+bit-exactly once the network is mapped ("Shenjing Accu." row).
+
+The runner also reports per-layer spike activity, which feeds the power
+model's switching-activity estimate (the paper quotes 6.25 % for MNIST MLP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .encoding import EncoderName, encode, flatten_images
+from .neurons import BatchedIfState
+from .spec import ConvSpec, DenseSpec, LayerSpec, ResidualBlockSpec, SnnNetwork
+
+
+class RunnerError(RuntimeError):
+    """Raised on invalid runner usage."""
+
+
+@dataclass
+class SnnRunResult:
+    """Result of simulating a batch of inputs on the abstract SNN."""
+
+    spike_counts: np.ndarray
+    predictions: np.ndarray
+    timesteps: int
+    layer_activity: Dict[str, float] = field(default_factory=dict)
+    output_spike_trains: Optional[np.ndarray] = None
+
+    def accuracy(self, labels: np.ndarray) -> float:
+        labels = np.asarray(labels).ravel()
+        if labels.shape[0] != self.predictions.shape[0]:
+            raise RunnerError("label count does not match prediction count")
+        return float(np.mean(self.predictions == labels))
+
+    @property
+    def mean_activity(self) -> float:
+        """Average spike activity across all layers (including the input)."""
+        if not self.layer_activity:
+            return 0.0
+        return float(np.mean(list(self.layer_activity.values())))
+
+
+def _conv_sum(spikes: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Integer convolution of a batch of spike maps with a ConvSpec kernel."""
+    batch = spikes.shape[0]
+    h, w, cin = spec.input_shape
+    x = spikes.reshape(batch, h, w, cin).astype(np.int64)
+    if spec.pad:
+        x = np.pad(x, ((0, 0), (spec.pad, spec.pad), (spec.pad, spec.pad), (0, 0)))
+    out_h, out_w, cout = spec.output_shape
+    k, stride = spec.kernel, spec.stride
+    cols = np.empty((batch, out_h, out_w, k, k, cin), dtype=np.int64)
+    for i in range(k):
+        i_end = i + stride * out_h
+        for j in range(k):
+            j_end = j + stride * out_w
+            cols[:, :, :, i, j, :] = x[:, i:i_end:stride, j:j_end:stride, :]
+    cols = cols.reshape(batch, out_h * out_w, k * k * cin)
+    kernel = spec.weights.reshape(k * k * cin, cout).astype(np.int64)
+    sums = cols @ kernel
+    return sums.reshape(batch, out_h * out_w * cout)
+
+
+def _dense_sum(spikes: np.ndarray, spec: DenseSpec) -> np.ndarray:
+    return spikes.astype(np.int64) @ spec.weights
+
+
+class _LayerState:
+    """Per-layer integrate-and-fire state for one batch."""
+
+    def __init__(self, layer: LayerSpec, batch: int):
+        self.layer = layer
+        if isinstance(layer, ResidualBlockSpec):
+            self.body_states = [
+                BatchedIfState.create(batch, spec.out_size, spec.threshold)
+                for spec in layer.body[:-1]
+            ]
+            self.output_state = BatchedIfState.create(
+                batch, layer.out_size, layer.body[-1].threshold
+            )
+        else:
+            self.body_states = []
+            self.output_state = BatchedIfState.create(batch, layer.out_size, layer.threshold)
+
+    def step(self, spikes: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        if isinstance(layer, DenseSpec):
+            return self.output_state.step(_dense_sum(spikes, layer))
+        if isinstance(layer, ConvSpec):
+            return self.output_state.step(_conv_sum(spikes, layer))
+        if isinstance(layer, ResidualBlockSpec):
+            block_input = spikes
+            current = spikes
+            for spec, state in zip(layer.body[:-1], self.body_states):
+                current = state.step(_conv_sum(current, spec))
+            body_sum = _conv_sum(current, layer.body[-1])
+            shortcut_sum = _conv_sum(block_input, layer.shortcut)
+            return self.output_state.step(body_sum + shortcut_sum)
+        raise RunnerError(f"unsupported layer spec {layer!r}")
+
+
+class AbstractSnnRunner:
+    """Layer-by-layer, step-by-step simulator of an abstract SNN."""
+
+    def __init__(self, network: SnnNetwork):
+        network.validate()
+        self.network = network
+
+    # ------------------------------------------------------------------
+    def run_spike_trains(self, spike_trains: np.ndarray,
+                         return_output_trains: bool = False) -> SnnRunResult:
+        """Simulate pre-encoded spike trains of shape ``(N, T, input_size)``."""
+        spike_trains = np.asarray(spike_trains, dtype=bool)
+        if spike_trains.ndim == 2:
+            spike_trains = spike_trains[None, ...]
+        if spike_trains.ndim != 3 or spike_trains.shape[2] != self.network.input_size:
+            raise RunnerError(
+                "spike_trains must have shape (N, T, input_size) with input_size "
+                f"{self.network.input_size}"
+            )
+        batch, timesteps, _ = spike_trains.shape
+        states = [_LayerState(layer, batch) for layer in self.network.layers]
+        counts = np.zeros((batch, self.network.output_size), dtype=np.int64)
+        spike_totals = {layer.name: 0 for layer in self.network.layers}
+        spike_totals["input"] = 0
+        output_trains = (
+            np.zeros((batch, timesteps, self.network.output_size), dtype=bool)
+            if return_output_trains else None
+        )
+        for step in range(timesteps):
+            spikes = spike_trains[:, step, :]
+            spike_totals["input"] += int(spikes.sum())
+            for state in states:
+                spikes = state.step(spikes)
+                spike_totals[state.layer.name] += int(spikes.sum())
+            counts += spikes
+            if output_trains is not None:
+                output_trains[:, step, :] = spikes
+        activity = self._activity(spike_totals, batch, timesteps)
+        return SnnRunResult(
+            spike_counts=counts,
+            predictions=np.argmax(counts, axis=1),
+            timesteps=timesteps,
+            layer_activity=activity,
+            output_spike_trains=output_trains,
+        )
+
+    def run(self, inputs: np.ndarray, timesteps: Optional[int] = None,
+            encoder: EncoderName = "deterministic", seed: int = 0,
+            return_output_trains: bool = False) -> SnnRunResult:
+        """Encode real-valued inputs into spike trains and simulate them."""
+        timesteps = timesteps or self.network.timesteps
+        flat = flatten_images(np.asarray(inputs, dtype=np.float64))
+        if flat.ndim == 1:
+            flat = flat[None, :]
+        if flat.shape[1] != self.network.input_size:
+            raise RunnerError(
+                f"input size {flat.shape[1]} does not match network input "
+                f"{self.network.input_size}"
+            )
+        spike_trains = encode(flat, timesteps, method=encoder, seed=seed)
+        return self.run_spike_trains(spike_trains, return_output_trains=return_output_trains)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray,
+                 timesteps: Optional[int] = None,
+                 encoder: EncoderName = "deterministic", seed: int = 0) -> float:
+        """Convenience wrapper: classification accuracy on a labelled set."""
+        result = self.run(inputs, timesteps=timesteps, encoder=encoder, seed=seed)
+        return result.accuracy(labels)
+
+    # ------------------------------------------------------------------
+    def _activity(self, spike_totals: Dict[str, int], batch: int,
+                  timesteps: int) -> Dict[str, float]:
+        sizes = {"input": self.network.input_size}
+        for layer in self.network.layers:
+            sizes[layer.name] = layer.out_size
+        activity = {}
+        for name, total in spike_totals.items():
+            denom = batch * timesteps * sizes[name]
+            activity[name] = total / denom if denom else 0.0
+        return activity

@@ -1,0 +1,148 @@
+"""Tests for the chip/system model and the execution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.chip import ChipError, ShenjingSystem
+from repro.core.config import small_test_arch
+from repro.core.isa import Direction
+from repro.core.stats import ExecutionStats
+from repro.core.tile import TileCoordinate
+
+
+class TestSystemGeometry:
+    def test_default_system_is_one_chip(self, arch):
+        system = ShenjingSystem(arch)
+        assert system.geometry.rows == arch.chip_rows
+        assert system.geometry.chip_count == 1
+
+    def test_multi_chip_geometry(self, arch):
+        system = ShenjingSystem(arch, rows=arch.chip_rows, cols=arch.chip_cols * 3)
+        assert system.geometry.chip_count == 3
+
+    def test_rejects_empty_fabric(self, arch):
+        with pytest.raises(ChipError):
+            ShenjingSystem(arch, rows=0, cols=4)
+
+
+class TestTileAccess:
+    def test_tiles_created_lazily(self, arch):
+        system = ShenjingSystem(arch)
+        assert system.used_tiles == 0
+        system.tile((0, 0))
+        system.tile((1, 2))
+        assert system.used_tiles == 2
+
+    def test_same_tile_returned(self, arch):
+        system = ShenjingSystem(arch)
+        assert system.tile((2, 2)) is system.tile(TileCoordinate(2, 2))
+
+    def test_out_of_fabric_rejected(self, arch):
+        system = ShenjingSystem(arch, rows=2, cols=2)
+        with pytest.raises(ChipError):
+            system.tile((2, 0))
+
+    def test_configured_tiles_counted(self, arch, rng):
+        system = ShenjingSystem(arch)
+        tile = system.tile((0, 0))
+        tile.configure(rng.integers(-3, 4, size=(arch.core_inputs, arch.core_neurons)), 5)
+        system.tile((0, 1))
+        assert system.configured_tiles == 1
+        assert system.used_tiles == 2
+
+
+class TestTopology:
+    def test_neighbour_directions(self, arch):
+        system = ShenjingSystem(arch)
+        assert system.neighbour((1, 1), Direction.NORTH) == TileCoordinate(0, 1)
+        assert system.neighbour((1, 1), Direction.SOUTH) == TileCoordinate(2, 1)
+        assert system.neighbour((1, 1), Direction.EAST) == TileCoordinate(1, 2)
+        assert system.neighbour((1, 1), Direction.WEST) == TileCoordinate(1, 0)
+
+    def test_neighbour_off_fabric_rejected(self, arch):
+        system = ShenjingSystem(arch)
+        with pytest.raises(ChipError):
+            system.neighbour((0, 0), Direction.NORTH)
+
+    def test_chip_boundary_detection(self):
+        arch = small_test_arch(core_inputs=16, core_neurons=16, chip_rows=4, chip_cols=4)
+        system = ShenjingSystem(arch, rows=4, cols=8)
+        inside = (TileCoordinate(0, 2), TileCoordinate(0, 3))
+        across = (TileCoordinate(0, 3), TileCoordinate(0, 4))
+        assert not system.crosses_chip_boundary(*inside)
+        assert system.crosses_chip_boundary(*across)
+
+    def test_chips_used(self):
+        arch = small_test_arch(core_inputs=16, core_neurons=16, chip_rows=4, chip_cols=4)
+        system = ShenjingSystem(arch, rows=4, cols=8)
+        system.tile((0, 0))
+        assert system.chips_used() == 1
+        system.tile((0, 5))
+        assert system.chips_used() == 2
+
+
+class TestExecutionStats:
+    def test_record_op_counts_ops_and_lanes(self):
+        stats = ExecutionStats()
+        stats.record_op("ps_sum", lanes=256)
+        stats.record_op("ps_sum", lanes=128)
+        assert stats.ops["ps_sum"].operations == 2
+        assert stats.ops["ps_sum"].lanes == 384
+
+    def test_negative_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionStats().record_op("ps_sum", lanes=-1)
+
+    def test_switching_activity(self):
+        stats = ExecutionStats()
+        stats.record_accumulate(active_axons=16, total_axons=256)
+        assert stats.switching_activity == pytest.approx(0.0625)
+
+    def test_switching_activity_empty(self):
+        assert ExecutionStats().switching_activity == 0.0
+
+    def test_cycles_and_stalls(self):
+        stats = ExecutionStats()
+        stats.advance_cycles(100)
+        stats.record_stall(3)
+        assert stats.cycles == 103
+        assert stats.stalls == 3
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionStats().advance_cycles(-1)
+
+    def test_interchip_bits(self):
+        stats = ExecutionStats()
+        stats.record_interchip(spike_bits=10, ps_bits=160)
+        assert stats.interchip_spike_bits == 10
+        assert stats.interchip_ps_bits == 160
+
+    def test_merge_combines_everything(self):
+        a = ExecutionStats()
+        a.record_op("core_acc", lanes=10)
+        a.advance_cycles(5)
+        a.frames = 1
+        b = ExecutionStats()
+        b.record_op("core_acc", lanes=20)
+        b.record_op("spike_fire", lanes=4)
+        b.advance_cycles(7)
+        b.frames = 2
+        merged = a.merge(b)
+        assert merged.ops["core_acc"].lanes == 30
+        assert merged.ops["spike_fire"].operations == 1
+        assert merged.cycles == 12
+        assert merged.frames == 3
+
+    def test_summary_contains_op_keys(self):
+        stats = ExecutionStats()
+        stats.record_op("spike_send", lanes=8)
+        summary = stats.summary()
+        assert summary["ops[spike_send]"] == 1
+        assert summary["lanes[spike_send]"] == 8
+
+    def test_cycles_per_frame(self):
+        stats = ExecutionStats()
+        stats.advance_cycles(300)
+        stats.frames = 3
+        assert stats.cycles_per_frame == 100

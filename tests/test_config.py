@@ -1,0 +1,147 @@
+"""Tests for the architecture description (repro.core.config)."""
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    ArchitectureConfig,
+    ConfigurationError,
+    DEFAULT_ARCH,
+    RuntimeConfig,
+    small_test_arch,
+)
+
+
+class TestArchitectureDefaults:
+    def test_paper_core_size(self):
+        assert DEFAULT_ARCH.core_inputs == 256
+        assert DEFAULT_ARCH.core_neurons == 256
+
+    def test_paper_chip_grid_is_784_tiles(self):
+        assert DEFAULT_ARCH.chip_rows == 28
+        assert DEFAULT_ARCH.chip_cols == 28
+        assert DEFAULT_ARCH.tiles_per_chip == 784
+
+    def test_paper_datapath_widths(self):
+        assert DEFAULT_ARCH.ps_bits == 16
+        assert DEFAULT_ARCH.weight_bits == 5
+
+    def test_paper_voltages(self):
+        assert DEFAULT_ARCH.logic_voltage == pytest.approx(0.85)
+        assert DEFAULT_ARCH.sram_voltage == pytest.approx(1.05)
+
+    def test_max_frequency_is_243mhz(self):
+        assert DEFAULT_ARCH.max_frequency_hz == pytest.approx(243e6)
+
+    def test_long_op_cycles(self):
+        assert DEFAULT_ARCH.long_op_cycles == 131
+
+    def test_weight_range_is_signed_5_bit(self):
+        assert DEFAULT_ARCH.weight_min == -16
+        assert DEFAULT_ARCH.weight_max == 15
+
+    def test_ps_range_is_signed_16_bit(self):
+        assert DEFAULT_ARCH.ps_min == -(1 << 15)
+        assert DEFAULT_ARCH.ps_max == (1 << 15) - 1
+
+    def test_max_safe_accumulations_matches_paper(self):
+        # "Having a 16 bit width allows us to sum up 2^11 5-bit weights"
+        assert DEFAULT_ARCH.max_safe_accumulations == 2 ** 11
+
+    def test_bank_inputs(self):
+        assert DEFAULT_ARCH.bank_inputs == 64
+
+
+class TestArchitectureValidation:
+    def test_rejects_non_positive_core_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(core_inputs=0)
+
+    def test_rejects_non_positive_neurons(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(core_neurons=-1)
+
+    def test_rejects_bad_chip_grid(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(chip_rows=0)
+
+    def test_rejects_narrow_ps_datapath(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(ps_bits=4, weight_bits=5)
+
+    def test_rejects_tiny_weights(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(weight_bits=1)
+
+    def test_rejects_indivisible_banks(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(core_inputs=250, sram_banks=4)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(max_frequency_hz=0)
+
+
+class TestDerivedHelpers:
+    def test_fc_cores_for_mnist_mlp_layer1(self):
+        # 784 x 512 on 256x256 cores -> 4 x 2 cores (Fig. 1)
+        assert DEFAULT_ARCH.cores_for_fc_layer(784, 512) == (4, 2)
+
+    def test_fc_cores_for_mnist_mlp_layer2(self):
+        assert DEFAULT_ARCH.cores_for_fc_layer(512, 10) == (2, 1)
+
+    def test_fc_cores_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_ARCH.cores_for_fc_layer(0, 10)
+
+    def test_conv_patch_side_matches_paper_formula(self):
+        # sqrt(256) - 2*(k-1) for a 3x3 kernel = 12
+        assert DEFAULT_ARCH.conv_patch_side(3) == 12
+
+    def test_conv_patch_side_rejects_huge_kernels(self):
+        small = small_test_arch(core_inputs=16, core_neurons=16)
+        with pytest.raises(ConfigurationError):
+            small.conv_patch_side(4)
+
+    def test_with_core_size_returns_modified_copy(self):
+        modified = DEFAULT_ARCH.with_core_size(128, 64)
+        assert modified.core_inputs == 128
+        assert modified.core_neurons == 64
+        assert DEFAULT_ARCH.core_inputs == 256
+
+    def test_with_chip_grid(self):
+        modified = DEFAULT_ARCH.with_chip_grid(4, 4)
+        assert modified.tiles_per_chip == 16
+
+
+class TestRuntimeConfig:
+    def test_defaults(self):
+        runtime = RuntimeConfig()
+        assert runtime.timesteps == 20
+        assert runtime.target_fps == 40.0
+
+    def test_rejects_bad_timesteps(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(timesteps=0)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(target_fps=-1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(frequency_hz=0.0)
+
+
+class TestSmallTestArch:
+    def test_small_arch_shape(self):
+        arch = small_test_arch(core_inputs=16, core_neurons=8, chip_rows=4, chip_cols=5)
+        assert arch.core_inputs == 16
+        assert arch.core_neurons == 8
+        assert arch.tiles_per_chip == 20
+
+    def test_small_arch_keeps_paper_widths(self):
+        arch = small_test_arch()
+        assert arch.ps_bits == 16
+        assert arch.weight_bits == 5

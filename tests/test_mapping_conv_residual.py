@@ -1,0 +1,162 @@
+"""Tests for the convolution / pooling / residual logical mappers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAULT_ARCH
+from repro.mapping.conv import conv_block_size, conv_geometry, estimate_conv_cores, map_conv
+from repro.mapping.logical import MappingError
+from repro.mapping.pool import estimate_pool_cores, is_pool_spec, map_pool
+from repro.mapping.residual import estimate_residual_cores, map_residual_block
+from repro.snn.spec import ConvSpec, ResidualBlockSpec, pool_spec
+
+
+def _conv_spec(rng, name="conv", h=8, w=8, cin=2, cout=3, k=3, pad=1, stride=1,
+               low=-3, high=4):
+    return ConvSpec(name=name, weights=rng.integers(low, high, size=(k, k, cin, cout)),
+                    threshold=6, input_shape=(h, w, cin), stride=stride, pad=pad)
+
+
+class TestGeometry:
+    def test_paper_sized_block_for_3x3_kernel(self):
+        spec = ConvSpec(name="c", weights=np.ones((3, 3, 1, 16)), threshold=1,
+                        input_shape=(28, 28, 1), pad=1)
+        block = conv_block_size(spec, DEFAULT_ARCH)
+        # 256 synapses fit a 16x16 patch -> 14x14 outputs for a 3x3 kernel
+        assert block == (14, 14)
+
+    def test_mnist_conv1_uses_four_blocks(self):
+        spec = ConvSpec(name="c", weights=np.ones((3, 3, 1, 16)), threshold=1,
+                        input_shape=(28, 28, 1), pad=1)
+        geometry = conv_geometry(spec, DEFAULT_ARCH)
+        assert geometry.n_blocks == 4
+
+    def test_kernel_too_large_for_tiny_core(self, arch):
+        spec = ConvSpec(name="c", weights=np.ones((5, 5, 1, 1)), threshold=1,
+                        input_shape=(8, 8, 1))
+        with pytest.raises(MappingError):
+            conv_block_size(spec, arch)
+
+    def test_forced_block_validated(self, conv_arch, rng):
+        spec = _conv_spec(rng)
+        with pytest.raises(MappingError):
+            conv_geometry(spec, conv_arch, block=(100, 100))
+
+    def test_estimate_counts_blocks_times_channel_pairs(self, conv_arch, rng):
+        spec = _conv_spec(rng, cin=2, cout=3)
+        layer = map_conv(spec, conv_arch)
+        assert estimate_conv_cores(spec, conv_arch) == layer.n_cores
+
+
+class TestMapConv:
+    def test_weight_slices_reproduce_convolution(self, conv_arch, rng):
+        """Summing each group's per-core partial sums equals the direct convolution."""
+        spec = _conv_spec(rng, h=6, w=6, cin=2, cout=2)
+        layer = map_conv(spec, conv_arch)
+        layer.validate(conv_arch)
+        spikes = (rng.random(spec.in_size) < 0.5)
+
+        from repro.snn.runner import _conv_sum
+        expected = _conv_sum(spikes[None, :], spec)[0]
+
+        produced = np.zeros(spec.out_size, dtype=np.int64)
+        for group in layer.groups:
+            head = layer.core_by_index(group.head)
+            total = np.zeros(group.lanes.size, dtype=np.int64)
+            for index in group.core_indices:
+                core = layer.core_by_index(index)
+                total += spikes[core.axon_sources].astype(np.int64) @ core.weights[:, group.lanes]
+            produced[head.lane_outputs[group.lanes]] = total
+        np.testing.assert_array_equal(produced, expected)
+
+    def test_groups_reduce_over_input_channels(self, conv_arch, rng):
+        spec = _conv_spec(rng, cin=2, cout=3)
+        layer = map_conv(spec, conv_arch)
+        geometry = conv_geometry(spec, conv_arch)
+        assert len(layer.groups) == geometry.n_blocks * spec.out_channels
+        for group in layer.groups:
+            assert len(group.core_indices) == spec.in_channels
+
+    def test_zero_channel_pairs_are_skipped(self, conv_arch):
+        weights = np.zeros((2, 2, 3, 3), dtype=np.int64)
+        for channel in range(3):
+            weights[:, :, channel, channel] = 1
+        spec = ConvSpec(name="diag", weights=weights, threshold=4,
+                        input_shape=(8, 8, 3), stride=2, pad=0)
+        layer = map_conv(spec, conv_arch)
+        for group in layer.groups:
+            assert len(group.core_indices) == 1
+
+    def test_structure_only_mapping(self, conv_arch, rng):
+        layer = map_conv(_conv_spec(rng), conv_arch, materialize=False)
+        assert all(core.weights is None for core in layer.cores)
+        layer_full = map_conv(_conv_spec(rng), conv_arch, materialize=True)
+        assert layer.n_cores == layer_full.n_cores
+
+    def test_strided_conv_outputs_covered(self, conv_arch, rng):
+        spec = _conv_spec(rng, h=8, w=8, cin=1, cout=2, k=2, pad=0, stride=2, low=0, high=3)
+        layer = map_conv(spec, conv_arch)
+        layer.validate(conv_arch)
+
+
+class TestPooling:
+    def test_pool_spec_detected(self, conv_arch):
+        spec = pool_spec("pool", channels=4, pool=2, input_shape=(8, 8, 4))
+        assert is_pool_spec(spec)
+
+    def test_general_conv_not_detected_as_pool(self, conv_arch, rng):
+        assert not is_pool_spec(_conv_spec(rng))
+
+    def test_map_pool_one_core_per_block_and_channel(self, conv_arch):
+        spec = pool_spec("pool", channels=4, pool=2, input_shape=(8, 8, 4))
+        layer = map_pool(spec, conv_arch)
+        layer.validate(conv_arch)
+        assert estimate_pool_cores(spec, conv_arch) == layer.n_cores
+        for group in layer.groups:
+            assert len(group.core_indices) == 1
+
+    def test_map_pool_rejects_general_conv(self, conv_arch, rng):
+        with pytest.raises(MappingError):
+            map_pool(_conv_spec(rng), conv_arch)
+
+
+class TestResidual:
+    def _block(self, rng, channels=4, h=4, w=4):
+        body = [
+            ConvSpec(name="rc1", weights=rng.integers(-2, 3, size=(3, 3, channels, channels)),
+                     threshold=6, input_shape=(h, w, channels), pad=1),
+            ConvSpec(name="rc2", weights=rng.integers(-2, 3, size=(3, 3, channels, channels)),
+                     threshold=6, input_shape=(h, w, channels), pad=1),
+        ]
+        shortcut = ConvSpec(name="sc",
+                            weights=(np.eye(channels, dtype=np.int64) * 3).reshape(1, 1, channels, channels),
+                            threshold=1, input_shape=(h, w, channels))
+        return ResidualBlockSpec(name="block", body=body, shortcut=shortcut)
+
+    def test_residual_produces_one_layer_per_body_conv(self, conv_arch, rng):
+        block = self._block(rng)
+        layers = map_residual_block(block, conv_arch, source="prev")
+        assert len(layers) == len(block.body)
+
+    def test_final_layer_groups_contain_shortcut_cores(self, conv_arch, rng):
+        block = self._block(rng)
+        layers = map_residual_block(block, conv_arch, source="prev")
+        final = layers[-1]
+        final.validate(conv_arch)
+        sources = {core.source for core in final.cores}
+        assert "prev" in sources          # shortcut cores read the block input
+        assert layers[0].name in sources  # body cores read the previous body layer
+        # each group has body cores (cin of them) plus one shortcut core
+        for group in final.groups:
+            assert len(group.core_indices) == block.body[-1].in_channels + 1
+
+    def test_core_estimate_matches_mapping(self, conv_arch, rng):
+        block = self._block(rng)
+        layers = map_residual_block(block, conv_arch, source="prev")
+        assert estimate_residual_cores(block, conv_arch) == sum(l.n_cores for l in layers)
+
+    def test_start_index_is_contiguous(self, conv_arch, rng):
+        block = self._block(rng)
+        layers = map_residual_block(block, conv_arch, source="prev", start_index=100)
+        indices = [core.index for layer in layers for core in layer.cores]
+        assert sorted(indices) == list(range(100, 100 + len(indices)))

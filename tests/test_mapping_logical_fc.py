@@ -1,0 +1,227 @@
+"""Tests for the logical mapping IR and the fully connected mapper (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import small_test_arch
+from repro.mapping.fc import (
+    algorithm1_schedule,
+    fc_geometry,
+    fold_rounds,
+    map_dense,
+    reduction_order_fold,
+)
+from repro.mapping.logical import (
+    EXTERNAL_INPUT,
+    LogicalCore,
+    LogicalLayer,
+    LogicalNetwork,
+    MappingError,
+    ReductionGroup,
+)
+from repro.snn.spec import DenseSpec
+
+
+class TestFcGeometry:
+    def test_paper_mnist_mlp_layer1(self):
+        from repro.core.config import DEFAULT_ARCH
+
+        geometry = fc_geometry(784, 512, DEFAULT_ARCH)
+        assert (geometry.nrow, geometry.ncol) == (4, 2)
+        assert geometry.n_cores == 8
+
+    def test_paper_mnist_mlp_layer2(self):
+        from repro.core.config import DEFAULT_ARCH
+
+        geometry = fc_geometry(512, 10, DEFAULT_ARCH)
+        assert (geometry.nrow, geometry.ncol) == (2, 1)
+
+    def test_small_layer_single_core(self, arch):
+        geometry = fc_geometry(10, 10, arch)
+        assert geometry.n_cores == 1
+
+    def test_rejects_bad_dims(self, arch):
+        with pytest.raises(MappingError):
+            fc_geometry(0, 5, arch)
+
+
+class TestMapDense:
+    def _spec(self, rng, inputs=40, outputs=20):
+        return DenseSpec(name="fc", weights=rng.integers(-7, 8, size=(inputs, outputs)),
+                         threshold=10)
+
+    def test_core_count_matches_geometry(self, arch, rng):
+        spec = self._spec(rng)
+        layer = map_dense(spec, arch)
+        geometry = fc_geometry(spec.in_size, spec.out_size, arch)
+        assert layer.n_cores == geometry.n_cores
+
+    def test_weight_slices_reassemble_original(self, arch, rng):
+        spec = self._spec(rng)
+        layer = map_dense(spec, arch)
+        reconstructed = np.zeros_like(spec.weights)
+        for core in layer.cores:
+            outputs = core.lane_outputs[core.lane_outputs >= 0]
+            reconstructed[np.ix_(core.axon_sources, outputs)] = core.weights
+        np.testing.assert_array_equal(reconstructed, spec.weights)
+
+    def test_groups_are_columns_with_head_first(self, arch, rng):
+        spec = self._spec(rng)
+        layer = map_dense(spec, arch)
+        geometry = fc_geometry(spec.in_size, spec.out_size, arch)
+        assert len(layer.groups) == geometry.ncol
+        for group in layer.groups:
+            assert len(group.core_indices) == geometry.nrow
+            assert group.head == group.core_indices[0]
+
+    def test_outputs_fully_covered(self, arch, rng):
+        spec = self._spec(rng)
+        layer = map_dense(spec, arch)
+        layer.validate(arch)
+        assert set(layer.output_locations()) == set(range(spec.out_size))
+
+    def test_structure_only_mapping_has_no_weights(self, arch, rng):
+        layer = map_dense(self._spec(rng), arch, materialize=False)
+        assert all(core.weights is None for core in layer.cores)
+
+    def test_source_and_start_index_respected(self, arch, rng):
+        layer = map_dense(self._spec(rng), arch, source="previous", start_index=7)
+        assert layer.cores[0].index == 7
+        assert all(core.source == "previous" for core in layer.cores)
+
+
+class TestAlgorithm1:
+    def test_single_row_needs_no_trace(self):
+        assert algorithm1_schedule(1, 3) == []
+
+    def test_trace_alternates_send_and_add(self):
+        trace = algorithm1_schedule(4, 2)
+        for step, entries in enumerate(trace):
+            expected = "SEND" if step % 2 == 0 else "ADD"
+            assert all(entry.action == expected for entry in entries)
+
+    def test_every_row_sends_exactly_once(self):
+        trace = algorithm1_schedule(8, 1)
+        sources = [entry.source[0] for step in trace[::2] for entry in step]
+        assert sorted(sources) == list(range(1, 8))
+
+    def test_destinations_stay_in_rectangle(self):
+        trace = algorithm1_schedule(5, 3)
+        for step in trace:
+            for entry in step:
+                assert 0 <= entry.destination[0] < 5
+                assert 0 <= entry.destination[1] < 3
+
+    def test_fold_round_count(self):
+        assert fold_rounds(1) == 0
+        assert fold_rounds(2) == 1
+        assert fold_rounds(4) == 2
+        assert fold_rounds(5) == 3
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MappingError):
+            algorithm1_schedule(0, 2)
+
+    def test_reduction_order_fold_accumulates_everything(self):
+        order = reduction_order_fold(members=[1, 2, 3, 4], head=0)
+        accumulated = {0: {0}, 1: {1}, 2: {2}, 3: {3}, 4: {4}}
+        for src, dst in order:
+            accumulated[dst] |= accumulated[src]
+        assert accumulated[0] == {0, 1, 2, 3, 4}
+
+
+@settings(max_examples=40, deadline=None)
+@given(nrow=st.integers(min_value=1, max_value=32), ncol=st.integers(min_value=1, max_value=6))
+def test_property_algorithm1_accumulates_all_rows(nrow, ncol):
+    """Simulating Algorithm 1's trace accumulates every row's PS into row 0."""
+    values = {(row, col): {row} for row in range(nrow) for col in range(ncol)}
+    for step in algorithm1_schedule(nrow, ncol):
+        for entry in step:
+            if entry.action == "ADD":
+                values[entry.destination] |= values[entry.source]
+    for col in range(ncol):
+        assert values[(0, col)] == set(range(nrow))
+
+
+class TestLogicalValidation:
+    def _core(self, index, outputs, source=EXTERNAL_INPUT):
+        lane_outputs = np.asarray(outputs, dtype=np.int64)
+        return LogicalCore(
+            index=index, layer="layer", source=source,
+            axon_sources=np.arange(4),
+            lane_outputs=lane_outputs,
+            weights=np.zeros((4, lane_outputs.size), dtype=np.int16),
+        )
+
+    def test_duplicate_core_indices_rejected(self, arch):
+        cores = [self._core(0, [0, 1]), self._core(0, [0, 1])]
+        groups = [ReductionGroup(lanes=[0, 1], core_indices=[0], head=0)]
+        layer = LogicalLayer(name="layer", cores=cores, groups=groups,
+                             threshold=1, out_size=2)
+        with pytest.raises(MappingError):
+            layer.validate(arch)
+
+    def test_groups_must_partition_cores(self, arch):
+        cores = [self._core(0, [0, 1]), self._core(1, [0, 1])]
+        groups = [ReductionGroup(lanes=[0, 1], core_indices=[0], head=0)]
+        layer = LogicalLayer(name="layer", cores=cores, groups=groups,
+                             threshold=1, out_size=2)
+        with pytest.raises(MappingError):
+            layer.validate(arch)
+
+    def test_lane_mismatch_rejected(self, arch):
+        cores = [self._core(0, [0, 1]), self._core(1, [1, 0])]
+        groups = [ReductionGroup(lanes=[0, 1], core_indices=[0, 1], head=0)]
+        layer = LogicalLayer(name="layer", cores=cores, groups=groups,
+                             threshold=1, out_size=2)
+        with pytest.raises(MappingError):
+            layer.validate(arch)
+
+    def test_uncovered_outputs_rejected(self, arch):
+        cores = [self._core(0, [0, 1])]
+        groups = [ReductionGroup(lanes=[0, 1], core_indices=[0], head=0)]
+        layer = LogicalLayer(name="layer", cores=cores, groups=groups,
+                             threshold=1, out_size=3)
+        with pytest.raises(MappingError):
+            layer.validate(arch)
+
+    def test_network_source_ordering_enforced(self, arch):
+        cores = [self._core(0, [0, 1], source="later")]
+        groups = [ReductionGroup(lanes=[0, 1], core_indices=[0], head=0)]
+        layer = LogicalLayer(name="layer", cores=cores, groups=groups,
+                             threshold=1, out_size=2)
+        network = LogicalNetwork(name="net", input_size=4, layers=[layer])
+        with pytest.raises(MappingError):
+            network.validate(arch)
+
+    def test_core_too_large_rejected(self, arch):
+        core = LogicalCore(
+            index=0, layer="layer", source=EXTERNAL_INPUT,
+            axon_sources=np.arange(arch.core_inputs + 1),
+            lane_outputs=np.arange(2),
+            weights=np.zeros((arch.core_inputs + 1, 2), dtype=np.int16),
+        )
+        with pytest.raises(MappingError):
+            core.check_fits(arch)
+
+    def test_reorder_axons_permutes_weights(self):
+        core = LogicalCore(
+            index=0, layer="layer", source=EXTERNAL_INPUT,
+            axon_sources=np.array([10, 11, 12]),
+            lane_outputs=np.array([0]),
+            weights=np.array([[1], [2], [3]], dtype=np.int16),
+        )
+        core.reorder_axons(np.array([2, 0, 1]))
+        np.testing.assert_array_equal(core.axon_sources, [12, 10, 11])
+        np.testing.assert_array_equal(core.weights.ravel(), [3, 1, 2])
+
+    def test_reorder_axons_rejects_non_permutation(self):
+        core = LogicalCore(
+            index=0, layer="layer", source=EXTERNAL_INPUT,
+            axon_sources=np.array([10, 11]),
+            lane_outputs=np.array([0]),
+            weights=np.zeros((2, 1), dtype=np.int16),
+        )
+        with pytest.raises(MappingError):
+            core.reorder_axons(np.array([0, 0]))

@@ -1,0 +1,181 @@
+"""Tests for physical placement, XY routing and wave packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import small_test_arch
+from repro.core.isa import Direction
+from repro.core.tile import TileCoordinate
+from repro.mapping.compiler import build_logical_network
+from repro.mapping.logical import MappingError
+from repro.mapping.placement import fabric_summary, place_network
+from repro.mapping.routing import (
+    Transfer,
+    pack_waves,
+    route_length,
+    serial_waves,
+    total_hop_count,
+    xy_route,
+)
+
+
+class TestXyRouting:
+    def test_straight_east(self):
+        hops = xy_route(TileCoordinate(0, 0), TileCoordinate(0, 3))
+        assert [hop.direction for hop in hops] == [Direction.EAST] * 3
+
+    def test_column_then_row(self):
+        hops = xy_route(TileCoordinate(2, 1), TileCoordinate(0, 3))
+        directions = [hop.direction for hop in hops]
+        assert directions == [Direction.EAST, Direction.EAST, Direction.NORTH, Direction.NORTH]
+
+    def test_self_route_rejected(self):
+        with pytest.raises(MappingError):
+            xy_route(TileCoordinate(1, 1), TileCoordinate(1, 1))
+
+    def test_route_length_is_manhattan(self):
+        assert route_length(TileCoordinate(0, 0), TileCoordinate(3, 4)) == 7
+
+    def test_route_ends_adjacent_to_destination(self):
+        src, dst = TileCoordinate(5, 2), TileCoordinate(1, 6)
+        hops = xy_route(src, dst)
+        assert hops[-1].next_tile == dst
+        assert len(hops) == route_length(src, dst)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    src_row=st.integers(0, 10), src_col=st.integers(0, 10),
+    dst_row=st.integers(0, 10), dst_col=st.integers(0, 10),
+)
+def test_property_xy_route_is_minimal_and_connected(src_row, src_col, dst_row, dst_col):
+    src, dst = TileCoordinate(src_row, src_col), TileCoordinate(dst_row, dst_col)
+    if src == dst:
+        return
+    hops = xy_route(src, dst)
+    assert len(hops) == route_length(src, dst)
+    current = src
+    for hop in hops:
+        assert hop.tile == current
+        current = hop.next_tile
+    assert current == dst
+
+
+class TestWavePacking:
+    def _transfers(self, pairs, net="spike"):
+        return [Transfer(src=TileCoordinate(*a), dst=TileCoordinate(*b), net=net,
+                         payload={"axon_offset": 0}) for a, b in pairs]
+
+    def test_disjoint_transfers_share_a_wave(self):
+        transfers = self._transfers([((0, 0), (0, 1)), ((2, 0), (2, 1))])
+        waves = pack_waves(transfers)
+        assert len(waves) == 1
+        assert len(waves[0]) == 2
+
+    def test_conflicting_transfers_are_separated(self):
+        # both use the (0,0) -> (0,1) link in their first hop
+        transfers = self._transfers([((0, 0), (0, 2)), ((0, 0), (0, 3))])
+        waves = pack_waves(transfers)
+        assert len(waves) == 2
+
+    def test_same_destination_consumption_is_serialised(self):
+        # equal-length routes into the same destination would eject in the
+        # same cycle -> must land in different waves
+        transfers = self._transfers([((0, 0), (1, 1)), ((2, 2), (1, 1))])
+        lengths = {t.hops for t in transfers}
+        assert len(lengths) == 1
+        waves = pack_waves(transfers)
+        assert len(waves) == 2
+
+    def test_serial_waves_one_per_transfer(self):
+        transfers = self._transfers([((0, 0), (0, 1)), ((1, 0), (1, 1)), ((2, 0), (2, 1))])
+        assert len(serial_waves(transfers)) == 3
+
+    def test_packing_preserves_all_transfers(self):
+        rng = np.random.default_rng(0)
+        pairs = []
+        for _ in range(30):
+            a = (int(rng.integers(0, 6)), int(rng.integers(0, 6)))
+            b = (int(rng.integers(0, 6)), int(rng.integers(0, 6)))
+            if a != b:
+                pairs.append((a, b))
+        transfers = self._transfers(pairs)
+        waves = pack_waves(transfers)
+        packed = [t for wave in waves for t in wave.transfers]
+        assert len(packed) == len(transfers)
+        assert total_hop_count(packed) == total_hop_count(transfers)
+
+    def test_waves_never_reuse_a_link_in_the_same_step(self):
+        rng = np.random.default_rng(1)
+        pairs = []
+        for _ in range(40):
+            a = (int(rng.integers(0, 5)), int(rng.integers(0, 5)))
+            b = (int(rng.integers(0, 5)), int(rng.integers(0, 5)))
+            if a != b:
+                pairs.append((a, b))
+        transfers = self._transfers(pairs)
+        for wave in pack_waves(transfers):
+            used = set()
+            for transfer in wave.transfers:
+                for step, hop in enumerate(transfer.route):
+                    key = (step, hop.tile, hop.direction)
+                    assert key not in used
+                    used.add(key)
+
+    def test_transfer_validation(self):
+        with pytest.raises(MappingError):
+            Transfer(src=TileCoordinate(0, 0), dst=TileCoordinate(0, 0), net="spike")
+        with pytest.raises(MappingError):
+            Transfer(src=TileCoordinate(0, 0), dst=TileCoordinate(0, 1), net="bogus")
+
+
+class TestPlacement:
+    def test_no_two_cores_share_a_tile(self, arch, dense_snn):
+        logical = build_logical_network(dense_snn, arch)
+        placement = place_network(logical, arch)
+        placement.validate()
+        assert placement.n_placed == logical.n_cores
+
+    def test_dense_packing_minimises_columns(self, arch, dense_snn):
+        logical = build_logical_network(dense_snn, arch)
+        placement = place_network(logical, arch, rows=4)
+        assert placement.cols == int(np.ceil(logical.n_cores / 4))
+
+    def test_column_aligned_groups_keep_head_on_top(self, arch, dense_snn):
+        logical = build_logical_network(dense_snn, arch)
+        placement = place_network(logical, arch, rows=8, column_aligned_groups=True)
+        for layer in logical.layers:
+            for group in layer.groups:
+                head = placement.position(group.head)
+                for member in group.members:
+                    position = placement.position(member)
+                    assert position.col == head.col
+                    assert position.row > head.row
+
+    def test_layer_fresh_columns_keep_layers_separate(self, arch, dense_snn):
+        logical = build_logical_network(dense_snn, arch)
+        placement = place_network(logical, arch, rows=8, layer_fresh_columns=True)
+        columns = placement.layer_columns
+        spans = [columns[layer.name] for layer in logical.layers]
+        for (first_a, last_a), (first_b, _) in zip(spans, spans[1:]):
+            assert first_b > last_a
+
+    def test_chips_used_reflects_fabric_span(self, dense_snn):
+        arch = small_test_arch(core_inputs=16, core_neurons=16, chip_rows=2, chip_cols=2)
+        logical = build_logical_network(dense_snn, arch)
+        placement = place_network(logical, arch, rows=2)
+        assert placement.chips_used() >= 2
+
+    def test_fabric_summary_keys(self, arch, dense_snn):
+        logical = build_logical_network(dense_snn, arch)
+        placement = place_network(logical, arch)
+        summary = fabric_summary(placement)
+        assert {"rows", "cols", "cores", "chips", "occupancy"} <= set(summary)
+        assert 0 < summary["occupancy"] <= 1
+
+    def test_missing_core_position_raises(self, arch, dense_snn):
+        logical = build_logical_network(dense_snn, arch)
+        placement = place_network(logical, arch)
+        with pytest.raises(MappingError):
+            placement.position(10_000)

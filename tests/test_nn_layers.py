@@ -1,0 +1,241 @@
+"""Tests for the numpy ANN layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, LayerError, ReLU
+from repro.nn.model import ResidualBlock, Sequential
+
+
+def _numerical_gradient(fn, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn()
+        flat[index] = original - eps
+        minus = fn()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def _check_input_gradient(layer, x, rtol=1e-4, atol=1e-6):
+    """Compare analytic input gradients against central differences."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x)
+    upstream = rng.normal(size=out.shape)
+    analytic = layer.backward(upstream)
+
+    def loss():
+        return float(np.sum(layer.forward(x) * upstream))
+
+    numeric = _numerical_gradient(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(8, 3, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 8)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_matmul(self):
+        layer = Dense(4, 2, bias=False, rng=np.random.default_rng(0))
+        x = np.arange(8, dtype=float).reshape(2, 4)
+        np.testing.assert_allclose(layer.forward(x), x @ layer.params["weight"])
+
+    def test_bias_added(self):
+        layer = Dense(3, 2, bias=True, rng=np.random.default_rng(0))
+        layer.params["bias"][:] = [1.0, -1.0]
+        out = layer.forward(np.zeros((1, 3)))
+        np.testing.assert_allclose(out, [[1.0, -1.0]])
+
+    def test_rejects_bad_input_shape(self):
+        layer = Dense(3, 2)
+        with pytest.raises(LayerError):
+            layer.forward(np.zeros((1, 4)))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(LayerError):
+            Dense(0, 3)
+
+    def test_input_gradient(self):
+        layer = Dense(6, 4, rng=np.random.default_rng(1))
+        _check_input_gradient(layer, np.random.default_rng(2).normal(size=(3, 6)))
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(5, 3, bias=False, rng=rng)
+        x = rng.normal(size=(4, 5))
+        upstream = rng.normal(size=(4, 3))
+        layer.forward(x)
+        layer.backward(upstream)
+        analytic = layer.grads["weight"]
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        numeric = _numerical_gradient(loss, layer.params["weight"])
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestReLUFlatten:
+    def test_relu_clips_negative(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+    def test_relu_gradient_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 5.0]])
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 2, 3, 2)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        np.testing.assert_allclose(back, x)
+
+    def test_backward_before_forward_fails(self):
+        with pytest.raises(LayerError):
+            ReLU().backward(np.ones((1, 2)))
+
+
+class TestConv2D:
+    def test_same_padding_preserves_shape(self):
+        layer = Conv2D(2, 3, 3, padding="same", rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((2, 8, 8, 2)))
+        assert out.shape == (2, 8, 8, 3)
+
+    def test_valid_padding_shrinks(self):
+        layer = Conv2D(1, 1, 3, padding="valid", rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((1, 8, 8, 1)))
+        assert out.shape == (1, 6, 6, 1)
+
+    def test_identity_kernel(self):
+        layer = Conv2D(1, 1, 1, padding="valid", bias=False)
+        layer.params["weight"][:] = 1.0
+        x = np.random.default_rng(0).normal(size=(1, 5, 5, 1))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(4)
+        layer = Conv2D(2, 1, 3, padding="valid", bias=False, rng=rng)
+        x = rng.normal(size=(1, 5, 5, 2))
+        out = layer.forward(x)
+        kernel = layer.params["weight"][:, :, :, 0]
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = np.sum(x[0, i:i + 3, j:j + 3, :] * kernel)
+        np.testing.assert_allclose(out[0, :, :, 0], expected)
+
+    def test_same_padding_requires_stride_one(self):
+        with pytest.raises(LayerError):
+            Conv2D(1, 1, 3, stride=2, padding="same")
+
+    def test_input_gradient(self):
+        layer = Conv2D(2, 2, 3, padding="same", bias=False, rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).normal(size=(2, 4, 4, 2))
+        _check_input_gradient(layer, x)
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(5)
+        layer = Conv2D(1, 2, 3, padding="same", bias=False, rng=rng)
+        x = rng.normal(size=(2, 4, 4, 1))
+        upstream = rng.normal(size=(2, 4, 4, 2))
+        layer.forward(x)
+        layer.backward(upstream)
+        analytic = layer.grads["weight"]
+
+        def loss():
+            return float(np.sum(layer.forward(x) * upstream))
+
+        numeric = _numerical_gradient(loss, layer.params["weight"])
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestAvgPool:
+    def test_forward_averages_windows(self):
+        layer = AvgPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2, 1)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_rejects_indivisible_input(self):
+        layer = AvgPool2D(2)
+        with pytest.raises(LayerError):
+            layer.forward(np.ones((1, 5, 4, 1)))
+
+    def test_input_gradient(self):
+        layer = AvgPool2D(2)
+        x = np.random.default_rng(0).normal(size=(2, 4, 4, 3))
+        _check_input_gradient(layer, x)
+
+    def test_equivalent_conv_weights_are_diagonal_means(self):
+        layer = AvgPool2D(2)
+        weights = layer.equivalent_conv_weights(3)
+        assert weights.shape == (2, 2, 3, 3)
+        assert weights[:, :, 0, 0].sum() == pytest.approx(1.0)
+        assert weights[:, :, 0, 1].sum() == 0.0
+
+
+class TestResidualBlockAndSequential:
+    def _block(self):
+        rng = np.random.default_rng(0)
+        body = [Conv2D(2, 2, 3, padding="same", bias=False, rng=rng, name="c1"),
+                Conv2D(2, 2, 3, padding="same", bias=False, rng=rng, name="c2")]
+        return ResidualBlock(body, name="block")
+
+    def test_forward_shape_preserved(self):
+        block = self._block()
+        out = block.forward(np.random.default_rng(1).normal(size=(2, 6, 6, 2)))
+        assert out.shape == (2, 6, 6, 2)
+
+    def test_output_is_relu_of_sum(self):
+        block = self._block()
+        x = np.random.default_rng(1).normal(size=(1, 4, 4, 2))
+        body_out = x
+        for layer in block.body:
+            body_out = layer.forward(body_out)
+        expected = np.maximum(body_out + x, 0)
+        np.testing.assert_allclose(block.forward(x), expected)
+
+    def test_input_gradient(self):
+        block = self._block()
+        x = np.random.default_rng(2).normal(size=(1, 4, 4, 2))
+        _check_input_gradient(block, x, rtol=1e-3, atol=1e-5)
+
+    def test_sequential_shapes_and_params(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([
+            Conv2D(1, 2, 3, padding="same", bias=False, rng=rng, name="conv"),
+            ReLU(name="relu"),
+            Flatten(name="flat"),
+            Dense(2 * 16, 4, bias=False, rng=rng, name="fc"),
+        ], input_shape=(4, 4, 1))
+        assert model.output_shape() == (4,)
+        assert model.forward(np.ones((3, 4, 4, 1))).shape == (3, 4)
+        params = model.parameters()
+        assert "conv/weight" in params and "fc/weight" in params
+        assert model.parameter_count() == sum(p.size for p in params.values())
+
+    def test_sequential_load_parameters_roundtrip(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([Dense(4, 2, bias=False, rng=rng, name="fc")], input_shape=(4,))
+        saved = {key: value.copy() for key, value in model.parameters().items()}
+        model.parameters()["fc/weight"][:] = 0.0
+        model.load_parameters(saved)
+        np.testing.assert_allclose(model.parameters()["fc/weight"], saved["fc/weight"])
+
+    def test_load_parameters_rejects_missing(self):
+        model = Sequential([Dense(4, 2, name="fc")], input_shape=(4,))
+        with pytest.raises(LayerError):
+            model.load_parameters({})

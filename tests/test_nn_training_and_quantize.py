@@ -1,0 +1,179 @@
+"""Tests for training utilities and fixed-point quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.quantize import (
+    QuantizationError,
+    quantization_error,
+    quantize_symmetric,
+    quantize_threshold,
+)
+from repro.nn.training import Adam, SGD, Trainer, TrainingError, cross_entropy, softmax
+
+
+def _separable_data(n=200, features=10, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(classes, features))
+    labels = rng.integers(0, classes, size=n)
+    data = centers[labels] + rng.normal(scale=0.5, size=(n, features))
+    return data, labels
+
+
+class TestLossFunctions:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(4, 7))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.random.default_rng(0).normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, grad = cross_entropy(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        assert np.abs(grad).max() < 1e-6
+
+    def test_cross_entropy_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 1])
+        _, grad = cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy(); plus[i, j] += eps
+                minus = logits.copy(); minus[i, j] -= eps
+                numeric = (cross_entropy(plus, labels)[0] - cross_entropy(minus, labels)[0]) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-4)
+
+    def test_cross_entropy_label_mismatch(self):
+        with pytest.raises(TrainingError):
+            cross_entropy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.0)
+        params = {"w": np.array([1.0, 1.0])}
+        optimizer.step(params, {"w": np.array([1.0, -1.0])})
+        np.testing.assert_allclose(params["w"], [0.9, 1.1])
+
+    def test_sgd_momentum_accumulates(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        params = {"w": np.array([0.0])}
+        optimizer.step(params, {"w": np.array([1.0])})
+        first = params["w"].copy()
+        optimizer.step(params, {"w": np.array([1.0])})
+        assert (params["w"] - first)[0] < first[0]  # larger step the second time
+
+    def test_sgd_rejects_bad_hyperparameters(self):
+        with pytest.raises(TrainingError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            SGD(momentum=1.5)
+
+    def test_adam_step_is_bounded_by_learning_rate(self):
+        optimizer = Adam(learning_rate=0.01)
+        params = {"w": np.array([0.0])}
+        optimizer.step(params, {"w": np.array([1000.0])})
+        assert abs(params["w"][0]) <= 0.011
+
+
+class TestTrainer:
+    def test_training_reduces_loss_and_improves_accuracy(self):
+        data, labels = _separable_data()
+        model = Sequential([
+            Dense(10, 16, bias=False, rng=np.random.default_rng(0), name="fc1"),
+            ReLU(),
+            Dense(16, 3, bias=False, rng=np.random.default_rng(1), name="fc2"),
+        ], input_shape=(10,))
+        trainer = Trainer(model, SGD(learning_rate=0.05), batch_size=32, seed=0)
+        history = trainer.fit(data, labels, epochs=8)
+        assert history.losses[-1] < history.losses[0]
+        assert history.train_accuracies[-1] > 0.9
+
+    def test_fit_tracks_validation(self):
+        data, labels = _separable_data(n=120)
+        model = Sequential([Dense(10, 3, bias=False, name="fc")], input_shape=(10,))
+        trainer = Trainer(model, batch_size=16)
+        history = trainer.fit(data[:100], labels[:100], epochs=2,
+                              val_x=data[100:], val_labels=labels[100:])
+        assert len(history.val_accuracies) == 2
+
+    def test_trainer_rejects_mismatched_data(self):
+        model = Sequential([Dense(10, 3, name="fc")], input_shape=(10,))
+        trainer = Trainer(model)
+        with pytest.raises(TrainingError):
+            trainer.train_epoch(np.zeros((5, 10)), np.zeros(4, dtype=int))
+
+    def test_trainer_rejects_bad_batch_size(self):
+        model = Sequential([Dense(10, 3, name="fc")], input_shape=(10,))
+        with pytest.raises(TrainingError):
+            Trainer(model, batch_size=0)
+
+
+class TestQuantization:
+    def test_quantize_respects_bit_range(self):
+        values = np.linspace(-2.0, 2.0, 101)
+        quantised = quantize_symmetric(values, bits=5)
+        assert quantised.values.max() <= 15
+        assert quantised.values.min() >= -15
+
+    def test_quantize_zero_tensor(self):
+        quantised = quantize_symmetric(np.zeros(10), bits=5)
+        assert quantised.scale == 1.0
+        assert not quantised.values.any()
+
+    def test_dequantize_error_is_bounded_by_half_scale(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        quantised = quantize_symmetric(values, bits=5)
+        error = np.abs(values - quantised.dequantize()).max()
+        assert error <= quantised.scale / 2 + 1e-12
+
+    def test_explicit_scale_clips(self):
+        quantised = quantize_symmetric(np.array([100.0]), bits=5, scale=1.0)
+        assert quantised.values[0] == 15
+
+    def test_rejects_bad_bits_and_scale(self):
+        with pytest.raises(QuantizationError):
+            quantize_symmetric(np.ones(3), bits=1)
+        with pytest.raises(QuantizationError):
+            quantize_symmetric(np.ones(3), bits=5, scale=0.0)
+
+    def test_bits_used(self):
+        quantised = quantize_symmetric(np.array([7.0, -7.0]), bits=5, scale=1.0)
+        assert quantised.bits_used == 4
+
+    def test_quantization_error_metric(self):
+        values = np.array([1.0, -1.0])
+        quantised = quantize_symmetric(values, bits=5)
+        assert quantization_error(values, quantised) >= 0.0
+
+    def test_threshold_quantisation(self):
+        assert quantize_threshold(1.0, 0.1) == 10
+        assert quantize_threshold(0.001, 1.0) == 1
+        with pytest.raises(QuantizationError):
+            quantize_threshold(1.0, 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False),
+                    min_size=1, max_size=32),
+    bits=st.integers(min_value=2, max_value=8),
+)
+def test_property_quantisation_is_symmetric_and_bounded(values, bits):
+    """Quantised magnitudes never exceed the signed range and sign is preserved."""
+    array = np.asarray(values)
+    quantised = quantize_symmetric(array, bits=bits)
+    qmax = (1 << (bits - 1)) - 1
+    assert np.abs(quantised.values).max(initial=0) <= qmax
+    nonzero = np.abs(array) > quantised.scale / 2
+    assert np.all(np.sign(quantised.values[nonzero]) == np.sign(array[nonzero]))

@@ -1,0 +1,215 @@
+"""Tests for the energy table, frequency model and architectural power model."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import ExecutionStats
+from repro.power.energy_table import (
+    DEFAULT_ENERGY_TABLE,
+    EnergyTableError,
+    INTERCHIP_PJ_PER_BIT,
+    OpEnergy,
+    REFERENCE_SWITCHING_ACTIVITY,
+)
+from repro.power.frequency import (
+    FIG5_FPS_TARGETS,
+    FIG5_PAPER_POINTS,
+    FrequencyError,
+    achievable_fps,
+    check_feasible,
+    required_frequency,
+    throughput_sweep,
+)
+from repro.power.interchip import InterchipError, InterchipTraffic, interchip_energy_pj, \
+    interchip_power_w
+from repro.power.power_model import PowerModel, PowerModelConfig, PowerModelError
+
+
+class TestEnergyTable:
+    def test_table2_values_verbatim(self):
+        assert DEFAULT_ENERGY_TABLE.entry("ps_sum").energy_per_neuron_pj == pytest.approx(1.25)
+        assert DEFAULT_ENERGY_TABLE.entry("ps_send").energy_per_neuron_pj == pytest.approx(1.44)
+        assert DEFAULT_ENERGY_TABLE.entry("ps_bypass").energy_per_neuron_pj == pytest.approx(1.48)
+        assert DEFAULT_ENERGY_TABLE.entry("spike_fire").energy_per_neuron_pj == pytest.approx(2.24)
+        assert DEFAULT_ENERGY_TABLE.entry("spike_send").energy_per_neuron_pj == pytest.approx(2.35)
+        assert DEFAULT_ENERGY_TABLE.entry("spike_bypass").energy_per_neuron_pj == pytest.approx(1.24)
+        assert DEFAULT_ENERGY_TABLE.entry("core_acc").energy_per_neuron_pj == pytest.approx(171.67)
+        assert DEFAULT_ENERGY_TABLE.entry("core_ld_wt").energy_per_neuron_pj == pytest.approx(236.67)
+
+    def test_long_ops_take_131_cycles(self):
+        assert DEFAULT_ENERGY_TABLE.entry("core_acc").cycles == 131
+        assert DEFAULT_ENERGY_TABLE.entry("core_ld_wt").cycles == 131
+
+    def test_energy_scales_with_lanes(self):
+        assert DEFAULT_ENERGY_TABLE.energy_pj("ps_sum", 256) == pytest.approx(320.0)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(EnergyTableError):
+            DEFAULT_ENERGY_TABLE.entry("nonexistent")
+
+    def test_with_entry_returns_new_table(self):
+        table = DEFAULT_ENERGY_TABLE.with_entry(
+            "custom", OpEnergy(name="X", block="y", active_power_mw_at_120khz=0.01,
+                               energy_per_neuron_pj=1.0))
+        assert "custom" in table.entries
+        assert "custom" not in DEFAULT_ENERGY_TABLE.entries
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(EnergyTableError):
+            OpEnergy(name="X", block="y", active_power_mw_at_120khz=-1, energy_per_neuron_pj=1)
+
+    def test_reference_activity_is_paper_value(self):
+        assert REFERENCE_SWITCHING_ACTIVITY == pytest.approx(0.0625)
+
+    def test_interchip_energy_constant(self):
+        assert INTERCHIP_PJ_PER_BIT == pytest.approx(4.4)
+
+
+class TestFrequency:
+    def test_required_frequency(self):
+        assert required_frequency(3000, 40) == pytest.approx(120e3)
+
+    def test_achievable_fps_inverse(self):
+        assert achievable_fps(3000, 120e3) == pytest.approx(40)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(FrequencyError):
+            required_frequency(0, 40)
+        with pytest.raises(FrequencyError):
+            achievable_fps(100, 0)
+
+    def test_check_feasible_against_max_frequency(self):
+        from repro.core.config import DEFAULT_ARCH
+
+        check_feasible(100e6, DEFAULT_ARCH)
+        with pytest.raises(FrequencyError):
+            check_feasible(300e6, DEFAULT_ARCH)
+
+    def test_throughput_sweep_is_monotonic(self):
+        points = throughput_sweep(3000, FIG5_FPS_TARGETS,
+                                  tile_power_fn=lambda f, fps: 1e-4 + 1e-6 * fps)
+        frequencies = [p.frequency_hz for p in points]
+        powers = [p.tile_power_w for p in points]
+        assert frequencies == sorted(frequencies)
+        assert powers == sorted(powers)
+
+    def test_fig5_reference_points_present(self):
+        assert set(FIG5_PAPER_POINTS) == set(FIG5_FPS_TARGETS)
+        assert FIG5_PAPER_POINTS[40] == (120, 181)
+
+
+class TestInterchip:
+    def test_energy_per_bit(self):
+        traffic = InterchipTraffic(spike_bits=100, ps_bits=900)
+        assert interchip_energy_pj(traffic) == pytest.approx(1000 * 4.4)
+
+    def test_power_at_fps(self):
+        traffic = InterchipTraffic(spike_bits=0, ps_bits=1_000_000)
+        watts = interchip_power_w(traffic, fps=30)
+        assert watts == pytest.approx(1_000_000 * 4.4e-12 * 30)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(InterchipError):
+            InterchipTraffic(spike_bits=-1)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(InterchipError):
+            interchip_power_w(InterchipTraffic(), fps=0)
+
+
+class TestPowerModel:
+    def test_active_energy_sums_ops(self):
+        model = PowerModel()
+        energy = model.active_energy_pj({"ps_sum": 100, "spike_fire": 10})
+        assert energy == pytest.approx(100 * 1.25 + 10 * 2.24)
+
+    def test_negative_lane_counts_rejected(self):
+        with pytest.raises(PowerModelError):
+            PowerModel().active_energy_pj({"ps_sum": -1})
+
+    def test_report_excludes_weight_loading(self):
+        model = PowerModel(PowerModelConfig(background_power_per_core_w=0.0))
+        with_ld = model.report("x", cores=1, chips=1, timesteps=1,
+                               lanes_per_frame={"core_acc": 10, "core_ld_wt": 10 ** 9},
+                               cycles_per_frame=100, target_fps=10)
+        without = model.report("x", cores=1, chips=1, timesteps=1,
+                               lanes_per_frame={"core_acc": 10},
+                               cycles_per_frame=100, target_fps=10)
+        assert with_ld.total_power_w == pytest.approx(without.total_power_w)
+
+    def test_report_fields_consistent(self):
+        model = PowerModel()
+        report = model.report("mlp", cores=10, chips=1, timesteps=20,
+                              lanes_per_frame={"core_acc": 10 * 256 * 20},
+                              cycles_per_frame=3000, target_fps=40)
+        assert report.frequency_hz == pytest.approx(120e3)
+        assert report.power_per_core_mw == pytest.approx(report.power_mw / 10)
+        assert report.mj_per_frame == pytest.approx(report.power_mw / 40, rel=1e-6)
+        row = report.as_row()
+        assert row["#Cores"] == 10
+        assert row["Timestep (T)"] == 20
+
+    def test_power_grows_with_cores_and_work(self):
+        model = PowerModel()
+        small = model.report("a", cores=10, chips=1, timesteps=20,
+                             lanes_per_frame={"core_acc": 10 * 256 * 20},
+                             cycles_per_frame=3000, target_fps=30)
+        large = model.report("b", cores=1000, chips=2, timesteps=80,
+                             lanes_per_frame={"core_acc": 1000 * 256 * 80},
+                             cycles_per_frame=30000, target_fps=30)
+        assert large.total_power_w > small.total_power_w
+        assert large.mj_per_frame > small.mj_per_frame
+
+    def test_interchip_traffic_adds_power(self):
+        model = PowerModel()
+        base = model.report("a", cores=10, chips=2, timesteps=20,
+                            lanes_per_frame={"core_acc": 100},
+                            cycles_per_frame=1000, target_fps=30)
+        with_io = model.report("a", cores=10, chips=2, timesteps=20,
+                               lanes_per_frame={"core_acc": 100},
+                               cycles_per_frame=1000, target_fps=30,
+                               interchip_traffic=InterchipTraffic(ps_bits=10 ** 9))
+        assert with_io.total_power_w > base.total_power_w
+
+    def test_frame_energy_from_stats(self):
+        stats = ExecutionStats()
+        stats.record_op("core_acc", lanes=256)
+        stats.record_op("core_ld_wt", lanes=256)
+        stats.frames = 1
+        model = PowerModel()
+        energy = model.frame_energy_from_stats(stats)
+        assert energy == pytest.approx(256 * 171.67e-12)
+
+    def test_frame_energy_requires_frames(self):
+        with pytest.raises(PowerModelError):
+            PowerModel().frame_energy_from_stats(ExecutionStats())
+
+    def test_mnist_mlp_operating_point_matches_paper_order_of_magnitude(self):
+        """10 cores at 40 fps / 120 kHz should land close to the paper's 1.26-1.35 mW."""
+        model = PowerModel()
+        timesteps = 20
+        lanes = {
+            "core_acc": 10 * 256 * timesteps,
+            "ps_send": 7 * 256 * timesteps,
+            "ps_sum": 7 * 256 * timesteps,
+            "spike_fire": 3 * 256 * timesteps,
+            "spike_send": 4 * 256 * timesteps,
+            "spike_bypass": 10 * 256 * timesteps,
+        }
+        report = model.report("mnist-mlp", cores=10, chips=1, timesteps=timesteps,
+                              lanes_per_frame=lanes, cycles_per_frame=3000, target_fps=40)
+        assert 0.5 < report.power_mw < 3.0
+        assert 0.05 < report.power_per_core_mw < 0.3
+        assert 10 < report.uj_per_frame < 80
+
+    def test_config_validation(self):
+        with pytest.raises(PowerModelError):
+            PowerModelConfig(background_power_per_core_w=-1.0)
+        with pytest.raises(PowerModelError):
+            PowerModelConfig(interchip_pj_per_bit=-0.1)
+
+    def test_tile_power_increases_with_fps(self):
+        model = PowerModel()
+        low = model.tile_power_w(73e3, 24, 1e-6)
+        high = model.tile_power_w(181e3, 60, 1e-6)
+        assert high > low

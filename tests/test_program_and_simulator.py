@@ -1,0 +1,219 @@
+"""Tests for the program representation and hand-built simulator scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import (
+    CoreAccumulate,
+    Direction,
+    PsSend,
+    PsSum,
+    SpikeFire,
+    SpikeReceive,
+    SpikeSend,
+)
+from repro.core.simulator import ShenjingSimulator, SimulationError
+from repro.core.tile import TileCoordinate
+from repro.mapping.program import (
+    InputBinding,
+    InstructionGroup,
+    OutputBinding,
+    Program,
+    ProgramError,
+    TileConfig,
+)
+
+
+def _tile_config(arch, tile, weights=None, threshold=4):
+    if weights is None:
+        weights = np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16)
+    thresholds = np.full(arch.core_neurons, threshold, dtype=np.int64)
+    return TileConfig(tile=tile, weights=weights, thresholds=thresholds)
+
+
+def _single_core_program(arch, weights, threshold):
+    """One core, fed by external inputs, firing locally."""
+    tile = TileCoordinate(0, 0)
+    program = Program(arch=arch, rows=2, cols=2, input_size=arch.core_inputs,
+                      output_size=arch.core_neurons)
+    program.add_tile_config(_tile_config(arch, tile, weights, threshold))
+    program.input_bindings.append(InputBinding(
+        tile=tile, indices=np.arange(arch.core_inputs), axon_offset=0))
+    phase = program.new_phase("layer/acc")
+    phase.new_group("acc").add(tile, CoreAccumulate(banks=arch.sram_banks))
+    fire = program.new_phase("layer/fire")
+    fire.new_group("spike").add(tile, SpikeFire(use_noc_sum=False))
+    program.output_bindings.append(OutputBinding(
+        tile=tile, lanes=tuple(range(arch.core_neurons)),
+        output_indices=tuple(range(arch.core_neurons))))
+    return program
+
+
+class TestProgramValidation:
+    def test_valid_program_passes(self, arch):
+        weights = np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16)
+        program = _single_core_program(arch, weights, threshold=4)
+        program.validate()
+
+    def test_instruction_outside_fabric_rejected(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        program.phases[0].groups[0].add(TileCoordinate(5, 5), CoreAccumulate())
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_input_binding_on_unconfigured_tile_rejected(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        program.input_bindings.append(InputBinding(
+            tile=TileCoordinate(1, 1), indices=np.arange(4)))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_input_binding_exceeding_axons_rejected(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        program.input_bindings.append(InputBinding(
+            tile=TileCoordinate(0, 0), indices=np.arange(4),
+            axon_offset=arch.core_inputs))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_overlapping_output_bindings_rejected(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        program.output_bindings.append(OutputBinding(
+            tile=TileCoordinate(0, 0), lanes=(0,), output_indices=(0,)))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_uncovered_outputs_rejected(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        program.output_bindings[0] = OutputBinding(
+            tile=TileCoordinate(0, 0), lanes=(0,), output_indices=(0,))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_duplicate_tile_config_rejected(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        with pytest.raises(ProgramError):
+            program.add_tile_config(_tile_config(arch, TileCoordinate(0, 0)))
+
+    def test_cycles_per_timestep_counts_long_ops(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        assert program.cycles_per_timestep() == arch.long_op_cycles + 1
+
+    def test_binding_shapes_validated(self, arch):
+        with pytest.raises(ProgramError):
+            InputBinding(tile=TileCoordinate(0, 0), indices=np.array([]))
+        with pytest.raises(ProgramError):
+            OutputBinding(tile=TileCoordinate(0, 0), lanes=(0, 1), output_indices=(0,))
+
+    def test_describe_mentions_cores_and_phases(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        text = program.describe()
+        assert "1 cores used" in text
+        assert "layer/acc" in text
+
+
+class TestSingleCoreSimulation:
+    def test_single_core_counts_match_if_dynamics(self, arch, rng):
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons)).astype(np.int16)
+        threshold = 6
+        program = _single_core_program(arch, weights, threshold)
+        simulator = ShenjingSimulator(program)
+        spike_train = rng.random((5, arch.core_inputs)) < 0.4
+        result = simulator.run_frame(spike_train)
+
+        potential = np.zeros(arch.core_neurons, dtype=np.int64)
+        expected = np.zeros(arch.core_neurons, dtype=np.int64)
+        for step in range(5):
+            sums = spike_train[step].astype(np.int64) @ weights.astype(np.int64)
+            potential += sums
+            fired = potential >= threshold
+            potential -= np.where(fired, threshold, 0)
+            expected += fired
+        np.testing.assert_array_equal(result.spike_counts, expected)
+
+    def test_input_size_mismatch_rejected(self, arch):
+        program = _single_core_program(
+            arch, np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        simulator = ShenjingSimulator(program)
+        with pytest.raises(SimulationError):
+            simulator.run(np.zeros((1, 3, arch.core_inputs + 1), dtype=bool))
+
+    def test_stats_count_acc_and_fire(self, arch):
+        program = _single_core_program(
+            arch, np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        simulator = ShenjingSimulator(program)
+        simulator.run_frame(np.ones((3, arch.core_inputs), dtype=bool))
+        assert simulator.stats.ops["core_acc"].operations == 3
+        assert simulator.stats.ops["spike_fire"].operations == 3
+        assert simulator.stats.ops["core_ld_wt"].operations == 1
+
+
+class TestTwoCoreSpikeRouting:
+    def _two_core_program(self, arch, w_src, w_dst, threshold):
+        """Core A fires from external input; its spikes feed core B eastwards."""
+        tile_a = TileCoordinate(0, 0)
+        tile_b = TileCoordinate(0, 1)
+        n = arch.core_neurons
+        program = Program(arch=arch, rows=2, cols=2, input_size=arch.core_inputs,
+                          output_size=n)
+        program.add_tile_config(_tile_config(arch, tile_a, w_src, threshold))
+        program.add_tile_config(_tile_config(arch, tile_b, w_dst, threshold))
+        program.input_bindings.append(InputBinding(
+            tile=tile_a, indices=np.arange(arch.core_inputs)))
+        p1 = program.new_phase("a")
+        p1.new_group().add(tile_a, CoreAccumulate())
+        p1.new_group().add(tile_a, SpikeFire(use_noc_sum=False))
+        p2 = program.new_phase("deliver")
+        p2.new_group().add(tile_a, SpikeSend(dst=Direction.EAST,
+                                             lanes=frozenset(range(min(arch.core_inputs, n)))))
+        p2.new_group().add(tile_b, SpikeReceive(src=Direction.WEST, axon_offset=0))
+        p3 = program.new_phase("b")
+        p3.new_group().add(tile_b, CoreAccumulate())
+        p3.new_group().add(tile_b, SpikeFire(use_noc_sum=False))
+        program.output_bindings.append(OutputBinding(
+            tile=tile_b, lanes=tuple(range(n)), output_indices=tuple(range(n))))
+        return program
+
+    def test_spikes_propagate_between_tiles(self, arch, rng):
+        w_src = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons)).astype(np.int16)
+        w_dst = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons)).astype(np.int16)
+        threshold = 5
+        program = self._two_core_program(arch, w_src, w_dst, threshold)
+        simulator = ShenjingSimulator(program)
+        spike_train = rng.random((4, arch.core_inputs)) < 0.5
+        result = simulator.run_frame(spike_train)
+
+        # Reference: two IF layers chained.
+        pot_a = np.zeros(arch.core_neurons, dtype=np.int64)
+        pot_b = np.zeros(arch.core_neurons, dtype=np.int64)
+        expected = np.zeros(arch.core_neurons, dtype=np.int64)
+        for step in range(4):
+            pot_a += spike_train[step].astype(np.int64) @ w_src.astype(np.int64)
+            fired_a = pot_a >= threshold
+            pot_a -= np.where(fired_a, threshold, 0)
+            inputs_b = np.zeros(arch.core_inputs, dtype=np.int64)
+            inputs_b[:arch.core_neurons] = fired_a
+            pot_b += inputs_b @ w_dst.astype(np.int64)
+            fired_b = pot_b >= threshold
+            pot_b -= np.where(fired_b, threshold, 0)
+            expected += fired_b
+        np.testing.assert_array_equal(result.spike_counts, expected)
+
+    def test_interchip_traffic_counted_when_crossing_chips(self, rng):
+        from repro.core.config import small_test_arch
+
+        arch = small_test_arch(core_inputs=8, core_neurons=8, chip_rows=2, chip_cols=1)
+        w = np.ones((8, 8), dtype=np.int16)
+        program = self._two_core_program(arch, w, w, threshold=1)
+        simulator = ShenjingSimulator(program)
+        simulator.run_frame(np.ones((2, 8), dtype=bool))
+        # tiles (0,0) and (0,1) are on different 2x1 chips
+        assert simulator.stats.interchip_spike_bits > 0

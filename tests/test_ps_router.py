@@ -1,0 +1,132 @@
+"""Tests for the partial-sum NoC router model."""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import Direction
+from repro.core.ps_router import PsPacket, PsRouter, PsRouterError, lane_indices
+
+
+@pytest.fixture
+def router(arch):
+    return PsRouter(arch, coordinate=(1, 1))
+
+
+def _packet(values, lanes=None):
+    return PsPacket.from_vector(np.asarray(values, dtype=np.int64), lanes)
+
+
+class TestLaneIndices:
+    def test_none_selects_all(self):
+        np.testing.assert_array_equal(lane_indices(None, 4), [0, 1, 2, 3])
+
+    def test_subset_is_sorted(self):
+        np.testing.assert_array_equal(lane_indices(frozenset({3, 0, 2}), 6), [0, 2, 3])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            lane_indices(frozenset({9}), 4)
+
+
+class TestPacket:
+    def test_from_vector_all_lanes(self, arch):
+        packet = _packet(np.arange(arch.core_neurons))
+        assert packet.values.shape == (arch.core_neurons,)
+
+    def test_from_vector_subset(self, arch):
+        packet = _packet(np.arange(arch.core_neurons), frozenset({1, 3}))
+        np.testing.assert_array_equal(packet.lanes, [1, 3])
+        np.testing.assert_array_equal(packet.values, [1, 3])
+
+    def test_expand_restores_dense_vector(self, arch):
+        packet = _packet(np.arange(arch.core_neurons), frozenset({2, 5}))
+        dense = packet.expand(arch.core_neurons)
+        assert dense[2] == 2 and dense[5] == 5
+        assert dense.sum() == 7
+
+
+class TestDeliveryLatch:
+    def test_deliver_and_take(self, router, arch):
+        router.deliver(Direction.NORTH, _packet(np.ones(arch.core_neurons)))
+        assert router.has_input(Direction.NORTH)
+        packet = router.take_input(Direction.NORTH)
+        assert packet.values.sum() == arch.core_neurons
+        assert not router.has_input(Direction.NORTH)
+
+    def test_double_delivery_is_a_schedule_conflict(self, router, arch):
+        router.deliver(Direction.EAST, _packet(np.ones(arch.core_neurons)))
+        with pytest.raises(PsRouterError):
+            router.deliver(Direction.EAST, _packet(np.ones(arch.core_neurons)))
+
+    def test_take_without_delivery_fails(self, router):
+        with pytest.raises(PsRouterError):
+            router.take_input(Direction.WEST)
+
+
+class TestSumOperation:
+    def test_first_sum_adds_local_partial_sum(self, router, arch, rng):
+        local = rng.integers(-10, 10, size=arch.core_neurons)
+        incoming = rng.integers(-10, 10, size=arch.core_neurons)
+        router.deliver(Direction.SOUTH, _packet(incoming))
+        router.op_sum(Direction.SOUTH, local, consecutive=False)
+        np.testing.assert_array_equal(router.weighted_sum(), local + incoming)
+
+    def test_consecutive_sum_accumulates(self, router, arch, rng):
+        local = rng.integers(-5, 5, size=arch.core_neurons)
+        first = rng.integers(-5, 5, size=arch.core_neurons)
+        second = rng.integers(-5, 5, size=arch.core_neurons)
+        router.deliver(Direction.SOUTH, _packet(first))
+        router.op_sum(Direction.SOUTH, local, consecutive=False)
+        router.deliver(Direction.EAST, _packet(second))
+        router.op_sum(Direction.EAST, local, consecutive=True)
+        np.testing.assert_array_equal(router.weighted_sum(), local + first + second)
+
+    def test_sum_marks_lanes_valid(self, router, arch):
+        router.deliver(Direction.NORTH, _packet(np.ones(arch.core_neurons), frozenset({0, 1})))
+        router.op_sum(Direction.NORTH, np.zeros(arch.core_neurons), consecutive=False)
+        valid = router.weighted_sum_valid()
+        assert valid[0] and valid[1]
+        assert not valid[2:].any()
+
+    def test_sum_overflow_detected(self, router, arch):
+        huge = np.full(arch.core_neurons, arch.ps_max)
+        router.deliver(Direction.NORTH, _packet(huge))
+        with pytest.raises(PsRouterError):
+            router.op_sum(Direction.NORTH, huge, consecutive=False)
+
+    def test_receive_latches_without_adding(self, router, arch, rng):
+        incoming = rng.integers(-9, 9, size=arch.core_neurons)
+        router.deliver(Direction.WEST, _packet(incoming))
+        router.op_receive(Direction.WEST)
+        np.testing.assert_array_equal(router.weighted_sum(), incoming)
+
+
+class TestSendAndBypass:
+    def test_send_local_partial_sum(self, router, arch, rng):
+        local = rng.integers(-4, 5, size=arch.core_neurons)
+        packet = router.op_send(local, lanes=frozenset({0, 3}))
+        np.testing.assert_array_equal(packet.lanes, [0, 3])
+        np.testing.assert_array_equal(packet.values, local[[0, 3]])
+
+    def test_send_sum_buffer(self, router, arch, rng):
+        local = rng.integers(-4, 5, size=arch.core_neurons)
+        incoming = rng.integers(-4, 5, size=arch.core_neurons)
+        router.deliver(Direction.NORTH, _packet(incoming))
+        router.op_sum(Direction.NORTH, local, consecutive=False)
+        packet = router.op_send(np.zeros(arch.core_neurons), use_sum_buf=True)
+        np.testing.assert_array_equal(packet.expand(arch.core_neurons), local + incoming)
+
+    def test_bypass_forwards_packet_unchanged(self, router, arch, rng):
+        incoming = rng.integers(-4, 5, size=arch.core_neurons)
+        router.deliver(Direction.EAST, _packet(incoming, frozenset({1, 2})))
+        packet = router.op_bypass(Direction.EAST)
+        np.testing.assert_array_equal(packet.lanes, [1, 2])
+        np.testing.assert_array_equal(packet.values, incoming[[1, 2]])
+
+    def test_clear_step_resets_state(self, router, arch):
+        router.deliver(Direction.NORTH, _packet(np.ones(arch.core_neurons)))
+        router.op_sum(Direction.NORTH, np.zeros(arch.core_neurons), consecutive=False)
+        router.clear_step()
+        assert not router.weighted_sum_valid().any()
+        assert not router.has_input(Direction.NORTH)
+        assert router.weighted_sum().sum() == 0

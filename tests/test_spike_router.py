@@ -1,0 +1,154 @@
+"""Tests for the spike NoC router and its integrate-and-fire logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import small_test_arch
+from repro.core.isa import Direction
+from repro.core.spike_router import SpikePacket, SpikeRouter, SpikeRouterError
+
+
+@pytest.fixture
+def router(arch):
+    return SpikeRouter(arch, coordinate=(0, 0))
+
+
+class TestThresholdConfiguration:
+    def test_scalar_threshold(self, router, arch):
+        router.configure_threshold(7)
+        assert (router.threshold == 7).all()
+
+    def test_per_lane_threshold(self, router, arch):
+        values = np.arange(1, arch.core_neurons + 1)
+        router.configure_threshold(values)
+        np.testing.assert_array_equal(router.threshold, values)
+
+    def test_lane_subset_threshold(self, router):
+        router.configure_threshold(9, lanes=frozenset({0, 2}))
+        assert router.threshold[0] == 9 and router.threshold[2] == 9
+        assert router.threshold[1] == 1
+
+    def test_rejects_non_positive_threshold(self, router):
+        with pytest.raises(SpikeRouterError):
+            router.configure_threshold(0)
+
+    def test_rejects_wrong_width(self, router, arch):
+        with pytest.raises(SpikeRouterError):
+            router.configure_threshold(np.ones(arch.core_neurons + 1))
+
+
+class TestIfDynamics:
+    def test_fires_when_threshold_reached(self, router, arch):
+        router.configure_threshold(5)
+        sums = np.zeros(arch.core_neurons, dtype=np.int64)
+        sums[0] = 5
+        packet = router.op_spike(sums)
+        assert packet.expand(arch.core_neurons)[0]
+        assert router.potential[0] == 0
+
+    def test_does_not_fire_below_threshold(self, router, arch):
+        router.configure_threshold(5)
+        sums = np.full(arch.core_neurons, 4, dtype=np.int64)
+        packet = router.op_spike(sums)
+        assert packet.spike_count == 0
+        assert (router.potential == 4).all()
+
+    def test_reset_by_subtraction_keeps_residual(self, router, arch):
+        router.configure_threshold(5)
+        sums = np.full(arch.core_neurons, 7, dtype=np.int64)
+        router.op_spike(sums)
+        assert (router.potential == 2).all()
+
+    def test_potential_accumulates_across_steps(self, router, arch):
+        router.configure_threshold(10)
+        sums = np.full(arch.core_neurons, 4, dtype=np.int64)
+        assert router.op_spike(sums).spike_count == 0
+        assert router.op_spike(sums).spike_count == 0
+        # third step: 12 >= 10 -> all fire
+        assert router.op_spike(sums).spike_count == arch.core_neurons
+
+    def test_negative_sums_lower_potential(self, router, arch):
+        router.configure_threshold(5)
+        router.op_spike(np.full(arch.core_neurons, 3, dtype=np.int64))
+        router.op_spike(np.full(arch.core_neurons, -2, dtype=np.int64))
+        assert (router.potential == 1).all()
+
+    def test_lane_masked_spike(self, router, arch):
+        router.configure_threshold(1)
+        sums = np.ones(arch.core_neurons, dtype=np.int64)
+        packet = router.op_spike(sums, lanes=frozenset({0, 1}))
+        assert packet.spike_count == 2
+        # untouched lanes keep zero potential
+        assert router.potential[2:].sum() == 0
+
+    def test_reset_potentials(self, router, arch):
+        router.configure_threshold(10)
+        router.op_spike(np.full(arch.core_neurons, 4, dtype=np.int64))
+        router.reset_potentials()
+        assert router.potential.sum() == 0
+
+
+class TestRouting:
+    def test_send_uses_spike_register(self, router, arch):
+        router.configure_threshold(1)
+        sums = np.zeros(arch.core_neurons, dtype=np.int64)
+        sums[3] = 1
+        router.op_spike(sums)
+        packet = router.op_send(lanes=frozenset({3}))
+        assert packet.spike_count == 1
+
+    def test_bypass_consumes_latch(self, router, arch):
+        packet = SpikePacket.from_vector(np.ones(arch.core_neurons, dtype=bool), None)
+        router.deliver(Direction.NORTH, packet)
+        router.op_bypass(Direction.NORTH)
+        assert not router.has_input(Direction.NORTH)
+
+    def test_bypass_can_peek_for_multicast(self, router, arch):
+        packet = SpikePacket.from_vector(np.ones(arch.core_neurons, dtype=bool), None)
+        router.deliver(Direction.NORTH, packet)
+        router.op_bypass(Direction.NORTH, consume=False)
+        assert router.has_input(Direction.NORTH)
+
+    def test_double_delivery_rejected(self, router, arch):
+        packet = SpikePacket.from_vector(np.ones(arch.core_neurons, dtype=bool), None)
+        router.deliver(Direction.EAST, packet)
+        with pytest.raises(SpikeRouterError):
+            router.deliver(Direction.EAST, packet)
+
+    def test_receive_missing_packet(self, router):
+        with pytest.raises(SpikeRouterError):
+            router.op_receive(Direction.SOUTH)
+
+    def test_clear_step_keeps_potentials(self, router, arch):
+        router.configure_threshold(10)
+        router.op_spike(np.full(arch.core_neurons, 4, dtype=np.int64))
+        router.clear_step()
+        assert (router.potential == 4).all()
+        assert not router.spike_register.any()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    threshold=st.integers(min_value=1, max_value=20),
+    sums=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=30),
+)
+def test_property_charge_conservation(threshold, sums):
+    """Reset-by-subtraction conserves charge.
+
+    After any input sequence, total input = threshold * spikes + residual
+    potential (for non-negative inputs), which is why rate coding preserves
+    the weighted-sum information.
+    """
+    arch = small_test_arch(core_inputs=4, core_neurons=1)
+    router = SpikeRouter(arch)
+    router.configure_threshold(threshold)
+    spike_count = 0
+    for value in sums:
+        packet = router.op_spike(np.array([value], dtype=np.int64))
+        spike_count += packet.spike_count
+    assert sum(sums) == threshold * spike_count + int(router.potential[0])
+    # With at most one 1-bit spike per step the residual can transiently
+    # exceed the threshold (it fires again next step), but never goes negative
+    # for non-negative inputs.
+    assert int(router.potential[0]) >= 0

@@ -1,0 +1,79 @@
+"""Engine throughput — frames/sec of the execution backends on batched runs.
+
+Measures the ``vectorized`` backend's speedup over the cycle-level
+``reference`` interpreter on the MLP example mapping (the ISSUE's acceptance
+target is >=10x on a >=32-frame batch), after asserting bit-exact parity on
+the measured batch.  Doubles as a plain script:
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import small_test_arch
+from repro.engine import assert_backend_parity, create_backend
+from repro.mapping import compile_network
+from repro.snn import DenseSpec, SnnNetwork, deterministic_encode
+
+try:
+    from conftest import print_table
+except ImportError:  # running as a script from the repo root
+    def print_table(title, rows):
+        print(f"\n=== {title} ===")
+        for key, value in rows.items():
+            print(f"  {key:<32} {value}")
+
+FRAMES = 64
+TIMESTEPS = 16
+
+
+def _mlp_program():
+    """The quickstart-style 40-24-5 MLP mapping (spans several cores/NoCs)."""
+    rng = np.random.default_rng(0)
+    arch = small_test_arch(core_inputs=16, core_neurons=16, chip_rows=8, chip_cols=8)
+    network = SnnNetwork(
+        name="bench-mlp",
+        input_shape=(40,),
+        layers=[
+            DenseSpec(name="fc1", weights=rng.integers(-7, 8, size=(40, 24)), threshold=25),
+            DenseSpec(name="fc2", weights=rng.integers(-7, 8, size=(24, 5)), threshold=20),
+        ],
+        timesteps=TIMESTEPS,
+    )
+    trains = deterministic_encode(rng.random((FRAMES, 40)), TIMESTEPS)
+    return compile_network(network, arch).program, trains
+
+
+def _time_backend(name: str, program, trains) -> float:
+    """Seconds for one batched run (backend construction excluded)."""
+    backend = create_backend(name, program)
+    start = time.perf_counter()
+    backend.run(trains)
+    return time.perf_counter() - start
+
+
+def test_vectorized_backend_speedup():
+    program, trains = _mlp_program()
+    assert_backend_parity(program, trains)
+
+    reference_s = _time_backend("reference", program, trains)
+    vectorized_s = _time_backend("vectorized", program, trains)
+    speedup = reference_s / vectorized_s
+
+    print_table(f"Engine throughput ({FRAMES} frames x {TIMESTEPS} timesteps)", {
+        "reference (frames/s)": f"{FRAMES / reference_s:.1f}",
+        "vectorized (frames/s)": f"{FRAMES / vectorized_s:.1f}",
+        "speedup (target >= 10x)": f"{speedup:.1f}x",
+    })
+    assert speedup >= 10.0, (
+        f"vectorized backend is only {speedup:.1f}x faster than reference "
+        f"on a {FRAMES}-frame batch (target: >=10x)"
+    )
+
+
+if __name__ == "__main__":
+    test_vectorized_backend_speedup()

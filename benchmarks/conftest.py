@@ -15,6 +15,15 @@ from repro.core.config import DEFAULT_ARCH
 from repro.datasets import synthetic_cifar10, synthetic_mnist
 
 
+def pytest_configure(config):
+    # Also registered in pytest.ini; repeated here so the benchmarks work
+    # when invoked from a rootdir that does not pick the ini up.
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running tests (multi-frame parity sweeps); deselected by default",
+    )
+
+
 @pytest.fixture(scope="session")
 def mnist_small():
     """A small synthetic-MNIST split shared by the benchmarks."""

@@ -6,8 +6,10 @@ One call of :func:`run_experiment` reproduces one column of Table IV:
 2. convert the ANN to an abstract SNN (rate coding, 5-bit weights);
 3. map the SNN onto Shenjing (logical + physical mapping), timing the
    toolchain (the "Mapping time" row);
-4. optionally cycle-simulate the mapped network on the functional simulator
-   and check it reproduces the abstract SNN's predictions (the "Shenjing
+4. optionally cycle-simulate the mapped network on an execution backend of
+   :mod:`repro.engine` (the batched ``vectorized`` backend by default, the
+   cycle-level ``reference`` interpreter on request — both bit-exact) and
+   check it reproduces the abstract SNN's predictions (the "Shenjing
    Accu." row — lossless by construction, verified by simulation);
 5. estimate frequency, power and energy per frame with the architectural
    power model (the remaining rows).
@@ -29,8 +31,9 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from ..core.config import ArchitectureConfig, DEFAULT_ARCH
-from ..core.simulator import ShenjingSimulator
 from ..datasets import Dataset, synthetic_cifar10, synthetic_mnist
+from ..engine import DEFAULT_BACKEND, get_backend
+from ..engine import run as run_on_backend
 from ..nn.model import Sequential
 from ..nn.training import Adam, SGD, Trainer
 from ..power.interchip import InterchipTraffic
@@ -67,6 +70,9 @@ class ExperimentConfig:
     #: number of test frames to run on the hardware cycle simulator
     #: (0 disables hardware simulation and falls back to the estimator)
     hardware_frames: int = 0
+    #: execution backend for the hardware simulation (see repro.engine);
+    #: all backends are bit-exact, "vectorized" batches the frames
+    backend: str = DEFAULT_BACKEND
     #: fabric height override (None = one chip's rows)
     fabric_rows: Optional[int] = None
 
@@ -77,6 +83,7 @@ class ExperimentConfig:
             raise PipelineError("timesteps and target_fps must be positive")
         if self.train_epochs < 0 or self.train_size <= 0 or self.test_size <= 0:
             raise PipelineError("invalid training sizes")
+        get_backend(self.backend)  # fail fast on unknown backends
 
 
 @dataclass
@@ -172,8 +179,8 @@ def run_experiment(config: ExperimentConfig,
     hardware_matches: Optional[bool] = None
     if compiled is not None:
         frames = min(config.hardware_frames, dataset.test_size)
-        simulator = ShenjingSimulator(compiled.program)
-        hw_result = simulator.run(test_trains[:frames])
+        hw_result = run_on_backend(compiled.program, test_trains[:frames],
+                                   backend=config.backend)
         shenjing_accuracy = hw_result.accuracy(dataset.test_labels[:frames])
         hardware_matches = bool(np.array_equal(
             hw_result.spike_counts, snn_result.spike_counts[:frames]))

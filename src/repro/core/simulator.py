@@ -84,6 +84,27 @@ class SimulationResult:
 _LinkKey = Tuple[TileCoordinate, Direction, str]
 
 
+def normalise_spike_trains(spike_trains: np.ndarray, input_size: int) -> np.ndarray:
+    """Validate and normalise spike trains to ``(frames, timesteps, input_size)``.
+
+    Shared by every execution backend (see :mod:`repro.engine`) so malformed
+    inputs are rejected with identical :class:`SimulationError`\\ s everywhere.
+    """
+    spike_trains = np.asarray(spike_trains, dtype=bool)
+    if spike_trains.ndim == 2:
+        spike_trains = spike_trains[None, ...]
+    if spike_trains.ndim != 3:
+        raise SimulationError(
+            "spike_trains must have shape (frames, timesteps, input_size)"
+        )
+    if spike_trains.shape[2] != input_size:
+        raise SimulationError(
+            f"input size {spike_trains.shape[2]} does not match the program's "
+            f"{input_size}"
+        )
+    return spike_trains
+
+
 class ShenjingSimulator:
     """Executes a compiled :class:`Program` on a behavioural Shenjing system."""
 
@@ -92,11 +113,13 @@ class ShenjingSimulator:
         self.program = program
         self.arch: ArchitectureConfig = program.arch
         self.system = ShenjingSystem(self.arch, rows=program.rows, cols=program.cols)
-        self.stats = ExecutionStats()
         self.collect_stats = collect_stats
-        #: packets in flight, keyed by (destination tile, destination port, net)
-        self._pending: Dict[_LinkKey, object] = {}
+        #: statistics of the one-time configuration (weight loading)
+        self._config_stats = ExecutionStats()
         self._configure()
+        #: statistics of the current run; :meth:`run` starts it from a fresh
+        #: copy of the configuration stats so results never alias each other
+        self.stats = self._config_stats.copy()
 
     # ------------------------------------------------------------------
     # Static configuration
@@ -107,7 +130,7 @@ class ShenjingSimulator:
             tile.configure(config.weights, config.thresholds)
             if self.collect_stats:
                 # Weight loading happens once at initialisation (Table II note 2).
-                self.stats.record_op("core_ld_wt", lanes=self.arch.core_neurons)
+                self._config_stats.record_op("core_ld_wt", lanes=self.arch.core_neurons)
 
     # ------------------------------------------------------------------
     # Public API
@@ -121,27 +144,26 @@ class ShenjingSimulator:
             Boolean array of shape ``(frames, timesteps, input_size)`` holding
             the externally generated input spike trains (see
             :mod:`repro.snn.encoding`).
+
+        Each call starts from a fresh statistics object (seeded with the
+        one-time weight-loading counts), so repeated ``run()`` calls never
+        accumulate into each other and every returned
+        :class:`SimulationResult` owns its own stats.  Direct
+        :meth:`run_frame` calls, by contrast, keep accumulating into
+        ``self.stats``.
         """
-        spike_trains = np.asarray(spike_trains, dtype=bool)
-        if spike_trains.ndim == 2:
-            spike_trains = spike_trains[None, ...]
-        if spike_trains.ndim != 3:
-            raise SimulationError(
-                "spike_trains must have shape (frames, timesteps, input_size)"
-            )
-        frames, _, input_size = spike_trains.shape
-        if input_size != self.program.input_size:
-            raise SimulationError(
-                f"input size {input_size} does not match the program's "
-                f"{self.program.input_size}"
-            )
+        self.stats = self._config_stats.copy()
+        spike_trains = normalise_spike_trains(spike_trains, self.program.input_size)
+        frames = spike_trains.shape[0]
         counts = np.zeros((frames, self.program.output_size), dtype=np.int64)
         for index in range(frames):
             result = self.run_frame(spike_trains[index])
             counts[index] = result.spike_counts
         predictions = np.argmax(counts, axis=1)
+        # The result owns a snapshot: later run()/run_frame() calls on this
+        # simulator must not mutate an already-returned result's stats.
         return SimulationResult(spike_counts=counts, predictions=predictions,
-                                stats=self.stats)
+                                stats=self.stats.copy())
 
     def run_frame(self, spike_train: np.ndarray) -> FrameResult:
         """Simulate a single frame (``(timesteps, input_size)`` spike train)."""
@@ -153,7 +175,6 @@ class ShenjingSimulator:
             )
         timesteps = spike_train.shape[0]
         self.system.reset_inference()
-        self._pending.clear()
         per_timestep = np.zeros((timesteps, self.program.output_size), dtype=bool)
         for step in range(timesteps):
             self._run_timestep(spike_train[step])
@@ -293,6 +314,16 @@ class ShenjingSimulator:
     # Link / packet movement
     # ------------------------------------------------------------------
     def _deliver(self, outgoing: List[Tuple[TileCoordinate, Direction, object]]) -> None:
+        """Move the packets a group injected onto their links.
+
+        Link-conflict semantics: packets live only between consecutive
+        groups, so in-flight state is purely local to this call.  Two
+        conflicts can surface, both compile-time scheduling bugs: (1) two
+        packets entering the same destination port on the same net within
+        one group are rejected here; (2) a packet latched into an input
+        register that still holds an unconsumed packet from an earlier group
+        is rejected by the destination router's ``deliver``.
+        """
         pending: Dict[_LinkKey, object] = {}
         for src, direction, packet in outgoing:
             dst = self.system.neighbour(src, direction)

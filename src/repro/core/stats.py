@@ -110,6 +110,10 @@ class ExecutionStats:
     # ------------------------------------------------------------------
     # Combination
     # ------------------------------------------------------------------
+    def copy(self) -> "ExecutionStats":
+        """An independent deep copy (fresh ``OpCount`` objects)."""
+        return self.merge(ExecutionStats())
+
     def merge(self, other: "ExecutionStats") -> "ExecutionStats":
         """Return a new statistics object combining ``self`` and ``other``."""
         merged = ExecutionStats()

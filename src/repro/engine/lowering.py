@@ -1,0 +1,626 @@
+"""Lowering: compile a :class:`Program` into a flat batched schedule.
+
+The cycle-level interpreter re-dispatches every atomic operation of every
+instruction group for every frame and every time step.  But a Shenjing
+program's control flow is *data independent*: which lanes an operation
+touches, where packets travel and which link registers they occupy are all
+fixed at compile time — only the packet *values* depend on the input.  The
+lowering pass exploits this by symbolically executing the program's schedule
+once, resolving every packet movement to a static register assignment, and
+emitting a flat list of dense numpy operations that an executor replays once
+per time step for **all frames of a batch simultaneously** (leading batch
+axis).
+
+Because the schedule is static, the execution statistics are equally static
+(up to the data-dependent ``ACC`` switching activity, which the executor
+measures with one reduction per accumulate): the lowering records per-timestep
+operation counts, cycles and inter-chip traffic, from which
+:meth:`LoweredSchedule.build_stats` reconstructs the full
+:class:`~repro.core.stats.ExecutionStats` analytically.
+
+Lowering also surfaces, at lowering time, every *schedule* error the
+interpreter would raise at run time (link used twice in a group, input
+register overwritten before use, missing packet, out-of-fabric hop), since
+none of them depend on data.  The one data-dependent error — partial-sum
+overflow — still surfaces at run time, with the same error classes the
+reference interpreter uses (:class:`~repro.core.neuron_core.NeuronCoreError`,
+:class:`~repro.core.ps_router.PsRouterError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.isa import (
+    AtomicOp,
+    CoreAccumulate,
+    CoreLoadWeights,
+    Direction,
+    PsBypass,
+    PsReceive,
+    PsSend,
+    PsSum,
+    SpikeBypass,
+    SpikeFire,
+    SpikeReceive,
+    SpikeSend,
+)
+from ..core.neuron_core import NeuronCoreError
+from ..core.ps_router import PsRouterError, lane_indices
+from ..core.stats import ExecutionStats, OpCount
+from ..core.tile import TileCoordinate
+from ..mapping.program import Program
+from .base import EngineError
+
+
+class LoweringError(EngineError):
+    """Raised when a program cannot be lowered (schedule conflicts, ...)."""
+
+
+# ----------------------------------------------------------------------
+# Batched run-time state
+# ----------------------------------------------------------------------
+class BatchState:
+    """Per-run dense state: one array row per frame of the batch.
+
+    Tile state is indexed by *slot* (a dense renumbering of the tiles the
+    program touches); packet registers are indexed by the register number the
+    lowering assigned.  ``local_ps`` and ``potential`` persist across time
+    steps (matching ``NeuronCore``/``SpikeRouter``); the rest is cleared by
+    :meth:`begin_timestep`.
+    """
+
+    __slots__ = ("axons", "local_ps", "sum_buf", "weighted", "potential",
+                 "spike_reg", "regs", "inputs", "active_axons")
+
+    def __init__(self, batch: int, n_slots: int, n_regs: int,
+                 core_inputs: int, core_neurons: int):
+        self.axons = [np.zeros((batch, core_inputs), dtype=bool) for _ in range(n_slots)]
+        self.local_ps = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
+        self.sum_buf = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
+        self.weighted = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
+        self.potential = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
+        self.spike_reg = [np.zeros((batch, core_neurons), dtype=bool) for _ in range(n_slots)]
+        self.regs: List[Optional[np.ndarray]] = [None] * n_regs
+        self.inputs: Optional[np.ndarray] = None
+        #: spiking axons observed by ACC ops (summed over the whole batch)
+        self.active_axons = 0
+
+    def begin_timestep(self, inputs: np.ndarray) -> None:
+        """Clear per-step latches and expose this step's input spikes."""
+        self.inputs = inputs
+        for slot in range(len(self.axons)):
+            self.axons[slot][:] = False
+            self.sum_buf[slot][:] = 0
+            self.weighted[slot][:] = 0
+            self.spike_reg[slot][:] = False
+
+
+# ----------------------------------------------------------------------
+# Lowered operations
+# ----------------------------------------------------------------------
+class LoweredOp:
+    """One dense batched operation of the flat per-timestep schedule."""
+
+    __slots__ = ()
+
+    def run(self, st: BatchState) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__
+
+
+class InjectInput(LoweredOp):
+    """OR a slice of the external input vector into a tile's axon buffer."""
+
+    __slots__ = ("slot", "indices", "offset", "end")
+
+    def __init__(self, slot: int, indices: np.ndarray, offset: int):
+        self.slot = slot
+        self.indices = indices
+        self.offset = offset
+        self.end = offset + indices.size
+
+    def run(self, st: BatchState) -> None:
+        st.axons[self.slot][:, self.offset:self.end] |= st.inputs[:, self.indices]
+
+
+class Accumulate(LoweredOp):
+    """``ACC`` — batched weight-row accumulation into the local partial sums."""
+
+    __slots__ = ("slot", "weights", "ps_min", "ps_max", "where")
+
+    def __init__(self, slot: int, weights: np.ndarray, ps_min: int, ps_max: int,
+                 where: str):
+        self.slot = slot
+        self.weights = np.ascontiguousarray(weights, dtype=np.int64)
+        self.ps_min = ps_min
+        self.ps_max = ps_max
+        self.where = where
+
+    def run(self, st: BatchState) -> None:
+        axons = st.axons[self.slot]
+        sums = axons.astype(np.int64) @ self.weights
+        if sums.size and (sums.min() < self.ps_min or sums.max() > self.ps_max):
+            # same error class as NeuronCore.accumulate in the reference path
+            raise NeuronCoreError(
+                f"neuron core at tile {self.where}: local partial sum "
+                f"overflowed the range [{self.ps_min}, {self.ps_max}]"
+            )
+        st.local_ps[self.slot] = sums
+        st.active_axons += int(axons.sum())
+
+
+class PsAdd(LoweredOp):
+    """``SUM $SRC, $CONSEC`` / ``RECV $SRC`` — in-network add or latch.
+
+    With ``add=True`` this is the router's SUM (first operand: local partial
+    sum, or the accumulation register when ``consecutive``); with ``add=False``
+    it is RECV, a plain latch of the incoming value.
+    """
+
+    __slots__ = ("slot", "reg", "idx", "add", "consecutive", "ps_min", "ps_max", "where")
+
+    def __init__(self, slot: int, reg: int, idx: np.ndarray, add: bool,
+                 consecutive: bool, ps_min: int, ps_max: int, where: str):
+        self.slot = slot
+        self.reg = reg
+        self.idx = idx
+        self.add = add
+        self.consecutive = consecutive
+        self.ps_min = ps_min
+        self.ps_max = ps_max
+        self.where = where
+
+    def run(self, st: BatchState) -> None:
+        incoming = st.regs[self.reg][:, self.idx]
+        if self.add:
+            base = st.sum_buf[self.slot] if self.consecutive else st.local_ps[self.slot]
+            values = base[:, self.idx] + incoming
+            if values.size and (values.min() < self.ps_min or values.max() > self.ps_max):
+                # same error class as PsRouter.op_sum in the reference path
+                raise PsRouterError(
+                    f"PS router at tile {self.where}: partial-sum overflow "
+                    f"outside [{self.ps_min}, {self.ps_max}]"
+                )
+        else:
+            values = incoming
+        st.sum_buf[self.slot][:, self.idx] = values
+        st.weighted[self.slot][:, self.idx] = values
+
+
+class MakePsPacket(LoweredOp):
+    """``SEND`` on the PS NoC — snapshot selected lanes into a packet register."""
+
+    __slots__ = ("slot", "reg", "idx", "use_sum_buf", "width")
+
+    def __init__(self, slot: int, reg: int, idx: np.ndarray, use_sum_buf: bool,
+                 width: int):
+        self.slot = slot
+        self.reg = reg
+        self.idx = idx
+        self.use_sum_buf = use_sum_buf
+        self.width = width
+
+    def run(self, st: BatchState) -> None:
+        source = st.sum_buf[self.slot] if self.use_sum_buf else st.local_ps[self.slot]
+        dense = np.zeros((source.shape[0], self.width), dtype=np.int64)
+        dense[:, self.idx] = source[:, self.idx]
+        st.regs[self.reg] = dense
+
+
+class MakeSpikePacket(LoweredOp):
+    """``SEND`` on the spike NoC — snapshot the spike register's lanes."""
+
+    __slots__ = ("slot", "reg", "idx", "width")
+
+    def __init__(self, slot: int, reg: int, idx: np.ndarray, width: int):
+        self.slot = slot
+        self.reg = reg
+        self.idx = idx
+        self.width = width
+
+    def run(self, st: BatchState) -> None:
+        source = st.spike_reg[self.slot]
+        dense = np.zeros((source.shape[0], self.width), dtype=bool)
+        dense[:, self.idx] = source[:, self.idx]
+        st.regs[self.reg] = dense
+
+
+class FilterPacket(LoweredOp):
+    """Lane-masked ``BYPASS`` — copy a packet keeping only selected lanes."""
+
+    __slots__ = ("reg_in", "reg_out", "idx")
+
+    def __init__(self, reg_in: int, reg_out: int, idx: np.ndarray):
+        self.reg_in = reg_in
+        self.reg_out = reg_out
+        self.idx = idx
+
+    def run(self, st: BatchState) -> None:
+        source = st.regs[self.reg_in]
+        dense = np.zeros_like(source)
+        dense[:, self.idx] = source[:, self.idx]
+        st.regs[self.reg_out] = dense
+
+
+class Fire(LoweredOp):
+    """``SPIKE`` — batched integrate-and-fire with reset by subtraction."""
+
+    __slots__ = ("slot", "idx", "use_noc_sum", "thresholds")
+
+    def __init__(self, slot: int, idx: np.ndarray, use_noc_sum: bool,
+                 thresholds: np.ndarray):
+        self.slot = slot
+        self.idx = idx
+        self.use_noc_sum = use_noc_sum
+        self.thresholds = thresholds  # already gathered at ``idx``
+
+    def run(self, st: BatchState) -> None:
+        weighted = st.weighted[self.slot] if self.use_noc_sum else st.local_ps[self.slot]
+        potential = st.potential[self.slot]
+        pot = potential[:, self.idx] + weighted[:, self.idx]
+        fired = pot >= self.thresholds
+        potential[:, self.idx] = pot - np.where(fired, self.thresholds, 0)
+        st.spike_reg[self.slot][:, self.idx] = fired
+
+
+class Eject(LoweredOp):
+    """Spike ejection into a core's axon buffer (``RECV`` / eject-bypass).
+
+    Packet lanes land densely starting at ``axon_offset`` in ascending lane
+    order, exactly like ``ShenjingSimulator._eject_spikes``.
+    """
+
+    __slots__ = ("slot", "reg", "lanes", "offset", "end")
+
+    def __init__(self, slot: int, reg: int, lanes: np.ndarray, offset: int):
+        self.slot = slot
+        self.reg = reg
+        self.lanes = lanes
+        self.offset = offset
+        self.end = offset + lanes.size
+
+    def run(self, st: BatchState) -> None:
+        st.axons[self.slot][:, self.offset:self.end] |= st.regs[self.reg][:, self.lanes]
+
+
+# ----------------------------------------------------------------------
+# The lowered schedule
+# ----------------------------------------------------------------------
+@dataclass
+class OutputGather:
+    """Where one slice of the network output vector lives after a timestep."""
+
+    slot: int
+    lanes: np.ndarray
+    output_indices: np.ndarray
+
+
+@dataclass
+class LoweredSchedule:
+    """A program lowered to a flat, batch-executable per-timestep schedule."""
+
+    program: Program
+    n_slots: int
+    n_regs: int
+    #: schedule executed once per time step (inputs already injected)
+    ops: List[LoweredOp]
+    #: input injections executed at the start of every time step
+    inject_ops: List[InjectInput]
+    #: output gathers executed at the end of every time step
+    outputs: List[OutputGather]
+    #: static per-timestep op counts: energy key -> (operations, lanes)
+    per_timestep_ops: Dict[str, Tuple[int, int]]
+    #: one-time (configuration) op counts, e.g. weight loading
+    config_ops: Dict[str, Tuple[int, int]]
+    #: static per-timestep quantities
+    cycles_per_timestep: int
+    acc_ops_per_timestep: int
+    interchip_spike_bits_per_timestep: int
+    interchip_ps_bits_per_timestep: int
+
+    def allocate(self, batch: int) -> BatchState:
+        arch = self.program.arch
+        return BatchState(batch, self.n_slots, self.n_regs,
+                          arch.core_inputs, arch.core_neurons)
+
+    @property
+    def op_count(self) -> int:
+        return len(self.ops) + len(self.inject_ops)
+
+    def build_stats(self, frames: int, timesteps: int,
+                    active_axons: int) -> ExecutionStats:
+        """Reconstruct the run's :class:`ExecutionStats` analytically.
+
+        Everything except the ``ACC`` switching activity is determined by the
+        static schedule; ``active_axons`` is the batch-wide measurement taken
+        by the :class:`Accumulate` ops.
+        """
+        stats = ExecutionStats()
+        for key, (operations, lanes) in self.config_ops.items():
+            count = stats.ops.setdefault(key, OpCount())
+            count.operations += operations
+            count.lanes += lanes
+        scale = frames * timesteps
+        if scale:
+            # a zero-work run must not materialise zero-valued op entries
+            # the reference interpreter would never create
+            for key, (operations, lanes) in self.per_timestep_ops.items():
+                count = stats.ops.setdefault(key, OpCount())
+                count.operations += operations * scale
+                count.lanes += lanes * scale
+        stats.cycles = self.cycles_per_timestep * scale
+        stats.frames = frames
+        stats.timesteps = scale
+        stats.active_axons = int(active_axons)
+        stats.scanned_axons = self.acc_ops_per_timestep * scale * self.program.arch.core_inputs
+        stats.interchip_spike_bits = self.interchip_spike_bits_per_timestep * scale
+        stats.interchip_ps_bits = self.interchip_ps_bits_per_timestep * scale
+        return stats
+
+
+# ----------------------------------------------------------------------
+# The lowering pass
+# ----------------------------------------------------------------------
+_LatchKey = Tuple[TileCoordinate, Direction, str]
+
+
+class _Lowerer:
+    """Symbolic executor turning a Program into a :class:`LoweredSchedule`."""
+
+    def __init__(self, program: Program):
+        program.validate()
+        self.program = program
+        self.arch = program.arch
+        self.width = self.arch.core_neurons
+        self.ops: List[LoweredOp] = []
+        self.inject_ops: List[InjectInput] = []
+        self.slots: Dict[TileCoordinate, int] = {}
+        self.n_regs = 0
+        #: un-consumed link registers: (dst tile, dst port, net) -> (reg, lanes)
+        self.latches: Dict[_LatchKey, Tuple[int, np.ndarray]] = {}
+        self.per_timestep_ops: Dict[str, List[int]] = {}
+        self.config_ops: Dict[str, List[int]] = {}
+        self.cycles = 0
+        self.acc_ops = 0
+        self.interchip_spike_bits = 0
+        self.interchip_ps_bits = 0
+
+    # -- helpers -------------------------------------------------------
+    def slot(self, tile: TileCoordinate) -> int:
+        if tile not in self.slots:
+            self.slots[tile] = len(self.slots)
+        return self.slots[tile]
+
+    def new_reg(self) -> int:
+        reg = self.n_regs
+        self.n_regs += 1
+        return reg
+
+    def count(self, key: str, operations: int, lanes: int,
+              config: bool = False) -> None:
+        table = self.config_ops if config else self.per_timestep_ops
+        entry = table.setdefault(key, [0, 0])
+        entry[0] += operations
+        entry[1] += lanes
+
+    def take_latch(self, tile: TileCoordinate, port: Direction,
+                   net: str) -> Tuple[int, np.ndarray]:
+        try:
+            return self.latches.pop((tile, port, net))
+        except KeyError:
+            raise LoweringError(
+                f"no {net} packet latched on port {port.value} of tile {tile}"
+            ) from None
+
+    def op_lane_indices(self, lanes) -> np.ndarray:
+        return lane_indices(lanes, self.width)
+
+    # -- main walk -----------------------------------------------------
+    def lower(self) -> LoweredSchedule:
+        program = self.program
+        thresholds: Dict[TileCoordinate, np.ndarray] = {}
+        weights: Dict[TileCoordinate, np.ndarray] = {}
+        for config in program.tile_configs.values():
+            self.slot(config.tile)
+            weights[config.tile] = np.asarray(config.weights, dtype=np.int64)
+            if config.thresholds is None:
+                thr = np.ones(self.width, dtype=np.int64)
+            else:
+                thr = np.asarray(config.thresholds, dtype=np.int64)
+                if thr.ndim == 0:
+                    thr = np.full(self.width, int(thr), dtype=np.int64)
+            thresholds[config.tile] = thr
+            # Weight loading happens once at initialisation (Table II note 2).
+            self.count("core_ld_wt", 1, self.arch.core_neurons, config=True)
+
+        for binding in program.input_bindings:
+            self.inject_ops.append(InjectInput(
+                slot=self.slot(binding.tile),
+                indices=binding.indices.astype(np.int64),
+                offset=binding.axon_offset,
+            ))
+
+        for phase in program.phases:
+            for group in phase.groups:
+                self._lower_group(group, weights, thresholds)
+
+        outputs = [
+            OutputGather(
+                slot=self.slot(binding.tile),
+                lanes=np.asarray(binding.lanes, dtype=np.int64),
+                output_indices=np.asarray(binding.output_indices, dtype=np.int64),
+            )
+            for binding in program.output_bindings
+        ]
+
+        return LoweredSchedule(
+            program=program,
+            n_slots=len(self.slots),
+            n_regs=self.n_regs,
+            ops=self.ops,
+            inject_ops=self.inject_ops,
+            outputs=outputs,
+            per_timestep_ops={k: (v[0], v[1]) for k, v in self.per_timestep_ops.items()},
+            config_ops={k: (v[0], v[1]) for k, v in self.config_ops.items()},
+            cycles_per_timestep=self.cycles,
+            acc_ops_per_timestep=self.acc_ops,
+            interchip_spike_bits_per_timestep=self.interchip_spike_bits,
+            interchip_ps_bits_per_timestep=self.interchip_ps_bits,
+        )
+
+    def _lower_group(self, group, weights, thresholds) -> None:
+        if not group.instructions:
+            return
+        # (src, direction, reg, lanes, net) packets injected by this group
+        outgoing: List[Tuple[TileCoordinate, Direction, int, np.ndarray, str]] = []
+        for instruction in group:
+            outgoing.extend(
+                self._lower_op(instruction.tile, instruction.op, weights, thresholds)
+            )
+        self._deliver(outgoing)
+        self.cycles += group.latency(self.arch.long_op_cycles)
+
+    def _lower_op(self, tile: TileCoordinate, op: AtomicOp, weights, thresholds):
+        slot = self.slot(tile)
+        arch = self.arch
+        outgoing: List[Tuple[TileCoordinate, Direction, int, np.ndarray, str]] = []
+
+        if isinstance(op, CoreAccumulate):
+            if tile not in weights:
+                raise LoweringError(f"ACC on unconfigured tile {tile}")
+            self.ops.append(Accumulate(slot, weights[tile], arch.ps_min,
+                                       arch.ps_max, str(tile)))
+            self.count(op.energy_key, 1, arch.core_neurons)
+            self.acc_ops += 1
+            return outgoing
+
+        if isinstance(op, CoreLoadWeights):
+            # Weights are baked into the lowered Accumulate ops; only counted.
+            self.count(op.energy_key, 1, arch.core_neurons)
+            return outgoing
+
+        if isinstance(op, (PsSum, PsReceive)):
+            reg, packet_lanes = self.take_latch(tile, op.src, "ps")
+            idx = packet_lanes if op.lanes is None else self.op_lane_indices(op.lanes)
+            add = isinstance(op, PsSum)
+            self.ops.append(PsAdd(slot, reg, idx, add=add,
+                                  consecutive=add and op.consecutive,
+                                  ps_min=arch.ps_min, ps_max=arch.ps_max,
+                                  where=str(tile)))
+            lanes = arch.core_neurons if op.lanes is None else len(op.lanes)
+            self.count(op.energy_key, 1, lanes)
+            return outgoing
+
+        if isinstance(op, PsSend):
+            idx = self.op_lane_indices(op.lanes)
+            reg = self.new_reg()
+            self.ops.append(MakePsPacket(slot, reg, idx, op.use_sum_buf, self.width))
+            outgoing.append((tile, op.dst, reg, idx, "ps"))
+            self.count(op.energy_key, 1, idx.size)
+            return outgoing
+
+        if isinstance(op, PsBypass):
+            reg, lanes = self._bypass(tile, op.src, op.lanes, "ps")
+            outgoing.append((tile, op.dst, reg, lanes, "ps"))
+            self.count(op.energy_key, 1, lanes.size)
+            return outgoing
+
+        if isinstance(op, SpikeFire):
+            idx = self.op_lane_indices(op.lanes)
+            thr = thresholds.get(tile)
+            if thr is None:
+                # unconfigured tiles keep the router's default threshold of 1
+                thr = np.ones(self.width, dtype=np.int64)
+            self.ops.append(Fire(slot, idx, op.use_noc_sum, thr[idx].copy()))
+            lanes = arch.core_neurons if op.lanes is None else len(op.lanes)
+            self.count(op.energy_key, 1, lanes)
+            return outgoing
+
+        if isinstance(op, SpikeSend):
+            idx = self.op_lane_indices(op.lanes)
+            reg = self.new_reg()
+            self.ops.append(MakeSpikePacket(slot, reg, idx, self.width))
+            outgoing.append((tile, op.dst, reg, idx, "spike"))
+            self.count(op.energy_key, 1, idx.size)
+            return outgoing
+
+        if isinstance(op, SpikeBypass):
+            reg, lanes = self._bypass(tile, op.src, op.lanes, "spike")
+            if op.eject:
+                self._check_eject(tile, lanes, op.axon_offset)
+                self.ops.append(Eject(slot, reg, lanes, op.axon_offset))
+            outgoing.append((tile, op.dst, reg, lanes, "spike"))
+            self.count(op.energy_key, 1, lanes.size)
+            return outgoing
+
+        if isinstance(op, SpikeReceive):
+            reg, packet_lanes = self.take_latch(tile, op.src, "spike")
+            self._check_eject(tile, packet_lanes, op.axon_offset)
+            self.ops.append(Eject(slot, reg, packet_lanes, op.axon_offset))
+            self.count(op.energy_key, 1, packet_lanes.size)
+            return outgoing
+
+        raise LoweringError(f"unsupported atomic operation {op!r}")
+
+    def _bypass(self, tile: TileCoordinate, src: Direction, lanes,
+                net: str) -> Tuple[int, np.ndarray]:
+        """Resolve a BYPASS: alias the packet, or emit a lane-filtered copy."""
+        reg, packet_lanes = self.take_latch(tile, src, net)
+        if lanes is None:
+            return reg, packet_lanes
+        idx = self.op_lane_indices(lanes)
+        keep = packet_lanes[np.isin(packet_lanes, idx)]
+        reg_out = self.new_reg()
+        self.ops.append(FilterPacket(reg, reg_out, keep))
+        return reg_out, keep
+
+    def _check_eject(self, tile: TileCoordinate, lanes: np.ndarray,
+                     offset: int) -> None:
+        if offset + lanes.size > self.arch.core_inputs:
+            raise LoweringError(
+                f"spike ejection at tile {tile} exceeds the "
+                f"{self.arch.core_inputs} axons (offset {offset}, "
+                f"{lanes.size} lanes)"
+            )
+
+    def _deliver(self, outgoing) -> None:
+        pending: Dict[_LatchKey, Tuple[int, np.ndarray]] = {}
+        for src, direction, reg, lanes, net in outgoing:
+            drow, dcol = direction.delta()
+            dst = TileCoordinate(src.row + drow, src.col + dcol)
+            if not (0 <= dst.row < self.program.rows and 0 <= dst.col < self.program.cols):
+                raise LoweringError(
+                    f"hop {direction.value} from {src} leaves the fabric "
+                    f"({self.program.rows}x{self.program.cols})"
+                )
+            key: _LatchKey = (dst, direction.opposite, net)
+            if key in pending:
+                raise LoweringError(
+                    f"link into {dst} port {direction.opposite.value} ({net}) "
+                    "used twice in one group"
+                )
+            pending[key] = (reg, lanes)
+            if src.chip_index(self.arch) != dst.chip_index(self.arch):
+                if net == "ps":
+                    self.interchip_ps_bits += lanes.size * self.arch.ps_bits
+                else:
+                    self.interchip_spike_bits += lanes.size
+        for key, value in pending.items():
+            if key in self.latches:
+                dst, port, net = key
+                raise LoweringError(
+                    f"{net} input register {port.value} of tile {dst} "
+                    "overwritten before use (compile-time schedule conflict)"
+                )
+            self.latches[key] = value
+
+
+def lower_program(program: Program) -> LoweredSchedule:
+    """Lower ``program`` into a flat batched per-timestep schedule."""
+    return _Lowerer(program).lower()

@@ -1,0 +1,30 @@
+"""The ``reference`` backend: the cycle-level interpreter, unchanged.
+
+Adapts :class:`~repro.core.simulator.ShenjingSimulator` — the ground-truth
+per-frame, per-timestep, per-instruction interpreter — to the engine's
+backend interface.  Every other backend is validated against this one
+(see :mod:`repro.engine.parity`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.simulator import ShenjingSimulator, SimulationResult
+from ..mapping.program import Program
+from .base import ExecutionBackend
+from .registry import register_backend
+
+
+@register_backend
+class ReferenceBackend(ExecutionBackend):
+    """Ground-truth backend delegating to the cycle-level interpreter."""
+
+    name = "reference"
+
+    def __init__(self, program: Program, collect_stats: bool = True):
+        super().__init__(program, collect_stats=collect_stats)
+        self.simulator = ShenjingSimulator(program, collect_stats=collect_stats)
+
+    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+        return self.simulator.run(spike_trains)

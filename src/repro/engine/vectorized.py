@@ -1,0 +1,65 @@
+"""The ``vectorized`` backend: batched dense execution of lowered programs.
+
+Lowers the compiled :class:`~repro.mapping.program.Program` once (at
+construction) into a flat per-timestep schedule of dense numpy operations
+(:mod:`repro.engine.lowering`) and then executes **all frames of the batch
+simultaneously** along a leading batch axis: the Python dispatch cost of one
+time step is paid once per batch instead of once per frame, which is where
+the >=10x throughput over the ``reference`` interpreter comes from.
+
+Execution is bit-exact with the reference backend by construction — the
+lowered schedule performs the same integer arithmetic on the same lanes in
+the same order — and :class:`~repro.core.stats.ExecutionStats` is
+reconstructed analytically from the static schedule (only the ``ACC``
+switching activity is measured from the data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.simulator import SimulationResult
+from ..mapping.program import Program
+from .base import ExecutionBackend, normalise_spike_trains
+from .lowering import LoweredSchedule, lower_program
+from .registry import register_backend
+
+
+@register_backend
+class VectorizedBackend(ExecutionBackend):
+    """Executes all frames of a batch at once on the lowered schedule."""
+
+    name = "vectorized"
+
+    def __init__(self, program: Program, collect_stats: bool = True):
+        super().__init__(program, collect_stats=collect_stats)
+        self.schedule: LoweredSchedule = lower_program(program)
+
+    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+        program = self.program
+        spike_trains = normalise_spike_trains(spike_trains, program.input_size)
+        frames, timesteps, _ = spike_trains.shape
+        schedule = self.schedule
+        state = schedule.allocate(frames)
+        counts = np.zeros((frames, program.output_size), dtype=np.int64)
+        ops = schedule.ops
+        inject_ops = schedule.inject_ops
+        outputs = schedule.outputs
+        for step in range(timesteps):
+            state.begin_timestep(spike_trains[:, step, :])
+            for op in inject_ops:
+                op.run(state)
+            for op in ops:
+                op.run(state)
+            for gather in outputs:
+                counts[:, gather.output_indices] += (
+                    state.spike_reg[gather.slot][:, gather.lanes]
+                )
+        predictions = np.argmax(counts, axis=1)
+        if self.collect_stats:
+            stats = schedule.build_stats(frames, timesteps, state.active_axons)
+        else:
+            from ..core.stats import ExecutionStats
+            stats = ExecutionStats()
+        return SimulationResult(spike_counts=counts, predictions=predictions,
+                                stats=stats)

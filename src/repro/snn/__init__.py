@@ -16,7 +16,7 @@ from .encoding import (
     spike_rates,
 )
 from .neurons import BatchedIfState, IfNeuronArray, NeuronError
-from .runner import AbstractSnnRunner, RunnerError, SnnRunResult
+from .runner import AbstractSnnRunner, RunnerError, SnnRunResult, run_on_shenjing
 from .spec import (
     ConvSpec,
     DenseSpec,
@@ -49,5 +49,6 @@ __all__ = [
     "flatten_images",
     "pool_spec",
     "poisson_encode",
+    "run_on_shenjing",
     "spike_rates",
 ]

@@ -76,6 +76,27 @@ def _dense_sum(spikes: np.ndarray, spec: DenseSpec) -> np.ndarray:
     return spikes.astype(np.int64) @ spec.weights
 
 
+def run_on_shenjing(network: SnnNetwork, spike_trains: np.ndarray, arch=None,
+                    backend: str = "vectorized", rows: Optional[int] = None,
+                    collect_stats: bool = True):
+    """Compile ``network`` onto Shenjing and execute it on an engine backend.
+
+    Maps the network with the full toolchain and runs the pre-encoded spike
+    trains through :mod:`repro.engine` (backend selectable by name; all
+    backends are bit-exact with the cycle-level reference simulator).
+    Returns the backend's :class:`~repro.core.simulator.SimulationResult`.
+    """
+    # Imported lazily: the mapping toolchain and engine already depend on
+    # repro.snn, so a module-level import would be circular.
+    from ..core.config import DEFAULT_ARCH
+    from ..engine import run as engine_run
+    from ..mapping.compiler import compile_network
+
+    compiled = compile_network(network, arch or DEFAULT_ARCH, rows=rows)
+    return engine_run(compiled.program, spike_trains, backend=backend,
+                      collect_stats=collect_stats)
+
+
 class _LayerState:
     """Per-layer integrate-and-fire state for one batch."""
 
@@ -178,6 +199,17 @@ class AbstractSnnRunner:
         """Convenience wrapper: classification accuracy on a labelled set."""
         result = self.run(inputs, timesteps=timesteps, encoder=encoder, seed=seed)
         return result.accuracy(labels)
+
+    # ------------------------------------------------------------------
+    def run_on_shenjing(self, spike_trains: np.ndarray, arch=None,
+                        backend: str = "vectorized", rows: Optional[int] = None):
+        """Compile this runner's network and execute it on a hardware backend.
+
+        Convenience wrapper around :func:`run_on_shenjing` for the common
+        "does the mapped hardware agree with the abstract SNN?" workflow.
+        """
+        return run_on_shenjing(self.network, spike_trains, arch=arch,
+                               backend=backend, rows=rows)
 
     # ------------------------------------------------------------------
     def _activity(self, spike_totals: Dict[str, int], batch: int,

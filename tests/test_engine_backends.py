@@ -1,0 +1,196 @@
+"""Engine API tests: registry, ExecutionEngine, lowering and analytic stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.isa import (
+    CoreAccumulate,
+    Direction,
+    SpikeFire,
+    SpikeReceive,
+    SpikeSend,
+)
+from repro.core.tile import TileCoordinate
+from repro.engine import (
+    DEFAULT_BACKEND,
+    EngineError,
+    ExecutionBackend,
+    ExecutionEngine,
+    LoweringError,
+    ReferenceBackend,
+    VectorizedBackend,
+    create_backend,
+    get_backend,
+    list_backends,
+    lower_program,
+    register_backend,
+    run,
+)
+from repro.mapping.compiler import compile_network
+from repro.mapping.program import (
+    InputBinding,
+    OutputBinding,
+    Program,
+    TileConfig,
+)
+from repro.snn import deterministic_encode
+
+
+def _single_core_program(arch, weights, threshold=4):
+    tile = TileCoordinate(0, 0)
+    program = Program(arch=arch, rows=2, cols=2, input_size=arch.core_inputs,
+                      output_size=arch.core_neurons)
+    thresholds = np.full(arch.core_neurons, threshold, dtype=np.int64)
+    program.add_tile_config(TileConfig(tile=tile, weights=weights,
+                                       thresholds=thresholds))
+    program.input_bindings.append(InputBinding(
+        tile=tile, indices=np.arange(arch.core_inputs), axon_offset=0))
+    program.new_phase("acc").new_group().add(tile, CoreAccumulate(banks=arch.sram_banks))
+    program.new_phase("fire").new_group().add(tile, SpikeFire(use_noc_sum=False))
+    program.output_bindings.append(OutputBinding(
+        tile=tile, lanes=tuple(range(arch.core_neurons)),
+        output_indices=tuple(range(arch.core_neurons))))
+    return program
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = list_backends()
+        assert "reference" in names and "vectorized" in names
+        assert DEFAULT_BACKEND in names
+
+    def test_get_backend_resolves_classes(self):
+        assert get_backend("reference") is ReferenceBackend
+        assert get_backend("vectorized") is VectorizedBackend
+
+    def test_unknown_backend_rejected_with_available_list(self):
+        with pytest.raises(EngineError, match="vectorized"):
+            get_backend("warp-drive")
+
+    def test_duplicate_registration_rejected(self):
+        class Impostor(ExecutionBackend):
+            name = "vectorized"
+
+            def run(self, spike_trains):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(EngineError, match="already registered"):
+            register_backend(Impostor)
+
+    def test_nameless_backend_rejected(self):
+        class Nameless(ExecutionBackend):
+            def run(self, spike_trains):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(EngineError, match="non-empty name"):
+            register_backend(Nameless)
+
+
+class TestExecutionEngine:
+    def test_engine_runs_and_caches_backends(self, arch, rng):
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        engine = ExecutionEngine(program)
+        trains = rng.random((3, 5, arch.core_inputs)) < 0.4
+        first = engine.run(trains)
+        assert engine.backend() is engine.backend("vectorized")
+        reference = engine.run(trains, backend="reference")
+        np.testing.assert_array_equal(first.spike_counts, reference.spike_counts)
+
+    def test_engine_rejects_unknown_default_backend(self, arch):
+        weights = np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16)
+        program = _single_core_program(arch, weights)
+        with pytest.raises(EngineError):
+            ExecutionEngine(program, backend="warp-drive")
+
+    def test_module_level_run_selects_backend(self, arch, rng):
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        trains = rng.random((2, 4, arch.core_inputs)) < 0.5
+        ref = run(program, trains, backend="reference")
+        vec = run(program, trains, backend="vectorized")
+        np.testing.assert_array_equal(ref.spike_counts, vec.spike_counts)
+
+    def test_collect_stats_false_returns_empty_stats(self, arch, rng):
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        trains = rng.random((2, 4, arch.core_inputs)) < 0.5
+        result = run(program, trains, backend="vectorized", collect_stats=False)
+        assert result.stats.total_operations == 0
+        assert result.spike_counts.sum() >= 0
+
+
+class TestLowering:
+    def test_lowered_schedule_shape(self, arch, rng):
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        schedule = lower_program(program)
+        assert schedule.n_slots == 1
+        assert schedule.cycles_per_timestep == program.cycles_per_timestep()
+        assert schedule.acc_ops_per_timestep == 1
+        assert schedule.per_timestep_ops["core_acc"] == (1, arch.core_neurons)
+        assert schedule.config_ops["core_ld_wt"] == (1, arch.core_neurons)
+
+    def test_acc_on_unconfigured_tile_rejected(self, arch):
+        weights = np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16)
+        program = _single_core_program(arch, weights)
+        program.phases[0].groups[0].add(TileCoordinate(0, 1), CoreAccumulate())
+        with pytest.raises(LoweringError, match="unconfigured"):
+            lower_program(program)
+
+    def test_missing_packet_surfaces_at_lowering_time(self, arch):
+        weights = np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16)
+        program = _single_core_program(arch, weights)
+        # a RECV with no matching SEND: the interpreter raises at run time,
+        # the lowering rejects it before any data exists
+        program.phases[1].new_group().add(
+            TileCoordinate(0, 0), SpikeReceive(src=Direction.EAST))
+        with pytest.raises(LoweringError, match="no spike packet"):
+            lower_program(program)
+
+    def test_conflicting_sends_rejected(self, arch):
+        weights = np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16)
+        program = _single_core_program(arch, weights)
+        group = program.phases[1].new_group()
+        group.add(TileCoordinate(0, 0), SpikeSend(dst=Direction.EAST))
+        group.add(TileCoordinate(0, 0), SpikeSend(dst=Direction.EAST))
+        with pytest.raises(LoweringError, match="used twice"):
+            lower_program(program)
+
+
+class TestAnalyticStats:
+    def test_vectorized_stats_match_reference_measurement(self, arch, dense_snn,
+                                                          dense_inputs):
+        """The analytically reconstructed stats equal the interpreter's counts."""
+        trains = deterministic_encode(dense_inputs, dense_snn.timesteps)
+        program = compile_network(dense_snn, arch).program
+        reference = create_backend("reference", program).run(trains)
+        vectorized = create_backend("vectorized", program).run(trains)
+        assert vectorized.stats.summary() == reference.stats.summary()
+        assert vectorized.stats.switching_activity == pytest.approx(
+            reference.stats.switching_activity)
+
+    def test_stats_scale_linearly_with_frames(self, arch, rng):
+        weights = rng.integers(0, 2, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        backend = create_backend("vectorized", program)
+        trains = rng.random((6, 5, arch.core_inputs)) < 0.3
+        result = backend.run(trains)
+        assert result.stats.frames == 6
+        assert result.stats.timesteps == 30
+        assert result.stats.ops["core_acc"].operations == 30
+        # weight loading is configuration-time: counted once, not per frame
+        assert result.stats.ops["core_ld_wt"].operations == 1
+
+
+class TestPerRunStatsIsolation:
+    def test_backend_runs_do_not_accumulate(self, arch, rng):
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        trains = rng.random((2, 4, arch.core_inputs)) < 0.5
+        for name in ("reference", "vectorized"):
+            backend = create_backend(name, program)
+            first = backend.run(trains)
+            second = backend.run(trains)
+            assert first.stats.summary() == second.stats.summary(), name
+            assert second.stats.frames == 2, name

@@ -155,6 +155,21 @@ class TestSingleCoreSimulation:
         assert simulator.stats.ops["spike_fire"].operations == 3
         assert simulator.stats.ops["core_ld_wt"].operations == 1
 
+    def test_repeated_runs_do_not_accumulate_stats(self, arch):
+        """Regression: run() used to keep adding into one shared stats object."""
+        program = _single_core_program(
+            arch, np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16), 4)
+        simulator = ShenjingSimulator(program)
+        trains = np.ones((2, 3, arch.core_inputs), dtype=bool)
+        first = simulator.run(trains)
+        second = simulator.run(trains)
+        assert first.stats is not second.stats
+        assert first.stats.summary() == second.stats.summary()
+        assert second.stats.frames == 2
+        assert second.stats.ops["core_acc"].operations == 6
+        # weight loading is configuration-time: exactly once per run's stats
+        assert second.stats.ops["core_ld_wt"].operations == 1
+
 
 class TestTwoCoreSpikeRouting:
     def _two_core_program(self, arch, w_src, w_dst, threshold):

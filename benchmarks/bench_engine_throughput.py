@@ -1,23 +1,27 @@
 """Engine throughput — frames/sec of the execution backends on batched runs.
 
-Measures the ``vectorized`` backend's speedup over the cycle-level
-``reference`` interpreter on the MLP example mapping (the ISSUE's acceptance
-target is >=10x on a >=32-frame batch), after asserting bit-exact parity on
-the measured batch.  Doubles as a plain script:
+Measures, on the MLP example mapping (after asserting bit-exact three-way
+parity on the measured batch):
 
-    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+* the ``vectorized`` backend's speedup over the cycle-level ``reference``
+  interpreter (acceptance target: >=10x on a >=32-frame batch), and
+* the schedule optimizer's speedup over the unoptimized PR-1 vectorized
+  path (acceptance target: >=1.5x).
+
+Results are appended to the machine-readable perf trajectory
+``BENCH_engine.json`` at the repo root so future PRs can diff against them.
+The measurement logic lives in :mod:`repro.bench`; run it anywhere with
+
+    python -m repro.bench
+
+or this file as a plain script:  PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 """
 
 from __future__ import annotations
 
-import time
+from pathlib import Path
 
-import numpy as np
-
-from repro.core import small_test_arch
-from repro.engine import assert_backend_parity, create_backend
-from repro.mapping import compile_network
-from repro.snn import DenseSpec, SnnNetwork, deterministic_encode
+from repro.bench import measure_throughput, write_bench_report
 
 try:
     from conftest import print_table
@@ -30,49 +34,44 @@ except ImportError:  # running as a script from the repo root
 FRAMES = 64
 TIMESTEPS = 16
 
-
-def _mlp_program():
-    """The quickstart-style 40-24-5 MLP mapping (spans several cores/NoCs)."""
-    rng = np.random.default_rng(0)
-    arch = small_test_arch(core_inputs=16, core_neurons=16, chip_rows=8, chip_cols=8)
-    network = SnnNetwork(
-        name="bench-mlp",
-        input_shape=(40,),
-        layers=[
-            DenseSpec(name="fc1", weights=rng.integers(-7, 8, size=(40, 24)), threshold=25),
-            DenseSpec(name="fc2", weights=rng.integers(-7, 8, size=(24, 5)), threshold=20),
-        ],
-        timesteps=TIMESTEPS,
-    )
-    trains = deterministic_encode(rng.random((FRAMES, 40)), TIMESTEPS)
-    return compile_network(network, arch).program, trains
-
-
-def _time_backend(name: str, program, trains) -> float:
-    """Seconds for one batched run (backend construction excluded)."""
-    backend = create_backend(name, program)
-    start = time.perf_counter()
-    backend.run(trains)
-    return time.perf_counter() - start
+#: the perf trajectory lives at the repo root, next to CHANGES.md
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def test_vectorized_backend_speedup():
-    program, trains = _mlp_program()
-    assert_backend_parity(program, trains)
+    report = measure_throughput(frames=FRAMES, timesteps=TIMESTEPS,
+                                check_parity=True)
+    write_bench_report({"throughput": report}, path=BENCH_JSON)
 
-    reference_s = _time_backend("reference", program, trains)
-    vectorized_s = _time_backend("vectorized", program, trains)
-    speedup = reference_s / vectorized_s
-
+    backends = report["backends"]
+    speedups = report["speedups"]
     print_table(f"Engine throughput ({FRAMES} frames x {TIMESTEPS} timesteps)", {
-        "reference (frames/s)": f"{FRAMES / reference_s:.1f}",
-        "vectorized (frames/s)": f"{FRAMES / vectorized_s:.1f}",
-        "speedup (target >= 10x)": f"{speedup:.1f}x",
+        "reference (frames/s)":
+            f"{backends['reference']['frames_per_sec']:.1f}",
+        "vectorized unopt (frames/s)":
+            f"{backends['vectorized_unoptimized']['frames_per_sec']:.1f}",
+        "vectorized (frames/s)":
+            f"{backends['vectorized']['frames_per_sec']:.1f}",
+        "sharded (frames/s)":
+            f"{backends['sharded']['frames_per_sec']:.1f}",
+        "vec/ref speedup (>= 10x)":
+            f"{speedups['vectorized_vs_reference']:.1f}x",
+        "optimizer speedup (>= 1.5x)":
+            f"{speedups['optimized_vs_unoptimized']:.2f}x",
+        "perf trajectory": str(BENCH_JSON),
     })
-    assert speedup >= 10.0, (
-        f"vectorized backend is only {speedup:.1f}x faster than reference "
+
+    assert speedups["vectorized_vs_reference"] >= 10.0, (
+        f"vectorized backend is only "
+        f"{speedups['vectorized_vs_reference']:.1f}x faster than reference "
         f"on a {FRAMES}-frame batch (target: >=10x)"
     )
+    assert speedups["optimized_vs_unoptimized"] >= 1.5, (
+        f"schedule optimizer gains only "
+        f"{speedups['optimized_vs_unoptimized']:.2f}x over the unoptimized "
+        f"vectorized path (target: >=1.5x)"
+    )
+    assert BENCH_JSON.exists()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,76 @@
+"""Sharded backend scaling — frames/sec across worker counts.
+
+Sweeps the ``sharded`` backend over a range of worker counts on the MLP
+example mapping, verifying bit-exactness (counts and statistics) of every
+worker count against the single-shard run, and appends the series to the
+``BENCH_engine.json`` perf trajectory.
+
+The sweep is built for constrained environments: worker counts come from
+:func:`repro.bench.default_worker_counts` (always 1 and 2, then doubling up
+to the cpu count), and the speedup assertion only applies when the machine
+actually has enough cores for sharding to help — on a 1-2 core box the
+sweep still runs, exercising the multiprocess path, and just records the
+numbers.
+
+Run as a script:  PYTHONPATH=src python benchmarks/bench_sharded_scaling.py
+(or `python -m repro.bench` for the PYTHONPATH-free equivalent).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench import (
+    default_worker_counts,
+    measure_sharded_scaling,
+    write_bench_report,
+)
+
+try:
+    from conftest import print_table
+except ImportError:  # running as a script from the repo root
+    def print_table(title, rows):
+        print(f"\n=== {title} ===")
+        for key, value in rows.items():
+            print(f"  {key:<32} {value}")
+
+FRAMES = 128
+TIMESTEPS = 16
+
+#: minimum cores for the "sharding beats one worker" assertion to be fair
+MIN_CPUS_FOR_SPEEDUP = 4
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def test_sharded_scaling_sweep():
+    report = measure_sharded_scaling(frames=FRAMES, timesteps=TIMESTEPS,
+                                     worker_counts=default_worker_counts())
+    write_bench_report({"sharded_scaling": report}, path=BENCH_JSON)
+
+    rows = {
+        f"workers={count} (shards={row['shards']})":
+            f"{row['frames_per_sec']:.1f} frames/s"
+        for count, row in report["workers"].items()
+    }
+    rows["cpu_count"] = str(report["cpu_count"])
+    print_table(f"Sharded scaling ({FRAMES} frames x {TIMESTEPS} timesteps)",
+                rows)
+
+    workers = report["workers"]
+    assert "1" in workers and len(workers) >= 2
+    # every worker count was verified bit-exact inside the measurement
+    cpus = os.cpu_count() or 1
+    if cpus >= MIN_CPUS_FOR_SPEEDUP:
+        best = max(row["frames_per_sec"] for row in workers.values())
+        single = workers["1"]["frames_per_sec"]
+        assert best >= 1.2 * single, (
+            f"sharding never beat a single worker on a {cpus}-cpu machine "
+            f"(best {best:.1f} vs single {single:.1f} frames/s)"
+        )
+    assert BENCH_JSON.exists()
+
+
+if __name__ == "__main__":
+    test_sharded_scaling_sweep()

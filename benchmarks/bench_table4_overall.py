@@ -34,15 +34,20 @@ PAPER_ROWS = {
 }
 
 CONFIGS = {
+    # Both MNIST experiments cycle-verify the FULL test split
+    # (hardware_frames=-1) through backend="auto": the optimized vectorized /
+    # sharded engine makes cycle-level verification of every test frame
+    # affordable, so the "Shenjing Accu." row is simulated, not estimated.
     "mnist-mlp": ExperimentConfig(
         name="mnist-mlp", model_builder=build_mnist_mlp, dataset="mnist",
         timesteps=20, target_fps=40, train_epochs=4, train_size=600, test_size=120,
-        hardware_frames=3, seed=0,
+        hardware_frames=-1, backend="auto", seed=0,
     ),
     "mnist-cnn": ExperimentConfig(
         name="mnist-cnn", model_builder=build_mnist_cnn, dataset="mnist",
         timesteps=20, target_fps=30, train_epochs=1, train_size=256, test_size=48,
-        optimizer="adam", learning_rate=1e-3, hardware_frames=0, seed=0,
+        optimizer="adam", learning_rate=1e-3, hardware_frames=-1,
+        backend="auto", seed=0,
     ),
     "cifar-cnn": ExperimentConfig(
         name="cifar-cnn", model_builder=build_cifar_cnn, dataset="cifar",
@@ -76,6 +81,11 @@ def test_regenerate_table4_row(benchmark, name):
     assert result.shenjing_accuracy is not None
     if result.hardware_matches_abstract is not None:
         assert result.hardware_matches_abstract
+    if config.hardware_frames < 0:
+        # the full test split was cycle-verified on the hardware simulator
+        assert result.hardware_matches_abstract is True
+        assert result.metadata["hardware_frames"] == config.test_size
+        assert result.shenjing_accuracy == pytest.approx(result.snn_accuracy)
     # resource counts land within ~35 % of the paper's core counts
     assert result.cores == pytest.approx(paper["cores"], rel=0.35)
     assert result.timesteps == paper["timesteps"]

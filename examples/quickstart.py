@@ -7,10 +7,12 @@ schedule), executes the compiled program through the multi-backend execution
 engine (:mod:`repro.engine`), and checks that the hardware produces exactly
 the same spikes as the abstract SNN — the paper's central property.
 
-The backend is selectable: the cycle-level ``reference`` interpreter or the
-batched ``vectorized`` backend (bit-exact, >=10x faster on batches).
+The backend is selectable: the cycle-level ``reference`` interpreter, the
+batched ``vectorized`` backend (bit-exact, with an optimizer pass over the
+lowered schedule), the multiprocess ``sharded`` backend, or ``auto`` (the
+default), which picks one of the others from the batch size.
 
-Run with:  python examples/quickstart.py [--backend reference|vectorized]
+Run with:  python examples/quickstart.py [--backend auto|reference|vectorized|sharded]
 """
 
 import argparse
@@ -23,7 +25,7 @@ from repro.mapping import compile_network
 from repro.snn import AbstractSnnRunner, DenseSpec, SnnNetwork, deterministic_encode
 
 
-def main(backend: str = "vectorized", check_parity: bool = True) -> None:
+def main(backend: str = "auto", check_parity: bool = True) -> None:
     rng = np.random.default_rng(0)
 
     # A 40-24-5 spiking MLP.  Each 16x16 core holds at most 16 inputs and 16
@@ -51,7 +53,9 @@ def main(backend: str = "vectorized", check_parity: bool = True) -> None:
     engine = ExecutionEngine(compiled.program, backend=backend)
     hardware = engine.run(spike_trains)
 
-    print(f"\nexecution backend: {backend} (available: {', '.join(list_backends())})")
+    chosen = getattr(engine.backend(), "last_selection", None)
+    selected = f"{backend} -> {chosen}" if chosen else backend
+    print(f"\nexecution backend: {selected} (available: {', '.join(list_backends())})")
     print("abstract SNN spike counts:")
     print(abstract.spike_counts)
     print("Shenjing hardware spike counts:")
@@ -65,14 +69,17 @@ def main(backend: str = "vectorized", check_parity: bool = True) -> None:
     print(f"axon switching activity: {stats.switching_activity:.4f}")
 
     if check_parity:
-        report = assert_backend_parity(compiled.program, spike_trains)
+        report = assert_backend_parity(
+            compiled.program, spike_trains,
+            backends=("reference", "vectorized", "sharded"))
         print(f"\n{report.describe()}")
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--backend", default="vectorized",
-                        help="execution backend name (reference | vectorized)")
+    parser.add_argument("--backend", default="auto",
+                        help="execution backend name "
+                             "(auto | reference | vectorized | sharded)")
     parser.add_argument("--no-parity", action="store_true",
                         help="skip the cross-backend parity check")
     args = parser.parse_args()

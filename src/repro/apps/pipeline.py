@@ -7,10 +7,12 @@ One call of :func:`run_experiment` reproduces one column of Table IV:
 3. map the SNN onto Shenjing (logical + physical mapping), timing the
    toolchain (the "Mapping time" row);
 4. optionally cycle-simulate the mapped network on an execution backend of
-   :mod:`repro.engine` (the batched ``vectorized`` backend by default, the
-   cycle-level ``reference`` interpreter on request — both bit-exact) and
-   check it reproduces the abstract SNN's predictions (the "Shenjing
-   Accu." row — lossless by construction, verified by simulation);
+   :mod:`repro.engine` (``backend="auto"`` by default, which picks the
+   cycle-level ``reference`` interpreter, the batched ``vectorized``
+   executor or the multiprocess ``sharded`` backend from the batch size —
+   all bit-exact) and check it reproduces the abstract SNN's predictions
+   (the "Shenjing Accu." row — lossless by construction, verified by
+   simulation); ``hardware_frames=-1`` cycle-verifies the full test split;
 5. estimate frequency, power and energy per frame with the architectural
    power model (the remaining rows).
 
@@ -32,8 +34,7 @@ import numpy as np
 
 from ..core.config import ArchitectureConfig, DEFAULT_ARCH
 from ..datasets import Dataset, synthetic_cifar10, synthetic_mnist
-from ..engine import DEFAULT_BACKEND, get_backend
-from ..engine import run as run_on_backend
+from ..engine import create_backend, get_backend
 from ..nn.model import Sequential
 from ..nn.training import Adam, SGD, Trainer
 from ..power.interchip import InterchipTraffic
@@ -68,11 +69,12 @@ class ExperimentConfig:
     weight_bits: int = 5
     seed: int = 0
     #: number of test frames to run on the hardware cycle simulator
-    #: (0 disables hardware simulation and falls back to the estimator)
+    #: (0 disables hardware simulation and falls back to the estimator;
+    #: negative values cycle-verify the **full** test split)
     hardware_frames: int = 0
     #: execution backend for the hardware simulation (see repro.engine);
-    #: all backends are bit-exact, "vectorized" batches the frames
-    backend: str = DEFAULT_BACKEND
+    #: all backends are bit-exact, "auto" picks one from the batch size
+    backend: str = "auto"
     #: fabric height override (None = one chip's rows)
     fabric_rows: Optional[int] = None
 
@@ -163,7 +165,7 @@ def run_experiment(config: ExperimentConfig,
 
     # 3. mapping (timed — the "Mapping time" row)
     start = time.perf_counter()
-    if config.hardware_frames > 0:
+    if config.hardware_frames != 0:
         compiled: Optional[CompiledNetwork] = compile_network(
             snn, arch, rows=config.fabric_rows)
         estimate = estimate_mapping(snn, arch, rows=config.fabric_rows,
@@ -177,10 +179,17 @@ def run_experiment(config: ExperimentConfig,
     # 4. hardware simulation (when requested)
     shenjing_accuracy: Optional[float] = None
     hardware_matches: Optional[bool] = None
+    execution_backend: Optional[str] = None
     if compiled is not None:
-        frames = min(config.hardware_frames, dataset.test_size)
-        hw_result = run_on_backend(compiled.program, test_trains[:frames],
-                                   backend=config.backend)
+        if config.hardware_frames < 0:
+            frames = dataset.test_size
+        else:
+            frames = min(config.hardware_frames, dataset.test_size)
+        backend_instance = create_backend(config.backend, compiled.program)
+        hw_result = backend_instance.run(test_trains[:frames])
+        # the auto backend reports which delegate it picked
+        execution_backend = getattr(backend_instance, "last_selection",
+                                    None) or config.backend
         shenjing_accuracy = hw_result.accuracy(dataset.test_labels[:frames])
         hardware_matches = bool(np.array_equal(
             hw_result.spike_counts, snn_result.spike_counts[:frames]))
@@ -219,6 +228,8 @@ def run_experiment(config: ExperimentConfig,
             "dataset": dataset.name,
             "fabric": estimate.fabric,
             "cycles_per_timestep": estimate.cycles_per_timestep,
+            "execution_backend": execution_backend,
+            "hardware_frames": 0 if compiled is None else frames,
         },
     )
 

@@ -1,0 +1,223 @@
+"""Benchmark harness for the execution engine (``python -m repro.bench``).
+
+The measurement logic used by ``benchmarks/bench_engine_throughput.py`` and
+``benchmarks/bench_sharded_scaling.py`` lives here, inside the package, so
+the same numbers can be produced without any ``PYTHONPATH`` / rootdir setup
+wherever ``repro`` is importable::
+
+    python -m repro.bench                 # measure + write BENCH_engine.json
+    python -m repro.bench --skip-scaling  # throughput only
+
+Results are written to ``BENCH_engine.json`` — a machine-readable perf
+trajectory (frames/sec per backend, speedups, batch size, git revision,
+cpu count) that future changes can diff against to catch regressions.
+Sections are merged on re-write, so the throughput benchmark and the
+sharded-scaling benchmark update one shared file.
+
+The harness is built for constrained environments: worker counts are capped
+by ``os.cpu_count()``-derived defaults, and nothing here asserts — the
+pytest wrappers in ``benchmarks/`` own the acceptance thresholds (and relax
+the scaling expectations when the machine has too few cores to show one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import small_test_arch
+from ..engine import assert_backend_parity, create_backend
+from ..mapping import compile_network
+from ..snn import DenseSpec, SnnNetwork, deterministic_encode
+
+#: canonical name of the perf-trajectory file
+BENCH_FILENAME = "BENCH_engine.json"
+
+#: default batch geometry of the MLP throughput case
+DEFAULT_FRAMES = 64
+DEFAULT_TIMESTEPS = 16
+
+
+def mlp_bench_case(frames: int = DEFAULT_FRAMES,
+                   timesteps: int = DEFAULT_TIMESTEPS,
+                   seed: int = 0):
+    """The quickstart-style 40-24-5 MLP mapping and a spike-train batch.
+
+    Spans several 16x16 cores and both NoCs, so it exercises every lowered
+    op kind.  Returns ``(program, spike_trains)``.
+    """
+    rng = np.random.default_rng(seed)
+    arch = small_test_arch(core_inputs=16, core_neurons=16, chip_rows=8,
+                           chip_cols=8)
+    network = SnnNetwork(
+        name="bench-mlp",
+        input_shape=(40,),
+        layers=[
+            DenseSpec(name="fc1", weights=rng.integers(-7, 8, size=(40, 24)),
+                      threshold=25),
+            DenseSpec(name="fc2", weights=rng.integers(-7, 8, size=(24, 5)),
+                      threshold=20),
+        ],
+        timesteps=timesteps,
+    )
+    trains = deterministic_encode(rng.random((frames, 40)), timesteps)
+    return compile_network(network, arch).program, trains
+
+
+def time_backend(name: str, program, trains, repeats: int = 5,
+                 **options) -> float:
+    """Best-of-``repeats`` seconds for one batched run (construction and a
+    warmup run excluded)."""
+    backend = create_backend(name, program, **options)
+    backend.run(trains)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        backend.run(trains)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_throughput(frames: int = DEFAULT_FRAMES,
+                       timesteps: int = DEFAULT_TIMESTEPS,
+                       repeats: int = 5,
+                       check_parity: bool = True) -> Dict[str, object]:
+    """Frames/sec of every backend on the MLP case, plus speedup ratios.
+
+    ``vectorized_unoptimized`` is the PR-1 vectorized path (no schedule
+    optimizer), kept measurable so the optimizer's contribution stays an
+    explicit number in the perf trajectory.
+    """
+    program, trains = mlp_bench_case(frames=frames, timesteps=timesteps)
+    if check_parity:
+        assert_backend_parity(program, trains,
+                              backends=("reference", "vectorized", "sharded"))
+    sharded = create_backend("sharded", program)
+    seconds = {
+        "reference": time_backend("reference", program, trains,
+                                  repeats=min(repeats, 2)),
+        "vectorized_unoptimized": time_backend("vectorized", program, trains,
+                                               repeats=repeats, optimize=False),
+        "vectorized": time_backend("vectorized", program, trains,
+                                   repeats=repeats),
+        "sharded": time_backend("sharded", program, trains, repeats=repeats),
+    }
+    backends = {
+        name: {"seconds": value, "frames_per_sec": frames / value}
+        for name, value in seconds.items()
+    }
+    return {
+        "frames": frames,
+        "timesteps": timesteps,
+        "parity_checked": check_parity,
+        "sharded_workers": sharded.workers,
+        "sharded_shards": sharded.shard_count(frames),
+        "backends": backends,
+        "speedups": {
+            "vectorized_vs_reference":
+                seconds["reference"] / seconds["vectorized"],
+            "optimized_vs_unoptimized":
+                seconds["vectorized_unoptimized"] / seconds["vectorized"],
+            "sharded_vs_vectorized":
+                seconds["vectorized"] / seconds["sharded"],
+        },
+    }
+
+
+def default_worker_counts() -> List[int]:
+    """Worker counts worth sweeping on this machine.
+
+    Always includes 1 (in-process baseline) and 2 (exercises the real
+    multiprocess path even on small machines), then doubles up to the cpu
+    count, capped at 8.
+    """
+    cpus = os.cpu_count() or 1
+    counts = {1, 2}
+    count = 4
+    while count <= min(cpus, 8):
+        counts.add(count)
+        count *= 2
+    return sorted(counts)
+
+
+def measure_sharded_scaling(frames: int = 128,
+                            timesteps: int = DEFAULT_TIMESTEPS,
+                            worker_counts: Optional[Sequence[int]] = None,
+                            repeats: int = 3) -> Dict[str, object]:
+    """Frames/sec of the sharded backend across worker counts (bit-exactness
+    of every worker count against the single-shard run is verified)."""
+    program, trains = mlp_bench_case(frames=frames, timesteps=timesteps)
+    if worker_counts is None:
+        worker_counts = default_worker_counts()
+    baseline = create_backend("sharded", program, workers=1).run(trains)
+    workers: Dict[str, Dict[str, float]] = {}
+    for count in worker_counts:
+        backend = create_backend("sharded", program, workers=count)
+        result = backend.run(trains)
+        if not np.array_equal(result.spike_counts, baseline.spike_counts):
+            raise AssertionError(
+                f"sharded backend with {count} workers disagrees with the "
+                "single-shard run"
+            )
+        if result.stats.summary() != baseline.stats.summary():
+            raise AssertionError(
+                f"sharded stats with {count} workers disagree with the "
+                "single-shard run"
+            )
+        seconds = time_backend("sharded", program, trains, repeats=repeats,
+                               workers=count)
+        workers[str(count)] = {
+            "seconds": seconds,
+            "frames_per_sec": frames / seconds,
+            "shards": backend.shard_count(frames),
+        }
+    return {
+        "frames": frames,
+        "timesteps": timesteps,
+        "cpu_count": os.cpu_count() or 1,
+        "workers": workers,
+    }
+
+
+def git_revision() -> str:
+    """The repository's short HEAD revision, or "unknown" outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() \
+        else "unknown"
+
+
+def write_bench_report(sections: Dict[str, object],
+                       path: Optional[os.PathLike] = None) -> Path:
+    """Merge ``sections`` into the BENCH_engine.json perf trajectory.
+
+    Existing sections not named in ``sections`` are preserved, so the
+    throughput and scaling benchmarks co-own one file.  Returns the path
+    written.
+    """
+    target = Path(path) if path is not None else Path.cwd() / BENCH_FILENAME
+    payload: Dict[str, object] = {}
+    if target.exists():
+        try:
+            payload = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    payload["schema"] = 1
+    payload["git_rev"] = git_revision()
+    payload["cpu_count"] = os.cpu_count() or 1
+    payload["generated_unix"] = time.time()
+    payload.update(sections)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

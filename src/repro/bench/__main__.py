@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Runs the engine throughput benchmark (and, unless ``--skip-scaling``, the
+sharded worker-count sweep) and writes/merges ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    BENCH_FILENAME,
+    DEFAULT_FRAMES,
+    DEFAULT_TIMESTEPS,
+    measure_sharded_scaling,
+    measure_throughput,
+    write_bench_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure execution-engine throughput and write the "
+                    "BENCH_engine.json perf trajectory.",
+    )
+    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES,
+                        help="batch size of the throughput case")
+    parser.add_argument("--timesteps", type=int, default=DEFAULT_TIMESTEPS,
+                        help="timesteps per frame")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats per backend (best-of)")
+    parser.add_argument("--output", default=None,
+                        help=f"output path (default: ./{BENCH_FILENAME})")
+    parser.add_argument("--skip-scaling", action="store_true",
+                        help="skip the sharded worker-count sweep")
+    args = parser.parse_args(argv)
+
+    sections = {}
+    throughput = measure_throughput(frames=args.frames,
+                                    timesteps=args.timesteps,
+                                    repeats=args.repeats)
+    sections["throughput"] = throughput
+    print(f"engine throughput ({args.frames} frames x {args.timesteps} steps):")
+    for name, row in throughput["backends"].items():
+        print(f"  {name:<24} {row['frames_per_sec']:>10.1f} frames/s")
+    for name, value in throughput["speedups"].items():
+        print(f"  {name:<36} {value:.2f}x")
+
+    if not args.skip_scaling:
+        scaling = measure_sharded_scaling(timesteps=args.timesteps,
+                                          repeats=args.repeats)
+        sections["sharded_scaling"] = scaling
+        print(f"sharded scaling ({scaling['frames']} frames, "
+              f"{scaling['cpu_count']} cpus):")
+        for count, row in scaling["workers"].items():
+            print(f"  workers={count:<3} shards={row['shards']:<3}"
+                  f" {row['frames_per_sec']:>10.1f} frames/s")
+
+    path = write_bench_report(sections, path=args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,13 +6,20 @@ bit-exact backends:
 * ``reference`` — the cycle-level per-instruction interpreter
   (:class:`~repro.core.simulator.ShenjingSimulator`), the ground truth;
 * ``vectorized`` — lowers the program once into a flat per-timestep schedule
-  of dense numpy operations and executes all frames of a batch
-  simultaneously (>=10x frames/sec on batched sweeps).
+  of dense numpy operations, optimizes the schedule
+  (:mod:`repro.engine.optimize`: packet fusion, dead-op elimination, slice
+  selectors, exact BLAS accumulation) and executes all frames of a batch
+  simultaneously;
+* ``sharded`` — splits the batch's frame axis across worker processes, each
+  running the same optimized schedule (:mod:`repro.engine.sharded`);
+* ``auto`` — picks one of the above from the batch size
+  (:mod:`repro.engine.auto`): ``reference`` for 1-frame debug runs,
+  ``vectorized`` for small batches, ``sharded`` above a threshold.
 
 Typical use::
 
     from repro.engine import run
-    result = run(compiled.program, spike_trains, backend="vectorized")
+    result = run(compiled.program, spike_trains, backend="auto")
 
 or, when the same program is executed repeatedly::
 
@@ -26,14 +33,15 @@ contract on any program.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.simulator import SimulationResult
 from ..mapping.program import Program
 from .base import EngineError, ExecutionBackend
-from .lowering import BatchState, LoweredSchedule, LoweringError, lower_program
+from .lowering import BatchState, ClearPlan, LoweredSchedule, LoweringError, lower_program
+from .optimize import optimize_schedule
 from .parity import ParityError, ParityReport, assert_backend_parity, run_backends
 from .registry import (
     DEFAULT_BACKEND,
@@ -45,30 +53,51 @@ from .registry import (
 
 # Importing the backend modules registers them.
 from .reference import ReferenceBackend
-from .vectorized import VectorizedBackend
+from .vectorized import VectorizedBackend, execute_schedule
+from .sharded import ShardedBackend, resolve_worker_count
+from .auto import AutoBackend, select_backend_name
 
 
 class ExecutionEngine:
     """Executes one program on selectable backends, caching their one-time
-    preparation (system construction, program lowering) across runs."""
+    preparation (system construction, program lowering) across runs.
+
+    Instances are cached by *configuration*, not just name: the key includes
+    the current ``collect_stats`` flag and the backend's options, so e.g.
+    flipping ``engine.collect_stats`` or asking for differently-configured
+    sharding never reuses a stale instance.
+
+    ``backend_options`` maps backend names to constructor keyword arguments,
+    e.g. ``{"sharded": {"workers": 4}}``.
+    """
 
     def __init__(self, program: Program, backend: str = DEFAULT_BACKEND,
-                 collect_stats: bool = True):
+                 collect_stats: bool = True,
+                 backend_options: Optional[Dict[str, Dict[str, object]]] = None):
         program.validate()
         self.program = program
         self.default_backend = backend
         self.collect_stats = collect_stats
-        self._instances: Dict[str, ExecutionBackend] = {}
+        self.backend_options: Dict[str, Dict[str, object]] = dict(backend_options or {})
+        self._instances: Dict[Tuple[str, bool, Tuple[Tuple[str, str], ...]],
+                              ExecutionBackend] = {}
         # Resolve eagerly so a bad default fails at construction.
         get_backend(backend)
+
+    def _cache_key(self, name: str):
+        options = self.backend_options.get(name, {})
+        frozen = tuple(sorted((key, repr(value)) for key, value in options.items()))
+        return (name, self.collect_stats, frozen)
 
     def backend(self, name: Optional[str] = None) -> ExecutionBackend:
         """The (cached) backend instance for ``name`` (default backend if None)."""
         name = name or self.default_backend
-        if name not in self._instances:
-            self._instances[name] = create_backend(
-                name, self.program, collect_stats=self.collect_stats)
-        return self._instances[name]
+        key = self._cache_key(name)
+        if key not in self._instances:
+            self._instances[key] = create_backend(
+                name, self.program, collect_stats=self.collect_stats,
+                **self.backend_options.get(name, {}))
+        return self._instances[key]
 
     def run(self, spike_trains: np.ndarray,
             backend: Optional[str] = None) -> SimulationResult:
@@ -78,13 +107,22 @@ class ExecutionEngine:
 
 def run(program: Program, spike_trains: np.ndarray,
         backend: str = DEFAULT_BACKEND,
-        collect_stats: bool = True) -> SimulationResult:
-    """Execute ``spike_trains`` on ``program`` with the named backend."""
-    return create_backend(backend, program, collect_stats=collect_stats).run(spike_trains)
+        collect_stats: bool = True,
+        **options: object) -> SimulationResult:
+    """Execute ``spike_trains`` on ``program`` with the named backend.
+
+    Keyword ``options`` forward to the backend constructor (e.g.
+    ``workers=4`` for ``sharded``).
+    """
+    backend_instance = create_backend(backend, program,
+                                      collect_stats=collect_stats, **options)
+    return backend_instance.run(spike_trains)
 
 
 __all__ = [
+    "AutoBackend",
     "BatchState",
+    "ClearPlan",
     "DEFAULT_BACKEND",
     "EngineError",
     "ExecutionBackend",
@@ -94,13 +132,18 @@ __all__ = [
     "ParityError",
     "ParityReport",
     "ReferenceBackend",
+    "ShardedBackend",
     "VectorizedBackend",
     "assert_backend_parity",
     "create_backend",
+    "execute_schedule",
     "get_backend",
     "list_backends",
     "lower_program",
+    "optimize_schedule",
     "register_backend",
+    "resolve_worker_count",
     "run",
     "run_backends",
+    "select_backend_name",
 ]

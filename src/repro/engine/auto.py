@@ -1,0 +1,100 @@
+"""The ``auto`` backend: batch-size-aware backend selection.
+
+Callers rarely want to think about which executor fits a run: single-frame
+debug runs want the cycle-level ``reference`` interpreter (its per-frame
+trace is the ground truth and construction is cheap), batched sweeps want
+``vectorized``, and large batches on multi-core machines want ``sharded``.
+``auto`` encodes that policy behind the normal backend interface — all
+delegates are bit-exact, so the choice is purely about speed:
+
+* ``frames <= reference_max_frames`` (default 1) -> ``reference``;
+* ``frames < sharded_min_frames`` (default 256), or fewer than two usable
+  workers -> ``vectorized``;
+* otherwise -> ``sharded``.
+
+Delegate backends are created lazily and cached, so a long-lived
+:class:`~repro.engine.ExecutionEngine` pays lowering / simulator
+construction once per delegate actually used.  The most recent choice is
+exposed as :attr:`AutoBackend.last_selection` (e.g. for experiment
+metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.simulator import SimulationResult
+from ..mapping.program import Program
+from .base import ExecutionBackend, normalise_spike_trains
+from .registry import create_backend, register_backend
+from .sharded import resolve_worker_count
+
+#: default smallest batch worth paying multiprocess overhead for
+DEFAULT_SHARDED_MIN_FRAMES = 256
+
+#: default largest batch still sent to the cycle-level interpreter
+DEFAULT_REFERENCE_MAX_FRAMES = 1
+
+
+def select_backend_name(frames: int,
+                        reference_max_frames: int = DEFAULT_REFERENCE_MAX_FRAMES,
+                        sharded_min_frames: int = DEFAULT_SHARDED_MIN_FRAMES,
+                        workers: Optional[int] = None) -> str:
+    """The backend ``auto`` picks for a ``frames``-sized batch.
+
+    Exposed separately so tools (and tests) can inspect the policy without
+    building any backend.
+    """
+    if 0 < frames <= reference_max_frames:
+        return "reference"
+    if frames < sharded_min_frames or resolve_worker_count(workers) < 2:
+        return "vectorized"
+    return "sharded"
+
+
+@register_backend
+class AutoBackend(ExecutionBackend):
+    """Delegates each run to the backend the batch size calls for."""
+
+    name = "auto"
+
+    def __init__(self, program: Program, collect_stats: bool = True,
+                 reference_max_frames: int = DEFAULT_REFERENCE_MAX_FRAMES,
+                 sharded_min_frames: int = DEFAULT_SHARDED_MIN_FRAMES,
+                 workers: Optional[int] = None):
+        super().__init__(program, collect_stats=collect_stats)
+        self.reference_max_frames = reference_max_frames
+        self.sharded_min_frames = sharded_min_frames
+        self.workers = workers
+        # keyed by (name, collect_stats) so flipping collect_stats on this
+        # backend never reuses a delegate frozen with the old setting
+        self._delegates: Dict[Tuple[str, bool], ExecutionBackend] = {}
+        #: name of the backend the most recent run() used (None before any)
+        self.last_selection: Optional[str] = None
+
+    def select(self, frames: int) -> str:
+        """The delegate name for a ``frames``-sized batch."""
+        return select_backend_name(
+            frames,
+            reference_max_frames=self.reference_max_frames,
+            sharded_min_frames=self.sharded_min_frames,
+            workers=self.workers,
+        )
+
+    def delegate(self, name: str) -> ExecutionBackend:
+        """The (lazily created, cached) delegate backend ``name``."""
+        key = (name, self.collect_stats)
+        if key not in self._delegates:
+            options = {"workers": self.workers} if name == "sharded" else {}
+            self._delegates[key] = create_backend(
+                name, self.program, collect_stats=self.collect_stats, **options)
+        return self._delegates[key]
+
+    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+        spike_trains = normalise_spike_trains(spike_trains,
+                                              self.program.input_size)
+        name = self.select(spike_trains.shape[0])
+        self.last_selection = name
+        return self.delegate(name).run(spike_trains)

@@ -89,13 +89,29 @@ class BatchState:
         #: spiking axons observed by ACC ops (summed over the whole batch)
         self.active_axons = 0
 
-    def begin_timestep(self, inputs: np.ndarray) -> None:
-        """Clear per-step latches and expose this step's input spikes."""
+    def begin_timestep(self, inputs: np.ndarray,
+                       plan: Optional["ClearPlan"] = None) -> None:
+        """Clear per-step latches and expose this step's input spikes.
+
+        With a :class:`ClearPlan` (computed by :mod:`repro.engine.optimize`)
+        only the state arrays the schedule actually reads are cleared; the
+        default clears everything, which is always safe.
+        """
         self.inputs = inputs
-        for slot in range(len(self.axons)):
+        if plan is None:
+            for slot in range(len(self.axons)):
+                self.axons[slot][:] = False
+                self.sum_buf[slot][:] = 0
+                self.weighted[slot][:] = 0
+                self.spike_reg[slot][:] = False
+            return
+        for slot in plan.axons:
             self.axons[slot][:] = False
+        for slot in plan.sum_buf:
             self.sum_buf[slot][:] = 0
+        for slot in plan.weighted:
             self.weighted[slot][:] = 0
+        for slot in plan.spike_reg:
             self.spike_reg[slot][:] = False
 
 
@@ -301,6 +317,21 @@ class OutputGather:
     output_indices: np.ndarray
 
 
+@dataclass(frozen=True)
+class ClearPlan:
+    """Which per-step state arrays must actually be cleared between steps.
+
+    Computed by the schedule optimizer from the read sets of the (optimized)
+    op list: an array nobody reads during a time step can keep stale values
+    without affecting the run.  ``None`` on a schedule means "clear all".
+    """
+
+    axons: Tuple[int, ...]
+    sum_buf: Tuple[int, ...]
+    weighted: Tuple[int, ...]
+    spike_reg: Tuple[int, ...]
+
+
 @dataclass
 class LoweredSchedule:
     """A program lowered to a flat, batch-executable per-timestep schedule."""
@@ -323,6 +354,11 @@ class LoweredSchedule:
     acc_ops_per_timestep: int
     interchip_spike_bits_per_timestep: int
     interchip_ps_bits_per_timestep: int
+    #: restricted between-step clearing (None = clear everything); set by
+    #: :func:`repro.engine.optimize.optimize_schedule`
+    clear_plan: Optional[ClearPlan] = None
+    #: True once the schedule went through the optimizer pass
+    optimized: bool = False
 
     def allocate(self, batch: int) -> BatchState:
         arch = self.program.arch

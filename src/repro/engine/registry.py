@@ -46,6 +46,13 @@ def list_backends() -> Tuple[str, ...]:
 
 
 def create_backend(name: str, program: Program,
-                   collect_stats: bool = True) -> ExecutionBackend:
-    """Instantiate the backend ``name`` for ``program``."""
-    return get_backend(name)(program, collect_stats=collect_stats)
+                   collect_stats: bool = True,
+                   **options: object) -> ExecutionBackend:
+    """Instantiate the backend ``name`` for ``program``.
+
+    Extra keyword ``options`` are forwarded to the backend constructor
+    (e.g. ``workers=4`` for ``sharded``, ``optimize=False`` for
+    ``vectorized``); passing an option a backend does not accept raises
+    the usual ``TypeError``.
+    """
+    return get_backend(name)(program, collect_stats=collect_stats, **options)

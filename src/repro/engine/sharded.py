@@ -1,0 +1,151 @@
+"""The ``sharded`` backend: multiprocess execution, batch split across workers.
+
+One Python process caps sweep throughput no matter how well the inner loop
+vectorizes.  The lowered (and optimized) schedule is *static picklable
+state* — numpy arrays, slices and plain attributes — so it ships to worker
+processes once, and each worker runs a contiguous shard of the batch's frame
+axis through exactly the same executor the ``vectorized`` backend uses
+(:func:`repro.engine.vectorized.execute_schedule`).
+
+Merging is deterministic: shards are contiguous frame ranges in order, spike
+counts concatenate along the frame axis, predictions are recomputed from the
+merged counts, and the data-dependent ``ACC`` activity sums linearly over
+frames, so the analytically reconstructed
+:class:`~repro.core.stats.ExecutionStats` is *identical* to a single-process
+run — the sharded backend is bit-exact with ``vectorized`` and ``reference``
+including statistics.
+
+Worker-side errors (the one data-dependent error class: partial-sum
+overflow) re-raise in the parent with the same exception classes the other
+backends use (:class:`~repro.core.neuron_core.NeuronCoreError`,
+:class:`~repro.core.ps_router.PsRouterError`), so error-handling code is
+backend-agnostic.
+
+Worker count resolves from, in order: the ``workers`` constructor argument,
+the ``REPRO_SHARDED_WORKERS`` environment variable, ``os.cpu_count()``
+(capped at :data:`MAX_DEFAULT_WORKERS`).  A pool is forked per ``run`` call
+(prefer ``fork`` where the platform offers it) and torn down afterwards;
+runs whose batch is smaller than two frames per shard fall back to
+in-process execution, so 1-worker and tiny-batch runs never pay process
+overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.simulator import SimulationResult
+from ..mapping.program import Program
+from .base import EngineError, ExecutionBackend, normalise_spike_trains
+from .lowering import LoweredSchedule
+from .registry import register_backend
+from .vectorized import build_result, execute_schedule, prepare_schedule
+
+#: environment variable overriding the default worker count
+WORKERS_ENV_VAR = "REPRO_SHARDED_WORKERS"
+
+#: default cap so a big machine does not fork dozens of workers per run
+MAX_DEFAULT_WORKERS = 8
+
+
+def resolve_worker_count(workers: Optional[int] = None) -> int:
+    """The worker count to use: explicit argument, env var, or cpu count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise EngineError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS)
+    if workers < 1:
+        raise EngineError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Worker-side state and entry points (module level: picklable by name)
+# ----------------------------------------------------------------------
+_WORKER_SCHEDULE: Optional[LoweredSchedule] = None
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER_SCHEDULE
+    _WORKER_SCHEDULE = pickle.loads(payload)
+
+
+def _worker_run(shard: np.ndarray):
+    counts, active_axons = execute_schedule(_WORKER_SCHEDULE, shard)
+    return counts, active_axons
+
+
+@register_backend
+class ShardedBackend(ExecutionBackend):
+    """Splits the batch's frame axis across worker processes."""
+
+    name = "sharded"
+
+    def __init__(self, program: Program, collect_stats: bool = True,
+                 workers: Optional[int] = None, optimize: bool = True,
+                 start_method: Optional[str] = None):
+        super().__init__(program, collect_stats=collect_stats)
+        self.workers = resolve_worker_count(workers)
+        schedule = prepare_schedule(program, optimize)
+        self.schedule: LoweredSchedule = schedule
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        try:
+            #: the schedule, serialized once; every run ships it to its pool
+            self._payload = pickle.dumps(schedule,
+                                         protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # pragma: no cover - schedules are picklable
+            raise EngineError(
+                f"lowered schedule is not picklable, cannot shard: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def shard_count(self, frames: int) -> int:
+        """How many shards a ``frames``-sized batch actually splits into.
+
+        Never more shards than frames (a worker with an empty shard is pure
+        overhead), and a single shard runs in-process.
+        """
+        return max(1, min(self.workers, frames))
+
+    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+        program = self.program
+        spike_trains = normalise_spike_trains(spike_trains, program.input_size)
+        frames, timesteps, _ = spike_trains.shape
+        shards = self.shard_count(frames)
+        if shards <= 1:
+            counts, active_axons = execute_schedule(self.schedule, spike_trains)
+        else:
+            counts, active_axons = self._run_sharded(spike_trains, shards)
+        return build_result(self.schedule, counts, active_axons,
+                            frames, timesteps, self.collect_stats)
+
+    def _run_sharded(self, spike_trains: np.ndarray, shards: int):
+        """Fork a pool, run the shards, merge deterministically."""
+        pieces: List[np.ndarray] = [
+            np.ascontiguousarray(piece)
+            for piece in np.array_split(spike_trains, shards, axis=0)
+        ]
+        ctx = multiprocessing.get_context(self.start_method)
+        with ctx.Pool(processes=shards, initializer=_worker_init,
+                      initargs=(self._payload,)) as pool:
+            # Pool.map preserves order and re-raises the first worker
+            # exception in the parent with its original class.
+            results = pool.map(_worker_run, pieces)
+        counts = np.concatenate([counts for counts, _ in results], axis=0)
+        active_axons = sum(active for _, active in results)
+        return counts, active_axons

@@ -2,10 +2,13 @@
 
 Lowers the compiled :class:`~repro.mapping.program.Program` once (at
 construction) into a flat per-timestep schedule of dense numpy operations
-(:mod:`repro.engine.lowering`) and then executes **all frames of the batch
-simultaneously** along a leading batch axis: the Python dispatch cost of one
-time step is paid once per batch instead of once per frame, which is where
-the >=10x throughput over the ``reference`` interpreter comes from.
+(:mod:`repro.engine.lowering`), runs the schedule optimizer over it
+(:mod:`repro.engine.optimize` — packet fusion, dead-op elimination,
+precomputed slice selectors, exact BLAS accumulation) and then executes
+**all frames of the batch simultaneously** along a leading batch axis: the
+Python dispatch cost of one time step is paid once per batch instead of once
+per frame, which is where the >=10x throughput over the ``reference``
+interpreter comes from (the optimizer adds another >=1.5x on top).
 
 Execution is bit-exact with the reference backend by construction — the
 lowered schedule performs the same integer arithmetic on the same lanes in
@@ -16,6 +19,8 @@ switching activity is measured from the data).
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from ..core.simulator import SimulationResult
@@ -25,41 +30,84 @@ from .lowering import LoweredSchedule, lower_program
 from .registry import register_backend
 
 
+def prepare_schedule(program: Program, optimize: bool = True) -> LoweredSchedule:
+    """Lower ``program`` and (by default) run the schedule optimizer.
+
+    The shared construction step of the ``vectorized`` and ``sharded``
+    backends, so both always execute the same schedule for the same options.
+    """
+    schedule = lower_program(program)
+    if optimize:
+        from .optimize import optimize_schedule
+        schedule = optimize_schedule(schedule)
+    return schedule
+
+
+def build_result(schedule: LoweredSchedule, counts: np.ndarray,
+                 active_axons: int, frames: int, timesteps: int,
+                 collect_stats: bool) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from executor output.
+
+    The shared epilogue of the ``vectorized`` and ``sharded`` backends:
+    predictions from the merged counts, statistics reconstructed
+    analytically (or empty when disabled).
+    """
+    predictions = np.argmax(counts, axis=1)
+    if collect_stats:
+        stats = schedule.build_stats(frames, timesteps, active_axons)
+    else:
+        from ..core.stats import ExecutionStats
+        stats = ExecutionStats()
+    return SimulationResult(spike_counts=counts, predictions=predictions,
+                            stats=stats)
+
+
+def execute_schedule(schedule: LoweredSchedule,
+                     spike_trains: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Run a batch of spike trains through a lowered schedule.
+
+    The shared inner loop of the ``vectorized`` backend and the ``sharded``
+    backend's workers.  Returns ``(spike_counts, active_axons)``; statistics
+    are reconstructed by the caller via :meth:`LoweredSchedule.build_stats`.
+    """
+    program = schedule.program
+    spike_trains = normalise_spike_trains(spike_trains, program.input_size)
+    frames, timesteps, _ = spike_trains.shape
+    state = schedule.allocate(frames)
+    counts = np.zeros((frames, program.output_size), dtype=np.int64)
+    ops = schedule.ops
+    inject_ops = schedule.inject_ops
+    outputs = schedule.outputs
+    plan = schedule.clear_plan
+    for step in range(timesteps):
+        state.begin_timestep(spike_trains[:, step, :], plan)
+        for op in inject_ops:
+            op.run(state)
+        for op in ops:
+            op.run(state)
+        for gather in outputs:
+            counts[:, gather.output_indices] += (
+                state.spike_reg[gather.slot][:, gather.lanes]
+            )
+    return counts, state.active_axons
+
+
 @register_backend
 class VectorizedBackend(ExecutionBackend):
     """Executes all frames of a batch at once on the lowered schedule."""
 
     name = "vectorized"
 
-    def __init__(self, program: Program, collect_stats: bool = True):
+    def __init__(self, program: Program, collect_stats: bool = True,
+                 optimize: bool = True):
         super().__init__(program, collect_stats=collect_stats)
-        self.schedule: LoweredSchedule = lower_program(program)
+        self.optimize = optimize
+        self.schedule: LoweredSchedule = prepare_schedule(program, optimize)
 
     def run(self, spike_trains: np.ndarray) -> SimulationResult:
-        program = self.program
-        spike_trains = normalise_spike_trains(spike_trains, program.input_size)
+        spike_trains = normalise_spike_trains(spike_trains,
+                                              self.program.input_size)
         frames, timesteps, _ = spike_trains.shape
-        schedule = self.schedule
-        state = schedule.allocate(frames)
-        counts = np.zeros((frames, program.output_size), dtype=np.int64)
-        ops = schedule.ops
-        inject_ops = schedule.inject_ops
-        outputs = schedule.outputs
-        for step in range(timesteps):
-            state.begin_timestep(spike_trains[:, step, :])
-            for op in inject_ops:
-                op.run(state)
-            for op in ops:
-                op.run(state)
-            for gather in outputs:
-                counts[:, gather.output_indices] += (
-                    state.spike_reg[gather.slot][:, gather.lanes]
-                )
-        predictions = np.argmax(counts, axis=1)
-        if self.collect_stats:
-            stats = schedule.build_stats(frames, timesteps, state.active_axons)
-        else:
-            from ..core.stats import ExecutionStats
-            stats = ExecutionStats()
-        return SimulationResult(spike_counts=counts, predictions=predictions,
-                                stats=stats)
+        counts, active_axons = execute_schedule(self.schedule, spike_trains)
+        return build_result(self.schedule, counts, active_axons,
+                            frames, timesteps, self.collect_stats)

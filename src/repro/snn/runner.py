@@ -77,14 +77,16 @@ def _dense_sum(spikes: np.ndarray, spec: DenseSpec) -> np.ndarray:
 
 
 def run_on_shenjing(network: SnnNetwork, spike_trains: np.ndarray, arch=None,
-                    backend: str = "vectorized", rows: Optional[int] = None,
+                    backend: str = "auto", rows: Optional[int] = None,
                     collect_stats: bool = True):
     """Compile ``network`` onto Shenjing and execute it on an engine backend.
 
     Maps the network with the full toolchain and runs the pre-encoded spike
     trains through :mod:`repro.engine` (backend selectable by name; all
-    backends are bit-exact with the cycle-level reference simulator).
-    Returns the backend's :class:`~repro.core.simulator.SimulationResult`.
+    backends are bit-exact with the cycle-level reference simulator; the
+    default ``"auto"`` picks reference / vectorized / sharded from the
+    batch size).  Returns the backend's
+    :class:`~repro.core.simulator.SimulationResult`.
     """
     # Imported lazily: the mapping toolchain and engine already depend on
     # repro.snn, so a module-level import would be circular.
@@ -202,7 +204,7 @@ class AbstractSnnRunner:
 
     # ------------------------------------------------------------------
     def run_on_shenjing(self, spike_trains: np.ndarray, arch=None,
-                        backend: str = "vectorized", rows: Optional[int] = None):
+                        backend: str = "auto", rows: Optional[int] = None):
         """Compile this runner's network and execute it on a hardware backend.
 
         Convenience wrapper around :func:`run_on_shenjing` for the common

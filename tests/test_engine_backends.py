@@ -56,8 +56,14 @@ def _single_core_program(arch, weights, threshold=4):
 class TestRegistry:
     def test_builtin_backends_registered(self):
         names = list_backends()
-        assert "reference" in names and "vectorized" in names
+        assert {"reference", "vectorized", "sharded", "auto"} <= set(names)
         assert DEFAULT_BACKEND in names
+
+    def test_create_backend_rejects_unknown_options(self, arch):
+        weights = np.ones((arch.core_inputs, arch.core_neurons), dtype=np.int16)
+        program = _single_core_program(arch, weights)
+        with pytest.raises(TypeError):
+            create_backend("reference", program, warp_factor=9)
 
     def test_get_backend_resolves_classes(self):
         assert get_backend("reference") is ReferenceBackend
@@ -118,6 +124,45 @@ class TestExecutionEngine:
         result = run(program, trains, backend="vectorized", collect_stats=False)
         assert result.stats.total_operations == 0
         assert result.spike_counts.sum() >= 0
+
+    def test_cache_respects_collect_stats_changes(self, arch, rng):
+        """Regression: flipping collect_stats must not reuse a stale instance."""
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        engine = ExecutionEngine(program)
+        trains = rng.random((2, 4, arch.core_inputs)) < 0.5
+        with_stats = engine.backend("vectorized")
+        assert engine.run(trains).stats.total_operations > 0
+        engine.collect_stats = False
+        without_stats = engine.backend("vectorized")
+        assert without_stats is not with_stats
+        assert engine.run(trains).stats.total_operations == 0
+        engine.collect_stats = True
+        # the original configuration's instance is still cached
+        assert engine.backend("vectorized") is with_stats
+
+    def test_cache_respects_backend_options(self, arch, rng):
+        """Regression: differently-configured backends are distinct instances."""
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        engine = ExecutionEngine(
+            program, backend="vectorized",
+            backend_options={"vectorized": {"optimize": False}})
+        unoptimized = engine.backend()
+        assert unoptimized.schedule.optimized is False
+        engine.backend_options["vectorized"] = {}
+        optimized = engine.backend()
+        assert optimized is not unoptimized
+        assert optimized.schedule.optimized is True
+
+    def test_two_engines_never_share_instances(self, arch, rng):
+        weights = rng.integers(0, 3, size=(arch.core_inputs, arch.core_neurons))
+        program = _single_core_program(arch, weights.astype(np.int16))
+        first = ExecutionEngine(program)
+        second = ExecutionEngine(program, collect_stats=False)
+        assert first.backend() is not second.backend()
+        assert first.backend().collect_stats is True
+        assert second.backend().collect_stats is False
 
 
 class TestLowering:

@@ -1,0 +1,229 @@
+"""Schedule optimizer tests: fusion, dead-op elimination, exactness.
+
+The optimizer's contract is the engine's contract: bit-exact results and
+statistics.  These tests pin down the individual transformations — packet
+fusion into direct reads, static dead-op elimination via the taint
+analysis, slice selectors, the BLAS accumulate — and that each preserves
+parity with the unoptimized schedule and the reference interpreter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CoreAccumulate, SpikeFire, SpikeSend, SpikeReceive
+from repro.core.isa import Direction
+from repro.core.neuron_core import NeuronCoreError
+from repro.core.tile import TileCoordinate
+from repro.engine import (
+    assert_backend_parity,
+    create_backend,
+    lower_program,
+    optimize_schedule,
+)
+from repro.engine.lowering import Accumulate, Eject, MakeSpikePacket, PsAdd
+from repro.engine.optimize import (
+    DirectEject,
+    DirectPsAdd,
+    FusedAccumulate,
+    _as_selector,
+)
+from repro.mapping.compiler import compile_network
+from repro.mapping.program import (
+    InputBinding,
+    OutputBinding,
+    Program,
+    TileConfig,
+)
+from repro.snn import deterministic_encode
+
+
+@pytest.fixture
+def dense_program(arch, dense_snn):
+    return compile_network(dense_snn, arch).program
+
+
+def _two_tile_program(arch, bind_input=True, send_spikes=True):
+    """tile(0,0) optionally fed by inputs, spiking east into tile(0,1)."""
+    src, dst = TileCoordinate(0, 0), TileCoordinate(0, 1)
+    program = Program(arch=arch, rows=2, cols=2, input_size=arch.core_inputs,
+                      output_size=arch.core_neurons)
+    thresholds = np.full(arch.core_neurons, 4, dtype=np.int64)
+    for tile in (src, dst):
+        program.add_tile_config(TileConfig(
+            tile=tile, weights=np.ones((arch.core_inputs, arch.core_neurons),
+                                       dtype=np.int16),
+            thresholds=thresholds))
+    if bind_input:
+        program.input_bindings.append(InputBinding(
+            tile=src, indices=np.arange(arch.core_inputs), axon_offset=0))
+    acc = program.new_phase("acc").new_group()
+    acc.add(src, CoreAccumulate())
+    fire = program.new_phase("fire").new_group()
+    fire.add(src, SpikeFire(use_noc_sum=False))
+    if send_spikes:
+        route = program.new_phase("route")
+        route.new_group().add(src, SpikeSend(dst=Direction.EAST))
+        route.new_group().add(dst, SpikeReceive(src=Direction.WEST))
+        acc2 = program.new_phase("acc2").new_group()
+        acc2.add(dst, CoreAccumulate())
+        fire2 = program.new_phase("fire2").new_group()
+        fire2.add(dst, SpikeFire(use_noc_sum=False))
+    out_tile = dst if send_spikes else src
+    program.output_bindings.append(OutputBinding(
+        tile=out_tile, lanes=tuple(range(arch.core_neurons)),
+        output_indices=tuple(range(arch.core_neurons))))
+    return program
+
+
+class TestOptimizePass:
+    def test_returns_new_marked_schedule(self, dense_program):
+        schedule = lower_program(dense_program)
+        optimized = optimize_schedule(schedule)
+        assert optimized is not schedule
+        assert optimized.optimized and not schedule.optimized
+        assert optimized.clear_plan is not None and schedule.clear_plan is None
+        # the input schedule was not mutated
+        assert not any(isinstance(op, (DirectPsAdd, DirectEject,
+                                       FusedAccumulate))
+                       for op in schedule.ops)
+
+    def test_shrinks_real_mapping(self, dense_program):
+        schedule = lower_program(dense_program)
+        optimized = optimize_schedule(schedule)
+        assert len(optimized.ops) < len(schedule.ops)
+        kinds = {type(op) for op in optimized.ops}
+        # fusion actually fired on the adder trees and the spike routes
+        assert DirectPsAdd in kinds
+        assert FusedAccumulate in kinds
+
+    def test_static_stats_preserved(self, dense_program):
+        schedule = lower_program(dense_program)
+        optimized = optimize_schedule(schedule)
+        assert optimized.per_timestep_ops == schedule.per_timestep_ops
+        assert optimized.config_ops == schedule.config_ops
+        assert optimized.cycles_per_timestep == schedule.cycles_per_timestep
+        assert optimized.acc_ops_per_timestep == schedule.acc_ops_per_timestep
+
+    def test_optimized_bit_exact_with_unoptimized(self, arch, dense_program,
+                                                  dense_snn, dense_inputs):
+        trains = deterministic_encode(dense_inputs, dense_snn.timesteps)
+        plain = create_backend("vectorized", dense_program, optimize=False)
+        optimized = create_backend("vectorized", dense_program)
+        a, b = plain.run(trains), optimized.run(trains)
+        np.testing.assert_array_equal(a.spike_counts, b.spike_counts)
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+        assert a.stats.summary() == b.stats.summary()
+
+    def test_selector_conversion(self):
+        converted = _as_selector(np.array([3, 4, 5, 6]))
+        assert converted == slice(3, 7)
+        scattered = _as_selector(np.array([1, 3, 4]))
+        assert isinstance(scattered, np.ndarray)
+
+    def test_fire_fuses_spike_route_into_direct_eject(self, arch):
+        program = _two_tile_program(arch)
+        optimized = optimize_schedule(lower_program(program))
+        kinds = [type(op) for op in optimized.ops]
+        assert DirectEject in kinds
+        assert MakeSpikePacket not in kinds and Eject not in kinds
+
+
+class TestDeadOpElimination:
+    def test_unfed_tile_ops_removed(self, arch):
+        """A configured tile with no input path can never spike: its ACC and
+        FIRE (and everything downstream) are statically dead."""
+        program = _two_tile_program(arch, bind_input=False)
+        schedule = lower_program(program)
+        optimized = optimize_schedule(schedule)
+        assert len(schedule.ops) > 0
+        assert optimized.ops == []
+
+    def test_dead_branch_keeps_parity_and_stats(self, arch, rng):
+        program = _two_tile_program(arch, bind_input=False)
+        trains = rng.random((3, 5, arch.core_inputs)) < 0.4
+        assert_backend_parity(program, trains,
+                              backends=("reference", "vectorized", "sharded"))
+
+    def test_live_path_not_removed(self, arch, rng):
+        program = _two_tile_program(arch, bind_input=True)
+        optimized = optimize_schedule(lower_program(program))
+        assert any(isinstance(op, (Accumulate, FusedAccumulate))
+                   for op in optimized.ops)
+        trains = rng.random((4, 6, arch.core_inputs)) < 0.5
+        assert_backend_parity(program, trains)
+
+    def test_zero_overwrite_is_not_dead(self):
+        """Regression: a RECV from a provably-silent source still *overwrites*
+        its lanes with zeros — dropping it would leave the live data a
+        previous RECV latched there and change the run's results."""
+        from repro.core import small_test_arch
+        from repro.core.isa import PsReceive, PsSend
+
+        arch = small_test_arch(core_inputs=4, core_neurons=4, chip_rows=4,
+                               chip_cols=4)
+        fed, mid, silent = (TileCoordinate(0, 0), TileCoordinate(0, 1),
+                            TileCoordinate(0, 2))
+        program = Program(arch=arch, rows=1, cols=3, input_size=4, output_size=4)
+        thresholds = np.ones(4, dtype=np.int64)
+        for tile in (fed, mid, silent):
+            program.add_tile_config(TileConfig(
+                tile=tile, weights=np.ones((4, 4), dtype=np.int16),
+                thresholds=thresholds))
+        program.input_bindings.append(InputBinding(tile=fed, indices=np.arange(4)))
+        acc = program.new_phase("acc").new_group()
+        acc.add(fed, CoreAccumulate())
+        acc.add(silent, CoreAccumulate())
+        route = program.new_phase("route")
+        sends = route.new_group()
+        sends.add(fed, PsSend(dst=Direction.EAST))
+        sends.add(silent, PsSend(dst=Direction.WEST))
+        # latch the live sums first, then clobber them with the silent zeros
+        route.new_group().add(mid, PsReceive(src=Direction.WEST))
+        route.new_group().add(mid, PsReceive(src=Direction.EAST))
+        program.new_phase("fire").new_group().add(
+            mid, SpikeFire(use_noc_sum=True))
+        program.output_bindings.append(OutputBinding(
+            tile=mid, lanes=(0, 1, 2, 3), output_indices=(0, 1, 2, 3)))
+
+        trains = np.ones((2, 3, 4), dtype=bool)
+        report = assert_backend_parity(
+            program, trains, backends=("reference", "vectorized", "sharded"))
+        # the clobbered tile must stay silent on every backend
+        assert int(report.baseline.spike_counts.sum()) == 0
+
+
+class TestOptimizedErrorPaths:
+    def test_overflow_still_raised_through_blas_path(self):
+        from repro.core import ArchitectureConfig
+
+        arch = ArchitectureConfig(core_inputs=4, core_neurons=4, chip_rows=2,
+                                  chip_cols=2, ps_bits=6, sram_banks=4)
+        tile = TileCoordinate(0, 0)
+        program = Program(arch=arch, rows=1, cols=1, input_size=4, output_size=4)
+        program.add_tile_config(TileConfig(
+            tile=tile, weights=np.full((4, 4), arch.weight_max, dtype=np.int16),
+            thresholds=np.full(4, 4, dtype=np.int64)))
+        program.input_bindings.append(InputBinding(tile=tile, indices=np.arange(4)))
+        program.new_phase("acc").new_group().add(tile, CoreAccumulate())
+        program.new_phase("fire").new_group().add(tile, SpikeFire(use_noc_sum=False))
+        program.output_bindings.append(OutputBinding(
+            tile=tile, lanes=(0, 1, 2, 3), output_indices=(0, 1, 2, 3)))
+
+        backend = create_backend("vectorized", program)
+        assert any(isinstance(op, FusedAccumulate) for op in backend.schedule.ops)
+        trains = np.ones((2, 3, 4), dtype=bool)
+        with pytest.raises(NeuronCoreError, match="overflow"):
+            backend.run(trains)
+
+
+class TestClearPlan:
+    def test_plan_restricted_to_read_slots(self, dense_program):
+        optimized = optimize_schedule(lower_program(dense_program))
+        plan = optimized.clear_plan
+        all_slots = set(range(optimized.n_slots))
+        for kind in ("axons", "sum_buf", "weighted", "spike_reg"):
+            assert set(getattr(plan, kind)) <= all_slots
+        # output tiles' spike registers must always be cleared (they are read
+        # by the output gather)
+        gather_slots = {gather.slot for gather in optimized.outputs}
+        assert gather_slots <= set(plan.spike_reg)

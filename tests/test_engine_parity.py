@@ -75,7 +75,8 @@ class TestMlpParity:
 class TestConvParity:
     def test_multi_frame_batch(self, conv_program, conv_snn, conv_inputs):
         trains = deterministic_encode(conv_inputs, conv_snn.timesteps)
-        assert_backend_parity(conv_program, trains)
+        assert_backend_parity(conv_program, trains,
+                              backends=("reference", "vectorized", "sharded"))
 
     def test_single_frame(self, conv_program, conv_snn, conv_inputs):
         trains = deterministic_encode(conv_inputs[:1], conv_snn.timesteps)
@@ -170,7 +171,9 @@ class TestSlowParitySweeps:
     def test_mlp_32_frame_sweep(self, dense_program, dense_snn, rng):
         inputs = rng.random((32, dense_snn.input_size))
         trains = deterministic_encode(inputs, dense_snn.timesteps)
-        report = assert_backend_parity(dense_program, trains)
+        report = assert_backend_parity(
+            dense_program, trains,
+            backends=("reference", "vectorized", "sharded"))
         assert report.baseline.spike_counts.shape[0] == 32
 
     def test_conv_sweep_across_seeds(self, conv_program, conv_snn):

@@ -13,6 +13,12 @@ lowered schedule), the multiprocess ``sharded`` backend, or ``auto`` (the
 default), which picks one of the others from the batch size.
 
 Run with:  python examples/quickstart.py [--backend auto|reference|vectorized|sharded]
+      or:  python examples/quickstart.py --list-networks [name ...]
+
+``--list-networks`` enumerates every benchmark builder in
+``repro.apps.networks`` (Table III nets and the DAG workloads), converts
+each with a few random calibration samples and prints its logical core /
+chip footprint on the paper's architecture.
 """
 
 import argparse
@@ -23,6 +29,42 @@ from repro.core import small_test_arch
 from repro.engine import ExecutionEngine, assert_backend_parity, list_backends
 from repro.mapping import compile_network
 from repro.snn import AbstractSnnRunner, DenseSpec, SnnNetwork, deterministic_encode
+
+
+def list_networks(names=None, calibration_samples: int = 4, seed: int = 0) -> None:
+    """Print every network builder with its core/chip estimate."""
+    from repro.apps.networks import ALL_BUILDERS
+    from repro.core.config import DEFAULT_ARCH
+    from repro.ir import LayerGraph
+    from repro.mapping import estimate_mapping
+    from repro.snn.conversion import ConversionConfig, convert_ann_to_graph
+
+    selected = dict(ALL_BUILDERS)
+    if names:
+        unknown = sorted(set(names) - set(selected))
+        if unknown:
+            raise SystemExit(
+                f"unknown network(s) {unknown}; available: "
+                f"{', '.join(sorted(ALL_BUILDERS))}"
+            )
+        selected = {name: ALL_BUILDERS[name] for name in names}
+
+    rng = np.random.default_rng(seed)
+    config = ConversionConfig(max_calibration_samples=calibration_samples)
+    print(f"{'network':<26} {'topology':<10} {'nodes':>5} {'cores':>7} "
+          f"{'chips':>5}  fabric")
+    for name, builder in selected.items():
+        model = builder()
+        calibration = rng.random((calibration_samples,) + model.input_shape)
+        graph: LayerGraph = convert_ann_to_graph(model, calibration, config)
+        estimate = estimate_mapping(graph, DEFAULT_ARCH)
+        topology = "dag" if any(
+            node.kind == "concat" or (node.kind == "fire" and node.is_join)
+            for node in graph.topological()
+        ) else "linear"
+        print(f"{name:<26} {topology:<10} {len(graph.nodes) - 1:>5} "
+              f"{estimate.total_cores:>7} {estimate.chips:>5}  "
+              f"{estimate.fabric[0]}x{estimate.fabric[1]}")
 
 
 def main(backend: str = "auto", check_parity: bool = True) -> None:
@@ -82,5 +124,12 @@ if __name__ == "__main__":
                              "(auto | reference | vectorized | sharded)")
     parser.add_argument("--no-parity", action="store_true",
                         help="skip the cross-backend parity check")
+    parser.add_argument("--list-networks", nargs="*", metavar="NAME",
+                        default=None,
+                        help="list benchmark network builders with core/chip "
+                             "estimates (all of them, or just the named ones)")
     args = parser.parse_args()
-    main(backend=args.backend, check_parity=not args.no_parity)
+    if args.list_networks is not None:
+        list_networks(args.list_networks or None)
+    else:
+        main(backend=args.backend, check_parity=not args.no_parity)

@@ -1,8 +1,11 @@
-"""The paper's benchmark networks (Table III).
+"""The paper's benchmark networks (Table III), plus DAG workloads.
 
 Builders for the four applications the paper evaluates — MNIST MLP, MNIST
 CNN, CIFAR-10 CNN and CIFAR-10 ResNet — as :class:`~repro.nn.model.Sequential`
-ANNs ready for training and conversion.  All parameterised layers are built
+ANNs ready for training and conversion, and two branching workloads that
+exercise the layer-graph compiler (:mod:`repro.ir`) beyond the paper's
+topologies: a two-branch concat "inception-lite" MNIST net and a multi-skip
+CIFAR net with nested addition joins.  All parameterised layers are built
 without biases (Shenjing cores have no bias input; see
 :mod:`repro.snn.conversion`).
 
@@ -19,7 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..nn.layers import AvgPool2D, Conv2D, Dense, Flatten, ReLU
-from ..nn.model import ResidualBlock, Sequential
+from ..nn.model import Branches, ResidualBlock, Sequential
 
 MNIST_INPUT_SHAPE = (28, 28, 1)
 CIFAR_INPUT_SHAPE = (24, 24, 3)
@@ -198,10 +201,120 @@ def build_cifar_resnet_small(seed: int = 0) -> Sequential:
     return Sequential(layers, input_shape=CIFAR_INPUT_SHAPE, name="cifar-resnet-small")
 
 
+# ----------------------------------------------------------------------
+# DAG workloads (beyond Table III): exercised by the layer-graph compiler
+# ----------------------------------------------------------------------
+def build_mnist_inception(c1: int = 16, b3: int = 16, b5: int = 8,
+                          hidden: int = 128, seed: int = 0) -> Sequential:
+    """A two-branch concat "inception-lite" MNIST net.
+
+    After one conv/pool stage, a 3x3 branch and a 5x5 branch see the same
+    feature map and their outputs are channel-concatenated — the classic
+    multi-kernel-size pattern.  Converts to a layer graph with a wiring-only
+    concat node (no hardware operation; consumers read producer lanes
+    directly through the spike NoC).
+    """
+    rng = _rng(seed)
+    branch3 = [
+        Conv2D(c1, b3, 3, padding="same", bias=False, rng=rng, name="inc_b3"),
+        ReLU(name="relu_b3"),
+    ]
+    branch5 = [
+        Conv2D(c1, b5, 5, padding="same", bias=False, rng=rng, name="inc_b5"),
+        ReLU(name="relu_b5"),
+    ]
+    channels = b3 + b5
+    layers = [
+        Conv2D(1, c1, 3, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        Branches([branch3, branch5], merge="concat", name="inception"),
+        AvgPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+        Dense(7 * 7 * channels, hidden, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu2"),
+        Dense(hidden, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=MNIST_INPUT_SHAPE, name="mnist-inception")
+
+
+def build_mnist_inception_small(seed: int = 0) -> Sequential:
+    """Reduced-width inception-lite (4+4 branch channels) for fast tests."""
+    model = build_mnist_inception(c1=4, b3=4, b5=4, hidden=32, seed=seed)
+    model.name = "mnist-inception-small"
+    return model
+
+
+def build_cifar_multiskip(c1: int = 16, hidden: int = 128,
+                          seed: int = 0) -> Sequential:
+    """A multi-skip CIFAR net: nested addition joins of different spans.
+
+    The inner join is a plain residual pattern (skip over two convs); the
+    outer join skips the whole stage (conv + inner join + conv).  Both joins
+    compile to generic partial-sum add-joins whose identity branches become
+    synthesized ``diag(lambda)`` normalisation layers — the Section III.3
+    mechanism, composed beyond what the paper's ResNet needs.
+    """
+    rng = _rng(seed)
+    inner = Branches([
+        [
+            Conv2D(c1, c1, 3, padding="same", bias=False, rng=rng, name="ms_c2"),
+            ReLU(name="ms_relu2"),
+            Conv2D(c1, c1, 3, padding="same", bias=False, rng=rng, name="ms_c3"),
+        ],
+        [],
+    ], merge="add", name="ms_inner")
+    outer = Branches([
+        [
+            Conv2D(c1, c1, 3, padding="same", bias=False, rng=rng, name="ms_c1"),
+            ReLU(name="ms_relu1"),
+            inner,
+            Conv2D(c1, c1, 3, padding="same", bias=False, rng=rng, name="ms_c4"),
+        ],
+        [],
+    ], merge="add", name="ms_outer")
+    layers = [
+        Conv2D(3, c1, 3, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        outer,
+        AvgPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+        Dense(6 * 6 * c1, hidden, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu2"),
+        Dense(hidden, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=CIFAR_INPUT_SHAPE, name="cifar-multiskip")
+
+
+def build_cifar_multiskip_small(seed: int = 0) -> Sequential:
+    """Reduced-width multi-skip net (4 channels) for fast end-to-end tests."""
+    model = build_cifar_multiskip(c1=4, hidden=32, seed=seed)
+    model.name = "cifar-multiskip-small"
+    return model
+
+
 #: The Table III structures by paper column label.
 TABLE_III_BUILDERS = {
     "mnist-mlp": build_mnist_mlp,
     "mnist-cnn": build_mnist_cnn,
     "cifar-cnn": build_cifar_cnn,
     "cifar-resnet": build_cifar_resnet,
+}
+
+#: Every builder in this module (full-size, small and DAG variants), used by
+#: the estimator-parity tests and ``examples/quickstart.py --list-networks``.
+ALL_BUILDERS = {
+    "mnist-mlp": build_mnist_mlp,
+    "mnist-mlp-small": build_mnist_mlp_small,
+    "mnist-cnn": build_mnist_cnn,
+    "mnist-cnn-small": build_mnist_cnn_small,
+    "cifar-cnn": build_cifar_cnn,
+    "cifar-cnn-small": build_cifar_cnn_small,
+    "cifar-resnet": build_cifar_resnet,
+    "cifar-resnet-small": build_cifar_resnet_small,
+    "mnist-inception": build_mnist_inception,
+    "mnist-inception-small": build_mnist_inception_small,
+    "cifar-multiskip": build_cifar_multiskip,
+    "cifar-multiskip-small": build_cifar_multiskip_small,
 }

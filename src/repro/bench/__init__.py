@@ -14,6 +14,11 @@ cpu count) that future changes can diff against to catch regressions.
 Sections are merged on re-write, so the throughput benchmark and the
 sharded-scaling benchmark update one shared file.
 
+``python -m repro.bench --check`` turns the trajectory into a CI-style
+gate: it re-measures throughput, compares every backend's frames/sec
+against the committed ``BENCH_engine.json``, and exits non-zero when any
+backend regressed by more than the tolerance (default 25 %).
+
 The harness is built for constrained environments: worker counts are capped
 by ``os.cpu_count()``-derived defaults, and nothing here asserts — the
 pytest wrappers in ``benchmarks/`` own the acceptance thresholds (and relax
@@ -32,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core import small_test_arch
-from ..engine import assert_backend_parity, create_backend
+from ..engine import assert_backend_parity, create_backend, resolve_worker_count
 from ..mapping import compile_network
 from ..snn import DenseSpec, SnnNetwork, deterministic_encode
 
@@ -73,15 +78,19 @@ def mlp_bench_case(frames: int = DEFAULT_FRAMES,
 def time_backend(name: str, program, trains, repeats: int = 5,
                  **options) -> float:
     """Best-of-``repeats`` seconds for one batched run (construction and a
-    warmup run excluded)."""
+    warmup run excluded).  The backend is closed afterwards so persistent
+    worker pools never outlive their measurement."""
     backend = create_backend(name, program, **options)
-    backend.run(trains)
-    best = float("inf")
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+    try:
         backend.run(trains)
-        best = min(best, time.perf_counter() - start)
-    return best
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            backend.run(trains)
+            best = min(best, time.perf_counter() - start)
+        return best
+    finally:
+        backend.close()
 
 
 def measure_throughput(frames: int = DEFAULT_FRAMES,
@@ -98,7 +107,8 @@ def measure_throughput(frames: int = DEFAULT_FRAMES,
     if check_parity:
         assert_backend_parity(program, trains,
                               backends=("reference", "vectorized", "sharded"))
-    sharded = create_backend("sharded", program)
+    sharded_workers = resolve_worker_count()
+    sharded_shards = max(1, min(sharded_workers, frames))
     seconds = {
         "reference": time_backend("reference", program, trains,
                                   repeats=min(repeats, 2)),
@@ -116,8 +126,8 @@ def measure_throughput(frames: int = DEFAULT_FRAMES,
         "frames": frames,
         "timesteps": timesteps,
         "parity_checked": check_parity,
-        "sharded_workers": sharded.workers,
-        "sharded_shards": sharded.shard_count(frames),
+        "sharded_workers": sharded_workers,
+        "sharded_shards": sharded_shards,
         "backends": backends,
         "speedups": {
             "vectorized_vs_reference":
@@ -155,11 +165,13 @@ def measure_sharded_scaling(frames: int = 128,
     program, trains = mlp_bench_case(frames=frames, timesteps=timesteps)
     if worker_counts is None:
         worker_counts = default_worker_counts()
-    baseline = create_backend("sharded", program, workers=1).run(trains)
+    with create_backend("sharded", program, workers=1) as single:
+        baseline = single.run(trains)
     workers: Dict[str, Dict[str, float]] = {}
     for count in worker_counts:
-        backend = create_backend("sharded", program, workers=count)
-        result = backend.run(trains)
+        with create_backend("sharded", program, workers=count) as backend:
+            result = backend.run(trains)
+            shards = backend.shard_count(frames)
         if not np.array_equal(result.spike_counts, baseline.spike_counts):
             raise AssertionError(
                 f"sharded backend with {count} workers disagrees with the "
@@ -175,7 +187,7 @@ def measure_sharded_scaling(frames: int = 128,
         workers[str(count)] = {
             "seconds": seconds,
             "frames_per_sec": frames / seconds,
-            "shards": backend.shard_count(frames),
+            "shards": shards,
         }
     return {
         "frames": frames,
@@ -183,6 +195,57 @@ def measure_sharded_scaling(frames: int = 128,
         "cpu_count": os.cpu_count() or 1,
         "workers": workers,
     }
+
+
+#: default allowed frames/sec regression before --check fails (25 %)
+DEFAULT_CHECK_TOLERANCE = 0.25
+
+
+def check_regression(current: Dict[str, object], committed: Dict[str, object],
+                     tolerance: float = DEFAULT_CHECK_TOLERANCE) -> List[str]:
+    """Compare a fresh throughput section against the committed trajectory.
+
+    Returns one human-readable failure line per backend whose measured
+    frames/sec fell below ``committed * (1 - tolerance)``; an empty list
+    means no regression.  Backends present on only one side are skipped
+    (new backends must not fail the gate; removed ones cannot be measured).
+
+    The gate compares *absolute* frames/sec, so the committed trajectory is
+    only meaningful on comparable hardware: re-baseline (plain
+    ``python -m repro.bench``) after moving machines, and on very noisy
+    shared boxes widen ``--tolerance`` rather than trusting a tight gate —
+    the ``reference`` backend's ratio is a good noise probe, since its
+    interpreter path rarely changes.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    current_backends = current.get("backends", {})
+    committed_backends = committed.get("backends", {})
+    failures: List[str] = []
+    for name in sorted(set(current_backends) & set(committed_backends)):
+        measured = float(current_backends[name]["frames_per_sec"])
+        baseline = float(committed_backends[name]["frames_per_sec"])
+        floor = baseline * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{name}: {measured:.1f} frames/s < {floor:.1f} "
+                f"(committed {baseline:.1f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def load_bench_report(path: Optional[os.PathLike] = None) -> Dict[str, object]:
+    """Load the committed BENCH_engine.json trajectory (raises if unusable)."""
+    target = Path(path) if path is not None else Path.cwd() / BENCH_FILENAME
+    try:
+        return json.loads(target.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no committed benchmark trajectory at {target}; run "
+            "`python -m repro.bench` once to create it"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt benchmark trajectory at {target}: {exc}") from exc
 
 
 def git_revision() -> str:

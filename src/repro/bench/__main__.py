@@ -1,7 +1,13 @@
 """Command-line entry point: ``python -m repro.bench``.
 
-Runs the engine throughput benchmark (and, unless ``--skip-scaling``, the
-sharded worker-count sweep) and writes/merges ``BENCH_engine.json``.
+Default mode runs the engine throughput benchmark (and, unless
+``--skip-scaling``, the sharded worker-count sweep) and writes/merges
+``BENCH_engine.json``.
+
+``--check`` mode is a CI-style regression gate: it re-measures throughput,
+compares against the *committed* ``BENCH_engine.json`` without rewriting
+it, and exits 1 when any backend's frames/sec regressed more than
+``--tolerance`` (default 25 %), or 2 when no committed trajectory exists.
 """
 
 from __future__ import annotations
@@ -11,45 +17,118 @@ import sys
 
 from . import (
     BENCH_FILENAME,
+    DEFAULT_CHECK_TOLERANCE,
     DEFAULT_FRAMES,
     DEFAULT_TIMESTEPS,
+    check_regression,
+    load_bench_report,
     measure_sharded_scaling,
     measure_throughput,
     write_bench_report,
 )
 
 
+def _print_throughput(throughput, frames: int, timesteps: int) -> None:
+    print(f"engine throughput ({frames} frames x {timesteps} steps):")
+    for name, row in throughput["backends"].items():
+        print(f"  {name:<24} {row['frames_per_sec']:>10.1f} frames/s")
+    for name, value in throughput.get("speedups", {}).items():
+        print(f"  {name:<36} {value:.2f}x")
+
+
+def run_check(args) -> int:
+    """The ``--check`` gate: measure, compare, exit non-zero on regression.
+
+    The measurement uses the *committed* trajectory's recorded batch
+    geometry (frames/timesteps), so the comparison is apples to apples;
+    explicitly passing a different geometry is a configuration error, not a
+    perf regression, and exits 2.
+    """
+    try:
+        committed = load_bench_report(args.baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"bench check: {exc}", file=sys.stderr)
+        return 2
+    committed_throughput = committed.get("throughput")
+    if not isinstance(committed_throughput, dict):
+        print(f"bench check: {args.baseline or BENCH_FILENAME} has no "
+              "'throughput' section", file=sys.stderr)
+        return 2
+    frames = int(committed_throughput.get("frames", DEFAULT_FRAMES))
+    timesteps = int(committed_throughput.get("timesteps", DEFAULT_TIMESTEPS))
+    for flag, ours, committed_value in (("--frames", args.frames, frames),
+                                        ("--timesteps", args.timesteps,
+                                         timesteps)):
+        if ours is not None and ours != committed_value:
+            print(f"bench check: {flag}={ours} does not match the committed "
+                  f"trajectory's {committed_value}; frames/sec would not be "
+                  "comparable (re-run `python -m repro.bench` to re-baseline)",
+                  file=sys.stderr)
+            return 2
+    throughput = measure_throughput(frames=frames, timesteps=timesteps,
+                                    repeats=args.repeats)
+    _print_throughput(throughput, frames, timesteps)
+    failures = check_regression(throughput, committed_throughput,
+                                tolerance=args.tolerance)
+    if failures:
+        print(f"\nbench check FAILED ({len(failures)} regression(s) vs "
+              f"committed rev {committed.get('git_rev', '?')}):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"\nbench check OK (no backend regressed more than "
+          f"{args.tolerance:.0%} vs rev {committed.get('git_rev', '?')})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Measure execution-engine throughput and write the "
-                    "BENCH_engine.json perf trajectory.",
+        description="Measure execution-engine throughput and write (or, with "
+                    "--check, gate against) the BENCH_engine.json perf "
+                    "trajectory.",
     )
-    parser.add_argument("--frames", type=int, default=DEFAULT_FRAMES,
-                        help="batch size of the throughput case")
-    parser.add_argument("--timesteps", type=int, default=DEFAULT_TIMESTEPS,
-                        help="timesteps per frame")
+    parser.add_argument("--frames", type=int, default=None,
+                        help=f"batch size of the throughput case (default "
+                             f"{DEFAULT_FRAMES}; --check defaults to the "
+                             "committed trajectory's value)")
+    parser.add_argument("--timesteps", type=int, default=None,
+                        help=f"timesteps per frame (default "
+                             f"{DEFAULT_TIMESTEPS}; --check defaults to the "
+                             "committed trajectory's value)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repeats per backend (best-of)")
     parser.add_argument("--output", default=None,
                         help=f"output path (default: ./{BENCH_FILENAME})")
     parser.add_argument("--skip-scaling", action="store_true",
                         help="skip the sharded worker-count sweep")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed trajectory and "
+                             "exit 1 on >tolerance frames/sec regression "
+                             "(does not rewrite the file)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_CHECK_TOLERANCE,
+                        help="allowed relative frames/sec regression for "
+                             "--check (default 0.25)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed trajectory to check against "
+                             f"(default: ./{BENCH_FILENAME})")
     args = parser.parse_args(argv)
 
+    if args.check:
+        return run_check(args)
+
+    frames = args.frames if args.frames is not None else DEFAULT_FRAMES
+    timesteps = args.timesteps if args.timesteps is not None \
+        else DEFAULT_TIMESTEPS
     sections = {}
-    throughput = measure_throughput(frames=args.frames,
-                                    timesteps=args.timesteps,
+    throughput = measure_throughput(frames=frames, timesteps=timesteps,
                                     repeats=args.repeats)
     sections["throughput"] = throughput
-    print(f"engine throughput ({args.frames} frames x {args.timesteps} steps):")
-    for name, row in throughput["backends"].items():
-        print(f"  {name:<24} {row['frames_per_sec']:>10.1f} frames/s")
-    for name, value in throughput["speedups"].items():
-        print(f"  {name:<36} {value:.2f}x")
+    _print_throughput(throughput, frames, timesteps)
 
     if not args.skip_scaling:
-        scaling = measure_sharded_scaling(timesteps=args.timesteps,
+        scaling = measure_sharded_scaling(timesteps=timesteps,
                                           repeats=args.repeats)
         sections["sharded_scaling"] = scaling
         print(f"sharded scaling ({scaling['frames']} frames, "

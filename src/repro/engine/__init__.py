@@ -104,6 +104,17 @@ class ExecutionEngine:
         """Execute a batch of spike trains on the selected backend."""
         return self.backend(backend).run(spike_trains)
 
+    def close(self) -> None:
+        """Close every cached backend (terminating persistent worker pools)."""
+        for instance in self._instances.values():
+            instance.close()
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 def run(program: Program, spike_trains: np.ndarray,
         backend: str = DEFAULT_BACKEND,

@@ -98,3 +98,8 @@ class AutoBackend(ExecutionBackend):
         name = self.select(spike_trains.shape[0])
         self.last_selection = name
         return self.delegate(name).run(spike_trains)
+
+    def close(self) -> None:
+        """Close every cached delegate (e.g. sharded worker pools)."""
+        for delegate in self._delegates.values():
+            delegate.close()

@@ -60,5 +60,19 @@ class ExecutionBackend(abc.ABC):
     def run(self, spike_trains: np.ndarray) -> SimulationResult:
         """Execute a ``(frames, timesteps, input_size)`` batch of spike trains."""
 
+    def close(self) -> None:
+        """Release backend-held resources (worker pools, ...); idempotent.
+
+        The base implementation is a no-op; backends that own OS resources
+        (e.g. ``sharded``'s persistent worker pool) override it, and
+        ``auto`` forwards to its delegates.
+        """
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(program={self.program.metadata.get('name')!r})"

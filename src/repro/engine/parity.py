@@ -50,13 +50,21 @@ class ParityReport:
 def run_backends(program: Program, spike_trains: np.ndarray,
                  backends: Sequence[str] = ("reference", "vectorized"),
                  collect_stats: bool = True) -> Dict[str, SimulationResult]:
-    """Run ``spike_trains`` through each named backend on fresh instances."""
+    """Run ``spike_trains`` through each named backend on fresh instances.
+
+    Every instance is closed after its run, so backends owning persistent
+    resources (the sharded worker pool) never outlive the check.
+    """
     if len(backends) < 2:
         raise EngineError("parity needs at least two backends to compare")
-    return {
-        name: create_backend(name, program, collect_stats=collect_stats).run(spike_trains)
-        for name in backends
-    }
+    results: Dict[str, SimulationResult] = {}
+    for name in backends:
+        backend = create_backend(name, program, collect_stats=collect_stats)
+        try:
+            results[name] = backend.run(spike_trains)
+        finally:
+            backend.close()
+    return results
 
 
 def assert_backend_parity(program: Program, spike_trains: np.ndarray,

@@ -7,6 +7,17 @@ processes once, and each worker runs a contiguous shard of the batch's frame
 axis through exactly the same executor the ``vectorized`` backend uses
 (:func:`repro.engine.vectorized.execute_schedule`).
 
+The worker pool is **persistent**: it is forked lazily on the first run that
+actually shards and then kept alive across repeated
+:meth:`ExecutionEngine.run <repro.engine.ExecutionEngine.run>` calls, so the
+fork cost and the one-time schedule pickle/unpickle are amortised over a
+whole sweep instead of being paid per batch.  Tear it down explicitly with
+:meth:`ShardedBackend.close` or by using the backend (or the engine) as a
+context manager; an unclosed backend terminates its pool on garbage
+collection.  Runs whose batch is smaller than two frames per shard fall
+back to in-process execution, so 1-worker and tiny-batch runs never pay
+process overhead (and never fork a pool at all).
+
 Merging is deterministic: shards are contiguous frame ranges in order, spike
 counts concatenate along the frame axis, predictions are recomputed from the
 merged counts, and the data-dependent ``ACC`` activity sums linearly over
@@ -18,16 +29,12 @@ including statistics.
 Worker-side errors (the one data-dependent error class: partial-sum
 overflow) re-raise in the parent with the same exception classes the other
 backends use (:class:`~repro.core.neuron_core.NeuronCoreError`,
-:class:`~repro.core.ps_router.PsRouterError`), so error-handling code is
-backend-agnostic.
+:class:`~repro.core.ps_router.PsRouterError`), and the pool stays usable
+afterwards.
 
 Worker count resolves from, in order: the ``workers`` constructor argument,
 the ``REPRO_SHARDED_WORKERS`` environment variable, ``os.cpu_count()``
-(capped at :data:`MAX_DEFAULT_WORKERS`).  A pool is forked per ``run`` call
-(prefer ``fork`` where the platform offers it) and torn down afterwards;
-runs whose batch is smaller than two frames per shard fall back to
-in-process execution, so 1-worker and tiny-batch runs never pay process
-overhead.
+(capped at :data:`MAX_DEFAULT_WORKERS`).
 """
 
 from __future__ import annotations
@@ -89,7 +96,7 @@ def _worker_run(shard: np.ndarray):
 
 @register_backend
 class ShardedBackend(ExecutionBackend):
-    """Splits the batch's frame axis across worker processes."""
+    """Splits the batch's frame axis across a persistent worker pool."""
 
     name = "sharded"
 
@@ -104,14 +111,46 @@ class ShardedBackend(ExecutionBackend):
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        self._pool = None
         try:
-            #: the schedule, serialized once; every run ships it to its pool
+            #: the schedule, serialized once; the pool ships it at fork time
             self._payload = pickle.dumps(schedule,
                                          protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:  # pragma: no cover - schedules are picklable
             raise EngineError(
                 f"lowered schedule is not picklable, cannot shard: {exc}"
             ) from exc
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool_alive(self) -> bool:
+        """True while a worker pool is forked and usable."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        """Fork the persistent pool on first use (``workers`` processes)."""
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.start_method)
+            self._pool = ctx.Pool(processes=self.workers,
+                                  initializer=_worker_init,
+                                  initargs=(self._payload,))
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent; a later run re-forks it)."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def shard_count(self, frames: int) -> int:
@@ -135,17 +174,14 @@ class ShardedBackend(ExecutionBackend):
                             frames, timesteps, self.collect_stats)
 
     def _run_sharded(self, spike_trains: np.ndarray, shards: int):
-        """Fork a pool, run the shards, merge deterministically."""
+        """Run the shards on the persistent pool, merge deterministically."""
         pieces: List[np.ndarray] = [
             np.ascontiguousarray(piece)
             for piece in np.array_split(spike_trains, shards, axis=0)
         ]
-        ctx = multiprocessing.get_context(self.start_method)
-        with ctx.Pool(processes=shards, initializer=_worker_init,
-                      initargs=(self._payload,)) as pool:
-            # Pool.map preserves order and re-raises the first worker
-            # exception in the parent with its original class.
-            results = pool.map(_worker_run, pieces)
+        # Pool.map preserves order and re-raises the first worker exception
+        # in the parent with its original class; the pool remains usable.
+        results = self._ensure_pool().map(_worker_run, pieces)
         counts = np.concatenate([counts for counts, _ in results], axis=0)
         active_axons = sum(active for _, active in results)
         return counts, active_axons

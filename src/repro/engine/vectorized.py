@@ -35,12 +35,17 @@ def prepare_schedule(program: Program, optimize: bool = True) -> LoweredSchedule
 
     The shared construction step of the ``vectorized`` and ``sharded``
     backends, so both always execute the same schedule for the same options.
+    Runs the engine's ``lower``/``optimize`` passes through the same pass
+    framework the mapping compiler uses (:mod:`repro.ir`), so one pipeline
+    covers graph-build through schedule optimization end to end.
     """
-    schedule = lower_program(program)
-    if optimize:
-        from .optimize import optimize_schedule
-        schedule = optimize_schedule(schedule)
-    return schedule
+    from ..ir.passes import CompileContext
+    from ..ir.pipeline import schedule_pipeline
+
+    ctx = CompileContext(program.arch)
+    ctx.set("program", program)
+    schedule_pipeline(optimize).run(ctx)
+    return ctx.require("schedule")
 
 
 def build_result(schedule: LoweredSchedule, counts: np.ndarray,

@@ -1,0 +1,559 @@
+"""The standard compilation pipeline over the layer-graph IR.
+
+``compile(network, arch)`` drives the whole toolchain as named passes:
+
+    graph-build   SnnNetwork | LayerGraph  ->  validated LayerGraph
+    logical-map   LayerGraph              ->  LogicalNetwork (cores, groups,
+                                              virtual concat sources)
+    placement     LogicalNetwork          ->  Placement
+    route-pack    Logical + Placement     ->  RoutePlan (conflict-free waves)
+    emit-program  RoutePlan               ->  Program (atomic-op schedule)
+    lower         Program                 ->  LoweredSchedule (engine)
+    optimize      LoweredSchedule         ->  optimized LoweredSchedule
+
+The first five produce the executable :class:`~repro.mapping.program.Program`
+(the historical ``compile_network`` output); the last two are the execution
+engine's schedule passes registered in the same framework, so
+``compile(..., to="schedule")`` — or the ``vectorized``/``sharded`` backends
+through :func:`repro.engine.vectorized.prepare_schedule` — run one uniform
+pipeline end to end.  Every pass is introspectable (``PassManager.describe``)
+and checkable (``run(validate=True)`` executes per-pass invariants: graph
+acyclicity, logical/placement validity, wave conflict-freedom, program
+consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+from ..core.isa import CoreAccumulate, PsBypass, PsSend, PsSum, SpikeBypass, \
+    SpikeFire, SpikeReceive, SpikeSend
+from ..mapping.compiler import CompiledNetwork
+from ..mapping.join import map_add_join
+from ..mapping.logical import (
+    EXTERNAL_INPUT,
+    LogicalLayer,
+    LogicalNetwork,
+    MappingError,
+    VirtualSource,
+)
+from ..mapping.placement import Placement, place_network
+from ..mapping.program import InputBinding, OutputBinding, Phase, Program, TileConfig
+from ..mapping.routing import Transfer, Wave, pack_waves, serial_waves, verify_waves
+from ..mapping.spike_mapping import canonicalise_axons
+from ..snn.spec import SnnNetwork
+from .graph import GRAPH_INPUT, LayerGraph, as_layer_graph
+from .passes import (
+    CompileContext,
+    Pass,
+    PassManager,
+    build_pipeline,
+    register_pass,
+)
+
+#: pass names of the program-producing pipeline, in order
+PROGRAM_PASSES = ("graph-build", "logical-map", "placement", "route-pack",
+                  "emit-program")
+
+#: engine passes appended for schedule-producing pipelines
+SCHEDULE_PASSES = ("lower", "optimize")
+
+
+# ----------------------------------------------------------------------
+# Logical mapping over the graph
+# ----------------------------------------------------------------------
+def logical_map(graph: LayerGraph, arch: ArchitectureConfig,
+                materialize: bool = True) -> LogicalNetwork:
+    """Map every graph node onto logical cores (no placement yet).
+
+    Fire nodes map through the dense/conv mappers (add-joins through
+    :func:`~repro.mapping.join.map_add_join`, which merges the
+    contributions' reduction groups); concat nodes become wiring-only
+    :class:`~repro.mapping.logical.VirtualSource` entries that consumers
+    resolve through the spike-NoC locators.
+    """
+    graph.validate()
+    source_names: Dict[str, str] = {GRAPH_INPUT: EXTERNAL_INPUT}
+    layers: List[LogicalLayer] = []
+    virtuals: Dict[str, VirtualSource] = {}
+    index = 0
+    for node in graph.topological():
+        if node.kind == "input":
+            continue
+        if node.kind == "concat":
+            parts = [
+                (source_names[producer], indices)
+                for producer, indices in graph.concat_parts(node.name)
+            ]
+            virtuals[node.name] = VirtualSource(
+                name=node.name, size=node.out_size, parts=parts)
+            source_names[node.name] = node.name
+            continue
+        contributions = [
+            (spec, source_names[source]) for spec, source in node.contributions()
+        ]
+        layer = map_add_join(node.name, contributions, arch, start_index=index,
+                             materialize=materialize, threshold=node.threshold)
+        layers.append(layer)
+        index += layer.n_cores
+        source_names[node.name] = layer.name
+    if not layers:
+        raise MappingError(f"graph {graph.name!r} has no firing layers")
+    network = LogicalNetwork(
+        name=graph.name,
+        input_size=graph.input_size,
+        layers=layers,
+        metadata={"timesteps": graph.timesteps,
+                  "output": source_names[graph.output]},
+        virtual_sources=virtuals,
+    )
+    network.validate(arch)
+    return network
+
+
+# ----------------------------------------------------------------------
+# Route planning (spike delivery + PS reduction, packed into waves)
+# ----------------------------------------------------------------------
+@dataclass
+class LayerRoutes:
+    """Planned NoC traffic of one logical layer."""
+
+    layer: str
+    input_bindings: List[InputBinding] = field(default_factory=list)
+    delivery_waves: List[Wave] = field(default_factory=list)
+    #: PS accumulation rounds; each round is a list of parallel waves
+    reduction_rounds: List[List[Wave]] = field(default_factory=list)
+
+
+@dataclass
+class RoutePlan:
+    """All planned NoC traffic plus the locators it was derived from."""
+
+    layers: List[LayerRoutes]
+    locators: Dict[str, Dict[int, Tuple[int, int]]]
+
+    def all_waves(self) -> Iterator[Wave]:
+        for layer in self.layers:
+            yield from layer.delivery_waves
+            for round_waves in layer.reduction_rounds:
+                yield from round_waves
+
+    def wave_count(self) -> int:
+        return sum(1 for _ in self.all_waves())
+
+
+def build_routes(logical: LogicalNetwork, placement: Placement,
+                 wave_packing: bool = True) -> RoutePlan:
+    """Plan every spike delivery and partial-sum reduction as routed waves.
+
+    Canonicalises each consumer core's axons (producer-contiguous,
+    lane-ascending — permuting the weight rows along) and packs the
+    resulting transfers into conflict-free waves.  Must run before program
+    emission: the canonicalisation mutates core weight ordering.
+    """
+    pack = pack_waves if wave_packing else serial_waves
+    locators = logical.build_locators()
+    segments_by_core: Dict[int, list] = {}
+    for layer in logical.layers:
+        for core in layer.cores:
+            if core.source == EXTERNAL_INPUT:
+                continue
+            segments_by_core[core.index] = canonicalise_axons(
+                core, locators[core.source])
+
+    plan_layers: List[LayerRoutes] = []
+    for layer in logical.layers:
+        routes = LayerRoutes(layer=layer.name)
+        transfers: List[Transfer] = []
+        for core in layer.cores:
+            if core.source == EXTERNAL_INPUT:
+                routes.input_bindings.append(InputBinding(
+                    tile=placement.position(core.index),
+                    indices=core.axon_sources.copy(),
+                    axon_offset=0,
+                ))
+                continue
+            consumer_tile = placement.position(core.index)
+            for segment in segments_by_core[core.index]:
+                transfers.append(Transfer(
+                    src=placement.position(segment.producer_core),
+                    dst=consumer_tile,
+                    net="spike",
+                    lanes=frozenset(int(lane) for lane in segment.lanes),
+                    payload={"axon_offset": segment.axon_offset},
+                ))
+        if transfers:
+            routes.delivery_waves = pack(transfers)
+
+        max_members = max((len(group.members) for group in layer.groups),
+                          default=0)
+        for round_index in range(max_members):
+            round_transfers: List[Transfer] = []
+            for group in layer.groups:
+                members = group.members
+                if round_index >= len(members):
+                    continue
+                round_transfers.append(Transfer(
+                    src=placement.position(members[round_index]),
+                    dst=placement.position(group.head),
+                    net="ps",
+                    lanes=frozenset(int(lane) for lane in group.lanes),
+                    payload={"consecutive": round_index > 0},
+                ))
+            routes.reduction_rounds.append(pack(round_transfers))
+        plan_layers.append(routes)
+    return RoutePlan(layers=plan_layers, locators=locators)
+
+
+# ----------------------------------------------------------------------
+# Program emission
+# ----------------------------------------------------------------------
+def emit_program(logical: LogicalNetwork, placement: Placement,
+                 routes: RoutePlan, arch: ArchitectureConfig) -> Program:
+    """Emit the cycle-by-cycle :class:`Program` from a routed plan."""
+    output_name = logical.metadata.get("output") or logical.layers[-1].name
+    output_locator = routes.locators[output_name]
+    program = Program(
+        arch=arch,
+        rows=placement.rows,
+        cols=placement.cols,
+        input_size=logical.input_size,
+        output_size=len(output_locator),
+        metadata={"name": logical.name,
+                  "timesteps": logical.metadata.get("timesteps")},
+    )
+    _emit_tile_configs(program, logical, placement, arch)
+    for layer, layer_routes in zip(logical.layers, routes.layers):
+        program.input_bindings.extend(layer_routes.input_bindings)
+        if layer_routes.delivery_waves:
+            phase = program.new_phase(f"{layer.name}/deliver")
+            for wave in layer_routes.delivery_waves:
+                _emit_spike_wave(phase, wave)
+        phase = program.new_phase(f"{layer.name}/accumulate")
+        group = phase.new_group("acc")
+        for core in layer.cores:
+            group.add(placement.position(core.index),
+                      CoreAccumulate(banks=arch.sram_banks))
+        if layer_routes.reduction_rounds:
+            phase = program.new_phase(f"{layer.name}/ps-reduce")
+            for round_waves in layer_routes.reduction_rounds:
+                for wave in round_waves:
+                    _emit_ps_wave(phase, wave)
+        phase = program.new_phase(f"{layer.name}/fire")
+        group = phase.new_group("spike")
+        for reduction in layer.groups:
+            lanes = frozenset(int(lane) for lane in reduction.lanes)
+            group.add(
+                placement.position(reduction.head),
+                SpikeFire(use_noc_sum=len(reduction.core_indices) > 1,
+                          lanes=lanes),
+            )
+    _emit_output_bindings(program, output_locator, placement)
+    program.validate()
+    return program
+
+
+def _emit_tile_configs(program: Program, logical: LogicalNetwork,
+                       placement: Placement, arch: ArchitectureConfig) -> None:
+    for layer in logical.layers:
+        for core in layer.cores:
+            if core.weights is None:
+                raise MappingError(
+                    f"core {core.index} of {layer.name} has no materialised "
+                    "weights; program emission requires materialize=True "
+                    "mappings"
+                )
+            weights = np.zeros((arch.core_inputs, arch.core_neurons),
+                               dtype=np.int16)
+            weights[:core.n_axons, :core.lane_outputs.size] = core.weights
+            thresholds = np.full(arch.core_neurons, layer.threshold,
+                                 dtype=np.int64)
+            program.add_tile_config(TileConfig(
+                tile=placement.position(core.index),
+                weights=weights,
+                thresholds=thresholds,
+                label=f"{layer.name}/core{core.index}",
+            ))
+
+
+def _emit_output_bindings(program: Program,
+                          locator: Dict[int, Tuple[int, int]],
+                          placement: Placement) -> None:
+    by_core: Dict[int, List[Tuple[int, int]]] = {}
+    for output_index, (core_index, lane) in locator.items():
+        by_core.setdefault(core_index, []).append((int(lane), int(output_index)))
+    for core_index in sorted(by_core):
+        pairs = sorted(by_core[core_index])
+        program.output_bindings.append(OutputBinding(
+            tile=placement.position(core_index),
+            lanes=tuple(lane for lane, _ in pairs),
+            output_indices=tuple(index for _, index in pairs),
+        ))
+
+
+# ----------------------------------------------------------------------
+# Wave expansion into instruction groups
+# ----------------------------------------------------------------------
+def _emit_spike_wave(phase: Phase, wave: Wave) -> None:
+    routes = [transfer.route for transfer in wave.transfers]
+    depth = max(len(route) for route in routes) + 1
+    for step in range(depth):
+        group = phase.new_group(f"spike-wave-step{step}")
+        for transfer, route in zip(wave.transfers, routes):
+            if step < len(route):
+                hop = route[step]
+                if step == 0:
+                    group.add(hop.tile, SpikeSend(dst=hop.direction,
+                                                  lanes=transfer.lanes))
+                else:
+                    incoming = route[step - 1].direction.opposite
+                    group.add(hop.tile, SpikeBypass(
+                        src=incoming, dst=hop.direction, lanes=transfer.lanes,
+                    ))
+            elif step == len(route):
+                incoming = route[-1].direction.opposite
+                group.add(transfer.dst, SpikeReceive(
+                    src=incoming,
+                    axon_offset=int(transfer.payload["axon_offset"]),
+                    lanes=transfer.lanes,
+                ))
+
+
+def _emit_ps_wave(phase: Phase, wave: Wave) -> None:
+    routes = [transfer.route for transfer in wave.transfers]
+    depth = max(len(route) for route in routes) + 1
+    for step in range(depth):
+        group = phase.new_group(f"ps-wave-step{step}")
+        for transfer, route in zip(wave.transfers, routes):
+            if step < len(route):
+                hop = route[step]
+                if step == 0:
+                    group.add(hop.tile, PsSend(
+                        dst=hop.direction,
+                        use_sum_buf=bool(transfer.payload.get("use_sum_buf",
+                                                              False)),
+                        lanes=transfer.lanes,
+                    ))
+                else:
+                    incoming = route[step - 1].direction.opposite
+                    group.add(hop.tile, PsBypass(
+                        src=incoming, dst=hop.direction, lanes=transfer.lanes,
+                    ))
+            elif step == len(route):
+                incoming = route[-1].direction.opposite
+                group.add(transfer.dst, PsSum(
+                    src=incoming,
+                    consecutive=bool(transfer.payload.get("consecutive", False)),
+                    lanes=transfer.lanes,
+                ))
+
+
+# ----------------------------------------------------------------------
+# The passes
+# ----------------------------------------------------------------------
+@register_pass
+class GraphBuildPass(Pass):
+    """Normalise the input network into a validated :class:`LayerGraph`."""
+
+    name = "graph-build"
+    requires = ("network",)
+    provides = ("graph",)
+
+    def run(self, ctx: CompileContext) -> str:
+        graph = as_layer_graph(ctx.require("network"))
+        graph.validate()
+        ctx.set("graph", graph)
+        joins = sum(1 for node in graph.fire_nodes() if node.is_join)
+        return (f"{len(graph.nodes) - 1} nodes "
+                f"({joins} add-join, "
+                f"{sum(1 for n in graph.nodes.values() if n.kind == 'concat')} "
+                "concat)")
+
+    def verify(self, ctx: CompileContext) -> None:
+        ctx.require("graph").validate()
+
+
+@register_pass
+class LogicalMapPass(Pass):
+    """Split every graph node over logical cores and reduction groups."""
+
+    name = "logical-map"
+    requires = ("graph",)
+    provides = ("logical",)
+
+    def run(self, ctx: CompileContext) -> str:
+        logical = logical_map(ctx.require("graph"), ctx.arch,
+                              materialize=bool(ctx.option("materialize", True)))
+        ctx.set("logical", logical)
+        return (f"{logical.n_cores} cores in {len(logical.layers)} layers, "
+                f"{len(logical.virtual_sources)} virtual source(s)")
+
+    def verify(self, ctx: CompileContext) -> None:
+        ctx.require("logical").validate(ctx.arch)
+
+
+@register_pass
+class PlacementPass(Pass):
+    """Place logical cores onto the tile fabric."""
+
+    name = "placement"
+    requires = ("logical",)
+    provides = ("placement",)
+
+    def run(self, ctx: CompileContext) -> str:
+        placement = place_network(ctx.require("logical"), ctx.arch,
+                                  rows=ctx.option("rows"))
+        ctx.set("placement", placement)
+        return (f"{placement.rows}x{placement.cols} fabric, "
+                f"{placement.chips_used()} chip(s)")
+
+    def verify(self, ctx: CompileContext) -> None:
+        placement = ctx.require("placement")
+        placement.validate()
+        logical = ctx.require("logical")
+        if placement.n_placed != logical.n_cores:
+            raise MappingError(
+                f"placement covers {placement.n_placed} cores, logical "
+                f"network has {logical.n_cores}"
+            )
+
+
+@register_pass
+class RoutePackPass(Pass):
+    """Turn logical movements into XY-routed, conflict-free waves."""
+
+    name = "route-pack"
+    requires = ("logical", "placement")
+    provides = ("routes",)
+
+    def run(self, ctx: CompileContext) -> str:
+        routes = build_routes(ctx.require("logical"), ctx.require("placement"),
+                              wave_packing=bool(ctx.option("wave_packing", True)))
+        ctx.set("routes", routes)
+        return f"{routes.wave_count()} waves"
+
+    def verify(self, ctx: CompileContext) -> None:
+        verify_waves(list(ctx.require("routes").all_waves()))
+
+
+@register_pass
+class EmitProgramPass(Pass):
+    """Emit the executable cycle-by-cycle program."""
+
+    name = "emit-program"
+    requires = ("logical", "placement", "routes")
+    provides = ("program",)
+
+    def run(self, ctx: CompileContext) -> str:
+        program = emit_program(ctx.require("logical"), ctx.require("placement"),
+                               ctx.require("routes"), ctx.arch)
+        ctx.set("program", program)
+        return (f"{program.instruction_count} instructions/timestep in "
+                f"{len(program.phases)} phases")
+
+    def verify(self, ctx: CompileContext) -> None:
+        ctx.require("program").validate()
+
+
+@register_pass
+class LowerPass(Pass):
+    """Lower the program to the engine's flat batched schedule."""
+
+    name = "lower"
+    requires = ("program",)
+    provides = ("schedule",)
+
+    def run(self, ctx: CompileContext) -> str:
+        from ..engine.lowering import lower_program
+
+        schedule = lower_program(ctx.require("program"))
+        ctx.set("schedule", schedule)
+        return f"{schedule.op_count} lowered ops"
+
+
+@register_pass
+class OptimizeSchedulePass(Pass):
+    """Run the engine's bit-exact schedule optimizer."""
+
+    name = "optimize"
+    requires = ("schedule",)
+    provides = ("schedule",)
+
+    def run(self, ctx: CompileContext) -> str:
+        from ..engine.optimize import optimize_schedule
+
+        schedule = optimize_schedule(ctx.require("schedule"))
+        ctx.set("schedule", schedule)
+        return f"{schedule.op_count} ops after optimization"
+
+    def verify(self, ctx: CompileContext) -> None:
+        if not ctx.require("schedule").optimized:
+            raise MappingError("optimize pass left the schedule unoptimized")
+
+
+# ----------------------------------------------------------------------
+# Pipelines and the single entry point
+# ----------------------------------------------------------------------
+def default_pipeline(to: str = "program") -> PassManager:
+    """The standard pipeline, ending at ``"program"`` or ``"schedule"``."""
+    if to == "program":
+        return build_pipeline(PROGRAM_PASSES)
+    if to == "schedule":
+        return build_pipeline(PROGRAM_PASSES + SCHEDULE_PASSES)
+    raise MappingError(f"unknown pipeline target {to!r} "
+                       "(expected 'program' or 'schedule')")
+
+
+def schedule_pipeline(optimize: bool = True) -> PassManager:
+    """The engine's schedule passes alone (program -> lowered schedule)."""
+    names = ("lower", "optimize") if optimize else ("lower",)
+    return build_pipeline(names)
+
+
+def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
+            pipeline: Optional[Union[PassManager, Sequence[str]]] = None,
+            rows: Optional[int] = None, wave_packing: bool = True,
+            materialize: bool = True, validate: bool = False,
+            to: str = "program") -> CompiledNetwork:
+    """Compile a network (flat or DAG) through the pass pipeline.
+
+    Parameters
+    ----------
+    network:
+        An :class:`SnnNetwork` (residual blocks are expanded into add-join
+        patterns) or a :class:`LayerGraph` with arbitrary DAG topology.
+    pipeline:
+        A custom :class:`PassManager`, or a sequence of registered pass
+        names; defaults to :func:`default_pipeline`.
+    validate:
+        Run every pass's invariant checks (acyclicity, placement validity,
+        wave conflict-freedom, program consistency) after it executes.
+    to:
+        ``"program"`` (default) or ``"schedule"`` — how far the default
+        pipeline runs; ignored when ``pipeline`` is given.
+    """
+    if pipeline is None:
+        manager = default_pipeline(to)
+    elif isinstance(pipeline, PassManager):
+        manager = pipeline
+    else:
+        manager = build_pipeline(list(pipeline))
+    ctx = CompileContext(arch, network=network, options={
+        "rows": rows,
+        "wave_packing": wave_packing,
+        "materialize": materialize,
+    })
+    manager.run(ctx, validate=validate)
+    return CompiledNetwork(
+        program=ctx.get("program"),
+        logical=ctx.get("logical"),
+        placement=ctx.get("placement"),
+        snn=network if isinstance(network, SnnNetwork) else None,
+        graph=ctx.get("graph"),
+        schedule=ctx.get("schedule"),
+        trace=list(ctx.trace),
+    )

@@ -8,8 +8,9 @@ atomic operations, plus a structural estimator for very large networks.
 
 from .compiler import CompiledNetwork, build_logical_network, compile_network
 from .conv import ConvGeometry, conv_block_size, conv_geometry, estimate_conv_cores, map_conv
-from .estimator import LayerEstimate, MappingEstimate, estimate_mapping
+from .estimator import LayerEstimate, MappingEstimate, estimate_mapping, estimate_network_cores
 from .fc import FcGeometry, algorithm1_schedule, fc_geometry, fold_rounds, map_dense
+from .join import estimate_join_cores, join_block_size, map_add_join
 from .logical import (
     EXTERNAL_INPUT,
     LogicalCore,
@@ -17,6 +18,7 @@ from .logical import (
     LogicalNetwork,
     MappingError,
     ReductionGroup,
+    VirtualSource,
 )
 from .placement import Placement, fabric_summary, place_network
 from .pool import estimate_pool_cores, is_pool_spec, map_pool
@@ -39,6 +41,7 @@ from .routing import (
     route_length,
     serial_waves,
     total_hop_count,
+    verify_waves,
     xy_route,
 )
 from .spike_mapping import DeliverySegment, canonicalise_axons, segments_summary
@@ -67,6 +70,7 @@ __all__ = [
     "ReductionGroup",
     "TileConfig",
     "Transfer",
+    "VirtualSource",
     "Wave",
     "algorithm1_schedule",
     "build_logical_network",
@@ -75,13 +79,17 @@ __all__ = [
     "conv_block_size",
     "conv_geometry",
     "estimate_conv_cores",
+    "estimate_join_cores",
     "estimate_mapping",
+    "estimate_network_cores",
     "estimate_pool_cores",
     "estimate_residual_cores",
     "fabric_summary",
     "fc_geometry",
     "fold_rounds",
     "is_pool_spec",
+    "join_block_size",
+    "map_add_join",
     "map_conv",
     "map_dense",
     "map_pool",
@@ -92,5 +100,6 @@ __all__ = [
     "segments_summary",
     "serial_waves",
     "total_hop_count",
+    "verify_waves",
     "xy_route",
 ]

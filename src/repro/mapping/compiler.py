@@ -1,46 +1,59 @@
 """End-to-end compilation of an abstract SNN onto Shenjing (Fig. 3).
 
-``build_logical_network`` performs the *logical mapping* phase: every layer
-of the :class:`~repro.snn.spec.SnnNetwork` is split over logical cores with
-its partial-sum reduction groups.  ``compile_network`` then performs the
-*physical mapping* phase: cores are placed on the tile fabric, the logical
-partial-sum and spike movements become XY-routed transfers packed into
-conflict-free waves, and everything is emitted as a cycle-by-cycle
-:class:`~repro.mapping.program.Program` of atomic operations (Table I) that
-the functional simulator executes.
+The compilation itself is a pass pipeline over the layer-graph IR
+(:mod:`repro.ir`): ``graph-build`` normalises the network (expanding
+residual blocks into plain add-join DAG patterns), ``logical-map`` splits
+every node over logical cores with its partial-sum reduction groups,
+``placement`` arranges the cores on the tile fabric, ``route-pack`` turns
+the logical movements into XY-routed conflict-free waves and
+``emit-program`` produces the cycle-by-cycle
+:class:`~repro.mapping.program.Program` of atomic operations (Table I).
+
+This module keeps the historical entry points — ``build_logical_network``
+and ``compile_network`` — as thin wrappers over that pipeline, plus the
+:class:`CompiledNetwork` result container the rest of the system consumes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional
 
 from ..core.config import ArchitectureConfig
-from ..core.isa import CoreAccumulate, Direction, PsBypass, PsSend, PsSum, SpikeBypass, \
-    SpikeFire, SpikeReceive, SpikeSend
-from ..core.tile import TileCoordinate
-from ..snn.spec import ConvSpec, DenseSpec, ResidualBlockSpec, SnnNetwork
-from .conv import map_conv
-from .fc import map_dense
-from .logical import EXTERNAL_INPUT, LogicalLayer, LogicalNetwork, MappingError
-from .placement import Placement, place_network
-from .pool import is_pool_spec, map_pool
-from .program import InputBinding, OutputBinding, Phase, Program, TileConfig
-from .residual import map_residual_block
-from .routing import Transfer, Wave, pack_waves, serial_waves
-from .spike_mapping import canonicalise_axons
+from ..snn.spec import SnnNetwork
+from .logical import LogicalNetwork
+from .placement import Placement
+from .program import Program
 
 
 @dataclass
 class CompiledNetwork:
-    """The result of compiling an SNN for Shenjing."""
+    """The result of compiling a network for Shenjing.
+
+    ``snn`` is set when the input was a flat :class:`SnnNetwork`; DAG inputs
+    carry only ``graph``.  ``schedule`` is populated when the pipeline ran
+    through the engine's ``lower``/``optimize`` passes
+    (``compile(..., to="schedule")``), and ``trace`` records per-pass timing
+    and summaries.
+    """
 
     program: Program
     logical: LogicalNetwork
     placement: Placement
-    snn: SnnNetwork
+    snn: Optional[SnnNetwork] = None
+    graph: Optional[object] = None
+    schedule: Optional[object] = None
+    trace: List[object] = field(default_factory=list)
+
+    @property
+    def network(self):
+        """The compiled network (the SnnNetwork if given, else the graph)."""
+        return self.snn if self.snn is not None else self.graph
+
+    @property
+    def name(self) -> str:
+        network = self.network
+        return network.name if network is not None else "<unnamed>"
 
     @property
     def core_count(self) -> int:
@@ -52,7 +65,7 @@ class CompiledNetwork:
 
     def describe(self) -> str:
         lines = [
-            f"CompiledNetwork '{self.snn.name}': {self.core_count} cores, "
+            f"CompiledNetwork '{self.name}': {self.core_count} cores, "
             f"{self.chips_used} chip(s), fabric {self.placement.rows}x{self.placement.cols}",
         ]
         for layer_name, count in self.logical.core_count_by_layer().items():
@@ -60,261 +73,47 @@ class CompiledNetwork:
         lines.append(self.program.describe())
         return "\n".join(lines)
 
+    def describe_trace(self) -> str:
+        """Per-pass timing/summary of the compilation (empty if untraced)."""
+        return "\n".join(str(record) for record in self.trace)
+
 
 # ----------------------------------------------------------------------
 # Logical mapping phase
 # ----------------------------------------------------------------------
-def build_logical_network(snn: SnnNetwork, arch: ArchitectureConfig,
+def build_logical_network(network, arch: ArchitectureConfig,
                           materialize: bool = True) -> LogicalNetwork:
-    """Map every layer of ``snn`` onto logical cores (no placement yet)."""
-    layers: List[LogicalLayer] = []
-    index = 0
-    source = EXTERNAL_INPUT
-    for spec in snn.layers:
-        if isinstance(spec, DenseSpec):
-            new_layers = [map_dense(spec, arch, source=source, start_index=index,
-                                    materialize=materialize)]
-        elif isinstance(spec, ConvSpec):
-            mapper = map_pool if is_pool_spec(spec) else map_conv
-            new_layers = [mapper(spec, arch, source=source, start_index=index,
-                                 materialize=materialize)]
-        elif isinstance(spec, ResidualBlockSpec):
-            new_layers = map_residual_block(spec, arch, source=source,
-                                            start_index=index,
-                                            materialize=materialize)
-        else:
-            raise MappingError(f"unsupported layer spec {type(spec).__name__}")
-        for layer in new_layers:
-            layers.append(layer)
-            index += layer.n_cores
-        source = new_layers[-1].name
-    network = LogicalNetwork(
-        name=snn.name,
-        input_size=snn.input_size,
-        layers=layers,
-        metadata={"timesteps": snn.timesteps},
-    )
-    network.validate(arch)
-    return network
+    """Map every layer of ``network`` onto logical cores (no placement yet).
+
+    Accepts an :class:`SnnNetwork` or a :class:`~repro.ir.graph.LayerGraph`;
+    runs the ``graph-build`` and ``logical-map`` passes.
+    """
+    from ..ir.graph import as_layer_graph
+    from ..ir.pipeline import logical_map
+
+    return logical_map(as_layer_graph(network), arch, materialize=materialize)
 
 
 # ----------------------------------------------------------------------
 # Physical mapping phase
 # ----------------------------------------------------------------------
-def compile_network(snn: SnnNetwork, arch: ArchitectureConfig,
+def compile_network(network, arch: ArchitectureConfig,
                     rows: Optional[int] = None,
                     wave_packing: bool = True) -> CompiledNetwork:
-    """Compile an abstract SNN into an executable Shenjing program."""
-    logical = build_logical_network(snn, arch, materialize=True)
-    placement = place_network(logical, arch, rows=rows)
-    program = _build_program(snn, logical, placement, arch, wave_packing)
-    return CompiledNetwork(program=program, logical=logical, placement=placement, snn=snn)
+    """Compile a network into an executable Shenjing program.
 
-
-def _build_program(snn: SnnNetwork, logical: LogicalNetwork, placement: Placement,
-                   arch: ArchitectureConfig, wave_packing: bool) -> Program:
-    program = Program(
-        arch=arch,
-        rows=placement.rows,
-        cols=placement.cols,
-        input_size=snn.input_size,
-        output_size=snn.output_size,
-        metadata={"name": snn.name, "timesteps": snn.timesteps},
-    )
-    pack = pack_waves if wave_packing else serial_waves
-
-    # Logical spike-NoC mapping: locate every layer's outputs, then rearrange
-    # each consumer core's axons into producer-contiguous, lane-ascending
-    # order and record the resulting delivery segments.  This must happen
-    # before tile configuration is emitted, because canonicalisation permutes
-    # the weight rows together with the axons.
-    locators: Dict[str, Dict[int, Tuple[int, int]]] = {
-        layer.name: layer.output_locations() for layer in logical.layers
-    }
-    segments_by_core: Dict[int, list] = {}
-    for layer in logical.layers:
-        for core in layer.cores:
-            if core.source == EXTERNAL_INPUT:
-                continue
-            segments_by_core[core.index] = canonicalise_axons(core, locators[core.source])
-
-    _emit_tile_configs(program, logical, placement, arch)
-
-    for layer in logical.layers:
-        _emit_delivery_phase(program, layer, placement, segments_by_core, pack)
-        _emit_accumulate_phase(program, layer, placement, arch)
-        _emit_reduction_phase(program, layer, placement, pack)
-        _emit_fire_phase(program, layer, placement)
-
-    _emit_output_bindings(program, logical.layers[-1], placement)
-    program.validate()
-    return program
-
-
-def _emit_tile_configs(program: Program, logical: LogicalNetwork,
-                       placement: Placement, arch: ArchitectureConfig) -> None:
-    for layer in logical.layers:
-        for core in layer.cores:
-            if core.weights is None:
-                raise MappingError(
-                    f"core {core.index} of {layer.name} has no materialised weights; "
-                    "compile_network requires materialize=True mappings"
-                )
-            weights = np.zeros((arch.core_inputs, arch.core_neurons), dtype=np.int16)
-            weights[:core.n_axons, :core.lane_outputs.size] = core.weights
-            thresholds = np.full(arch.core_neurons, layer.threshold, dtype=np.int64)
-            program.add_tile_config(TileConfig(
-                tile=placement.position(core.index),
-                weights=weights,
-                thresholds=thresholds,
-                label=f"{layer.name}/core{core.index}",
-            ))
-
-
-def _emit_delivery_phase(program: Program, layer: LogicalLayer,
-                         placement: Placement, segments_by_core: Dict[int, list],
-                         pack) -> None:
-    """Route the source layers' output spikes onto this layer's axons."""
-    transfers: List[Transfer] = []
-    for core in layer.cores:
-        if core.source == EXTERNAL_INPUT:
-            program.input_bindings.append(InputBinding(
-                tile=placement.position(core.index),
-                indices=core.axon_sources.copy(),
-                axon_offset=0,
-            ))
-            continue
-        consumer_tile = placement.position(core.index)
-        for segment in segments_by_core[core.index]:
-            producer_tile = placement.position(segment.producer_core)
-            transfers.append(Transfer(
-                src=producer_tile,
-                dst=consumer_tile,
-                net="spike",
-                lanes=frozenset(int(lane) for lane in segment.lanes),
-                payload={"axon_offset": segment.axon_offset},
-            ))
-    if not transfers:
-        return
-    phase = program.new_phase(f"{layer.name}/deliver")
-    for wave in pack(transfers):
-        _emit_spike_wave(phase, wave)
-
-
-def _emit_accumulate_phase(program: Program, layer: LogicalLayer,
-                           placement: Placement, arch: ArchitectureConfig) -> None:
-    phase = program.new_phase(f"{layer.name}/accumulate")
-    group = phase.new_group("acc")
-    for core in layer.cores:
-        group.add(placement.position(core.index), CoreAccumulate(banks=arch.sram_banks))
-
-
-def _emit_reduction_phase(program: Program, layer: LogicalLayer,
-                          placement: Placement, pack) -> None:
-    """Accumulate each reduction group's partial sums at its head core.
-
-    The accumulation proceeds in rounds: in round ``r`` every group whose
-    member list is at least ``r + 1`` long sends its ``r``-th member's local
-    partial sum to the head, which adds it (``SUM``, with ``$CONSEC`` set for
-    every round after the first).  Different groups' transfers run in
-    parallel waves; a single head only ever consumes one packet per round.
+    Runs the full default pass pipeline; see :func:`repro.ir.compile` for
+    custom pipelines, per-pass validation and schedule-producing runs.
     """
-    max_members = max((len(group.members) for group in layer.groups), default=0)
-    if max_members == 0:
-        return
-    phase = program.new_phase(f"{layer.name}/ps-reduce")
-    for round_index in range(max_members):
-        transfers: List[Transfer] = []
-        for group in layer.groups:
-            members = group.members
-            if round_index >= len(members):
-                continue
-            member = members[round_index]
-            transfers.append(Transfer(
-                src=placement.position(member),
-                dst=placement.position(group.head),
-                net="ps",
-                lanes=frozenset(int(lane) for lane in group.lanes),
-                payload={"consecutive": round_index > 0},
-            ))
-        for wave in pack(transfers):
-            _emit_ps_wave(phase, wave)
+    from ..ir.pipeline import compile as ir_compile
+
+    return ir_compile(network, arch, rows=rows, wave_packing=wave_packing)
 
 
-def _emit_fire_phase(program: Program, layer: LogicalLayer, placement: Placement) -> None:
-    phase = program.new_phase(f"{layer.name}/fire")
-    group = phase.new_group("spike")
-    for reduction in layer.groups:
-        lanes = frozenset(int(lane) for lane in reduction.lanes)
-        group.add(
-            placement.position(reduction.head),
-            SpikeFire(use_noc_sum=len(reduction.core_indices) > 1, lanes=lanes),
-        )
+def _build_program(logical: LogicalNetwork, placement: Placement,
+                   arch: ArchitectureConfig, wave_packing: bool) -> Program:
+    """Route and emit a program from a pre-built logical mapping/placement."""
+    from ..ir.pipeline import build_routes, emit_program
 
-
-def _emit_output_bindings(program: Program, last_layer: LogicalLayer,
-                          placement: Placement) -> None:
-    for group in last_layer.groups:
-        head = last_layer.core_by_index(group.head)
-        lanes = tuple(int(lane) for lane in group.lanes)
-        outputs = tuple(int(head.lane_outputs[lane]) for lane in group.lanes)
-        program.output_bindings.append(OutputBinding(
-            tile=placement.position(group.head),
-            lanes=lanes,
-            output_indices=outputs,
-        ))
-
-
-# ----------------------------------------------------------------------
-# Wave expansion into instruction groups
-# ----------------------------------------------------------------------
-def _emit_spike_wave(phase: Phase, wave: Wave) -> None:
-    routes = [transfer.route for transfer in wave.transfers]
-    depth = max(len(route) for route in routes) + 1
-    for step in range(depth):
-        group = phase.new_group(f"spike-wave-step{step}")
-        for transfer, route in zip(wave.transfers, routes):
-            if step < len(route):
-                hop = route[step]
-                if step == 0:
-                    group.add(hop.tile, SpikeSend(dst=hop.direction, lanes=transfer.lanes))
-                else:
-                    incoming = route[step - 1].direction.opposite
-                    group.add(hop.tile, SpikeBypass(
-                        src=incoming, dst=hop.direction, lanes=transfer.lanes,
-                    ))
-            elif step == len(route):
-                incoming = route[-1].direction.opposite
-                group.add(transfer.dst, SpikeReceive(
-                    src=incoming,
-                    axon_offset=int(transfer.payload["axon_offset"]),
-                    lanes=transfer.lanes,
-                ))
-
-
-def _emit_ps_wave(phase: Phase, wave: Wave) -> None:
-    routes = [transfer.route for transfer in wave.transfers]
-    depth = max(len(route) for route in routes) + 1
-    for step in range(depth):
-        group = phase.new_group(f"ps-wave-step{step}")
-        for transfer, route in zip(wave.transfers, routes):
-            if step < len(route):
-                hop = route[step]
-                if step == 0:
-                    group.add(hop.tile, PsSend(
-                        dst=hop.direction,
-                        use_sum_buf=bool(transfer.payload.get("use_sum_buf", False)),
-                        lanes=transfer.lanes,
-                    ))
-                else:
-                    incoming = route[step - 1].direction.opposite
-                    group.add(hop.tile, PsBypass(
-                        src=incoming, dst=hop.direction, lanes=transfer.lanes,
-                    ))
-            elif step == len(route):
-                incoming = route[-1].direction.opposite
-                group.add(transfer.dst, PsSum(
-                    src=incoming,
-                    consecutive=bool(transfer.payload.get("consecutive", False)),
-                    lanes=transfer.lanes,
-                ))
+    routes = build_routes(logical, placement, wave_packing=wave_packing)
+    return emit_program(logical, placement, routes, arch)

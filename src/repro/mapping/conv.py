@@ -100,9 +100,14 @@ def conv_geometry(spec: ConvSpec, arch: ArchitectureConfig,
     )
 
 
-def estimate_conv_cores(spec: ConvSpec, arch: ArchitectureConfig) -> int:
-    """Number of logical cores the mapper will use for ``spec``."""
-    geometry = conv_geometry(spec, arch)
+def estimate_conv_cores(spec: ConvSpec, arch: ArchitectureConfig,
+                        block: Optional[Tuple[int, int]] = None) -> int:
+    """Number of logical cores the mapper will use for ``spec``.
+
+    ``block`` forces the output tiling, mirroring :func:`map_conv` — add-joins
+    force the smallest block any contribution supports on all of them.
+    """
+    geometry = conv_geometry(spec, arch, block=block)
     contributing = _contributing_pairs(spec)
     per_block = sum(max(1, len(cins)) for cins in contributing.values())
     return geometry.n_blocks * per_block

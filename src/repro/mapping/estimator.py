@@ -101,22 +101,24 @@ class MappingEstimate:
         return "\n".join(lines)
 
 
-def estimate_mapping(snn: SnnNetwork, arch: ArchitectureConfig,
+def estimate_mapping(snn, arch: ArchitectureConfig,
                      rows: Optional[int] = None,
                      logical: Optional[LogicalNetwork] = None,
                      placement: Optional[Placement] = None) -> MappingEstimate:
-    """Estimate per-time-step operation counts for ``snn`` on ``arch``.
+    """Estimate per-time-step operation counts for a network on ``arch``.
 
-    A pre-built logical network / placement can be passed in to avoid
-    recomputing them (the experiment pipeline reuses the compiled ones for
-    networks it also simulates).
+    ``snn`` may be an :class:`SnnNetwork` or a
+    :class:`~repro.ir.graph.LayerGraph` (DAG topologies estimate through the
+    same structural walk).  A pre-built logical network / placement can be
+    passed in to avoid recomputing them (the experiment pipeline reuses the
+    compiled ones for networks it also simulates).
     """
     if logical is None:
         logical = build_logical_network(snn, arch, materialize=False)
     if placement is None:
         placement = place_network(logical, arch, rows=rows)
 
-    locators = {layer.name: layer.output_locations() for layer in logical.layers}
+    locators = logical.build_locators()
     estimates: List[LayerEstimate] = []
     for layer in logical.layers:
         estimates.append(
@@ -206,3 +208,39 @@ def _estimate_layer(layer: LogicalLayer, logical: LogicalNetwork, placement: Pla
 
     estimate.cycles = delivery_cycles + acc_cycles + reduce_cycles + fire_cycles
     return estimate
+
+
+# ----------------------------------------------------------------------
+# Pure-arithmetic core counting (no LogicalCore materialisation at all)
+# ----------------------------------------------------------------------
+def estimate_network_cores(network, arch: ArchitectureConfig) -> Dict[str, int]:
+    """Per-node logical core counts of a network, by geometry alone.
+
+    Walks the layer graph and applies the same tiling decisions the mapper
+    makes — including the *forced* shared tiling of add-joins — without
+    building any cores.  The test-suite asserts these counts match
+    :func:`build_logical_network` actuals for every benchmark builder, which
+    is what keeps this estimator from drifting.
+    """
+    from ..ir.graph import as_layer_graph
+    from ..snn.spec import DenseSpec
+    from .conv import estimate_conv_cores
+    from .fc import fc_geometry
+    from .join import estimate_join_cores
+
+    graph = as_layer_graph(network)
+    counts: Dict[str, int] = {}
+    for node in graph.topological():
+        if node.kind != "fire":
+            continue
+        specs = list(node.specs)
+        if len(specs) > 1:
+            counts[node.name] = estimate_join_cores(specs, arch)
+        elif isinstance(specs[0], DenseSpec):
+            geometry = fc_geometry(specs[0].in_size, specs[0].out_size, arch)
+            counts[node.name] = geometry.n_cores
+        else:
+            # pooling layers are diagonal ConvSpecs; estimate_conv_cores
+            # already skips all-zero channel pairs, so one path covers both
+            counts[node.name] = estimate_conv_cores(specs[0], arch)
+    return counts

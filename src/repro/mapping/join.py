@@ -1,0 +1,162 @@
+"""Logical mapping of partial-sum add-joins (generalised Section III.3).
+
+An *add-join* integrates and fires the sum of several linear contributions:
+each contribution is a layer spec applied to (possibly) a different source
+layer, and the contributions' partial sums are added through the partial-sum
+NoC before the single integrate-and-fire stage.  The paper's residual block
+is the two-contribution case (body output + shortcut normalisation layer);
+the layer-graph IR (:mod:`repro.ir`) emits the same construct for arbitrary
+skip topologies, so one mapper covers them all.
+
+The key constraint is lane alignment: "each PS NoC is dedicated exclusively
+to the same neuron in each core", so every contribution must be mapped with
+the *same output tiling* — for convolutions the smallest block any
+contribution supports is forced on all of them; fully connected
+contributions tile deterministically by output columns and align for free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import ArchitectureConfig
+from ..snn.spec import ConvSpec, DenseSpec, LayerSpec
+from .conv import conv_block_size, conv_geometry, estimate_conv_cores, map_conv
+from .fc import fc_geometry, map_dense
+from .logical import LogicalLayer, MappingError, ReductionGroup
+
+#: one linear contribution of a join: (layer spec, source layer name)
+Contribution = Tuple[LayerSpec, str]
+
+
+def join_block_size(specs: Sequence[ConvSpec], arch: ArchitectureConfig) -> Tuple[int, int]:
+    """Shared square output block: the smallest any contribution supports."""
+    side = min(conv_block_size(spec, arch)[0] for spec in specs)
+    return side, side
+
+
+def _check_contributions(name: str, specs: Sequence[LayerSpec]) -> str:
+    if not specs:
+        raise MappingError(f"join {name} has no contributions")
+    if all(isinstance(spec, ConvSpec) for spec in specs):
+        shapes = {spec.output_shape for spec in specs}
+        if len(shapes) != 1:
+            raise MappingError(
+                f"join {name}: contribution output shapes differ ({shapes})"
+            )
+        return "conv"
+    if all(isinstance(spec, DenseSpec) for spec in specs):
+        sizes = {spec.out_size for spec in specs}
+        if len(sizes) != 1:
+            raise MappingError(
+                f"join {name}: contribution output sizes differ ({sizes})"
+            )
+        return "dense"
+    raise MappingError(
+        f"join {name}: contributions must be all-conv or all-dense"
+    )
+
+
+def map_add_join(name: str, contributions: Sequence[Contribution],
+                 arch: ArchitectureConfig, start_index: int = 0,
+                 materialize: bool = True,
+                 threshold: Optional[int] = None) -> LogicalLayer:
+    """Map an add-join onto one merged :class:`LogicalLayer`.
+
+    Every contribution is mapped with the shared output tiling and the
+    per-output-block reduction groups are merged: the first contribution's
+    head stays the head of each merged group (so the merged layer fires with
+    ``threshold``, defaulting to the first contribution's spec threshold),
+    and all other contributions' cores become ordinary group members whose
+    partial sums travel to that head.
+    """
+    specs = [spec for spec, _ in contributions]
+    kind = _check_contributions(name, specs)
+    forced = join_block_size(specs, arch) if kind == "conv" and len(specs) > 1 else None
+
+    layers: List[LogicalLayer] = []
+    index = start_index
+    for spec, source in contributions:
+        if kind == "conv":
+            layer = map_conv(spec, arch, source=source, start_index=index,
+                             materialize=materialize, block=forced)
+        else:
+            layer = map_dense(spec, arch, source=source, start_index=index,
+                              materialize=materialize)
+        layers.append(layer)
+        index += layer.n_cores
+
+    if len(layers) == 1:
+        only = layers[0]
+        if only.name != name:
+            for core in only.cores:
+                core.layer = name
+            only = LogicalLayer(name=name, cores=only.cores, groups=only.groups,
+                                threshold=threshold or only.threshold,
+                                out_size=only.out_size)
+        return only
+    return _merge_join(name, layers, threshold=threshold)
+
+
+def _merge_join(name: str, layers: Sequence[LogicalLayer],
+                threshold: Optional[int] = None) -> LogicalLayer:
+    """Fold several identically-tiled layers into one merged layer."""
+    primary = layers[0]
+    group_counts = {len(layer.groups) for layer in layers}
+    if len(group_counts) != 1:
+        raise MappingError(
+            f"join {name}: contribution group counts differ ({group_counts}) "
+            "— tilings are misaligned"
+        )
+    merged_groups: List[ReductionGroup] = []
+    for groups in zip(*(layer.groups for layer in layers)):
+        head_group = groups[0]
+        head_core = primary.core_by_index(head_group.head)
+        reference = head_core.lane_outputs[head_group.lanes]
+        members: List[int] = list(head_group.core_indices)
+        for layer, group in zip(layers[1:], groups[1:]):
+            if not np.array_equal(head_group.lanes, group.lanes):
+                raise MappingError(
+                    f"join {name}: group lane sets differ between contributions"
+                )
+            other_head = layer.core_by_index(group.head)
+            if not np.array_equal(other_head.lane_outputs[group.lanes], reference):
+                raise MappingError(
+                    f"join {name}: group outputs differ between contributions"
+                )
+            members.extend(group.core_indices)
+        merged_groups.append(ReductionGroup(
+            lanes=head_group.lanes.copy(),
+            core_indices=members,
+            head=head_group.head,
+        ))
+    all_cores = [core for layer in layers for core in layer.cores]
+    for core in all_cores:
+        core.layer = name
+    return LogicalLayer(
+        name=name,
+        cores=all_cores,
+        groups=merged_groups,
+        threshold=threshold or primary.threshold,
+        out_size=primary.out_size,
+    )
+
+
+def estimate_join_cores(specs: Sequence[LayerSpec],
+                        arch: ArchitectureConfig) -> int:
+    """Core count of an add-join, honouring the *forced* shared tiling.
+
+    This is the quantity :func:`map_add_join` actually uses — a contribution
+    whose natural block is larger than the shared one (e.g. a ``1x1``
+    shortcut next to a ``5x5`` body output) needs more cores than its
+    standalone estimate, which is exactly the drift the standalone per-spec
+    estimators used to exhibit.
+    """
+    kind = _check_contributions("<estimate>", specs)
+    if kind == "dense":
+        return sum(fc_geometry(spec.in_size, spec.out_size, arch).n_cores
+                   for spec in specs)
+    forced = join_block_size(specs, arch) if len(specs) > 1 else None
+    return sum(estimate_conv_cores(spec, arch, block=forced) for spec in specs)

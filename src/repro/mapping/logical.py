@@ -224,6 +224,52 @@ class LogicalLayer:
 
 
 @dataclass
+class VirtualSource:
+    """A wiring-only source: a view over other layers' outputs (no cores).
+
+    Concatenation joins of the layer-graph IR compile to virtual sources:
+    element ``indices[i]`` of the virtual vector is element ``i`` of the
+    producing layer, so consumer cores can name the virtual source and the
+    spike-NoC mapping resolves each axon to the real producing head core.
+    ``parts`` may reference real layers or other virtual sources declared
+    earlier (nested concatenation).
+    """
+
+    name: str
+    size: int
+    #: (producer name, indices into the virtual vector, one per producer output)
+    parts: List[Tuple[str, np.ndarray]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise MappingError(f"virtual source {self.name} has no elements")
+        if not self.parts:
+            raise MappingError(f"virtual source {self.name} has no parts")
+        self.parts = [
+            (producer, np.asarray(indices, dtype=np.int64).ravel())
+            for producer, indices in self.parts
+        ]
+        covered = np.concatenate([indices for _, indices in self.parts])
+        if sorted(covered.tolist()) != list(range(self.size)):
+            raise MappingError(
+                f"virtual source {self.name}: parts do not partition its "
+                f"{self.size} elements"
+            )
+
+    def producers(self) -> List[str]:
+        return [producer for producer, _ in self.parts]
+
+    def locator(self, locators: Dict[str, Dict[int, Tuple[int, int]]]) -> Dict[int, Tuple[int, int]]:
+        """Merged output locator, given the producers' locators."""
+        merged: Dict[int, Tuple[int, int]] = {}
+        for producer, indices in self.parts:
+            base = locators[producer]
+            for element, out_index in enumerate(indices):
+                merged[int(out_index)] = base[element]
+        return merged
+
+
+@dataclass
 class LogicalNetwork:
     """Whole-network logical mapping: layers in topological order."""
 
@@ -231,6 +277,8 @@ class LogicalNetwork:
     input_size: int
     layers: List[LogicalLayer] = field(default_factory=list)
     metadata: dict = field(default_factory=dict)
+    #: wiring-only sources (concatenation views), by name
+    virtual_sources: Dict[str, VirtualSource] = field(default_factory=dict)
 
     @property
     def n_cores(self) -> int:
@@ -249,11 +297,33 @@ class LogicalNetwork:
         raise MappingError(f"no logical layer named {name!r}")
 
     def validate(self, arch: ArchitectureConfig) -> None:
-        names = [layer.name for layer in self.layers]
+        names = [layer.name for layer in self.layers] + list(self.virtual_sources)
         if len(set(names)) != len(names):
-            raise MappingError("duplicate logical layer names")
+            raise MappingError("duplicate logical layer / virtual source names")
         known = {EXTERNAL_INPUT}
         sizes = {EXTERNAL_INPUT: self.input_size}
+
+        def activate_virtuals() -> None:
+            # a virtual source becomes usable once all its producers exist
+            changed = True
+            while changed:
+                changed = False
+                for virtual in self.virtual_sources.values():
+                    if virtual.name in known:
+                        continue
+                    if all(producer in known for producer in virtual.producers()):
+                        for producer, indices in virtual.parts:
+                            if indices.size != sizes[producer]:
+                                raise MappingError(
+                                    f"virtual source {virtual.name}: part "
+                                    f"{producer!r} has {indices.size} elements "
+                                    f"but the producer has {sizes[producer]}"
+                                )
+                        known.add(virtual.name)
+                        sizes[virtual.name] = virtual.size
+                        changed = True
+
+        activate_virtuals()
         for layer in self.layers:
             layer.validate(arch)
             for core in layer.cores:
@@ -271,6 +341,33 @@ class LogicalNetwork:
                     )
             known.add(layer.name)
             sizes[layer.name] = layer.out_size
+            activate_virtuals()
+
+    def build_locators(self) -> Dict[str, Dict[int, Tuple[int, int]]]:
+        """Output locators of every layer *and* virtual source.
+
+        Maps each source name to ``{global output index -> (head core, lane)}``;
+        virtual sources resolve through their producers, so consumers of a
+        concatenation join look up producing head cores transparently.
+        """
+        locators: Dict[str, Dict[int, Tuple[int, int]]] = {
+            layer.name: layer.output_locations() for layer in self.layers
+        }
+        pending = dict(self.virtual_sources)
+        while pending:
+            progressed = False
+            for name in list(pending):
+                virtual = pending[name]
+                if all(producer in locators for producer in virtual.producers()):
+                    locators[name] = virtual.locator(locators)
+                    del pending[name]
+                    progressed = True
+            if not progressed:
+                raise MappingError(
+                    "virtual sources reference unknown or cyclic producers: "
+                    f"{sorted(pending)}"
+                )
+        return locators
 
     def core_count_by_layer(self) -> Dict[str, int]:
         return {layer.name: layer.n_cores for layer in self.layers}

@@ -1,28 +1,27 @@
-"""Logical mapping of residual blocks (Section III.3).
+"""Residual blocks as add-joins (Section III.3) — compatibility wrappers.
 
-A residual block's body layers are mapped like ordinary convolution layers.
-The block's *output* layer is special: its reduction groups contain, in
-addition to the body cores, the cores of the shortcut *normalisation layer*
-(weights ``diag(lambda)``) whose partial sums are computed from the block's
-input spikes and travel through the partial-sum NoC to the output cores —
-"the partial sum after normalization is then sent to the corresponding cores
-of the residual block through PS NoCs for addition".
+A residual block is the two-contribution case of the generic partial-sum
+add-join (:mod:`repro.mapping.join`): the block's output layer and its
+shortcut normalisation layer are mapped with a shared output tiling and
+merged into one set of reduction groups, so the shortcut's partial sums
+travel through the PS NoC to the output cores — "the partial sum after
+normalization is then sent to the corresponding cores of the residual block
+through PS NoCs for addition".
 
-To make the shortcut's partial sums land on the same lanes as the output
-layer's (the per-neuron NoC constraint), both mappings are forced to use the
-same output-block tiling.
+The layer-graph compiler (:mod:`repro.ir`) expands ``ResidualBlockSpec``
+into plain fire nodes plus an add-join node and never calls this module;
+these wrappers keep the historical per-block API available.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from ..core.config import ArchitectureConfig
 from ..snn.spec import ResidualBlockSpec
-from .conv import conv_block_size, conv_geometry, map_conv
-from .logical import LogicalLayer, MappingError, ReductionGroup
+from .conv import estimate_conv_cores, map_conv
+from .join import estimate_join_cores, map_add_join
+from .logical import LogicalLayer
 
 
 def map_residual_block(block: ResidualBlockSpec, arch: ArchitectureConfig,
@@ -30,9 +29,9 @@ def map_residual_block(block: ResidualBlockSpec, arch: ArchitectureConfig,
                        materialize: bool = True) -> List[LogicalLayer]:
     """Map a residual block onto logical layers.
 
-    Returns one :class:`LogicalLayer` per body layer; the last one is merged
-    with the shortcut normalisation cores (its reduction groups gain the
-    shortcut cores, whose ``source`` is the block's input layer).
+    Returns one :class:`LogicalLayer` per body layer; the last one is the
+    add-join of the block's output layer and its shortcut normalisation
+    layer (whose cores read the block's input layer ``source``).
     """
     layers: List[LogicalLayer] = []
     index = start_index
@@ -43,75 +42,22 @@ def map_residual_block(block: ResidualBlockSpec, arch: ArchitectureConfig,
         layers.append(layer)
         index += layer.n_cores
         previous_source = layer.name
-
-    output_spec = block.body[-1]
-    # Both the output layer and the shortcut must use the same output tiling
-    # so their partial sums align lane by lane.
-    block_size = min(
-        conv_block_size(output_spec, arch)[0],
-        conv_block_size(block.shortcut, arch)[0],
+    merged = map_add_join(
+        block.body[-1].name,
+        [(block.body[-1], previous_source), (block.shortcut, source)],
+        arch, start_index=index, materialize=materialize,
+        threshold=block.threshold,
     )
-    forced_block = (block_size, block_size)
-    output_layer = map_conv(output_spec, arch, source=previous_source,
-                            start_index=index, materialize=materialize,
-                            block=forced_block)
-    index += output_layer.n_cores
-    shortcut_layer = map_conv(block.shortcut, arch, source=source,
-                              start_index=index, materialize=materialize,
-                              block=forced_block)
-    index += shortcut_layer.n_cores
-
-    merged = _merge_shortcut(block, output_layer, shortcut_layer)
     layers.append(merged)
     return layers
 
 
 def estimate_residual_cores(block: ResidualBlockSpec, arch: ArchitectureConfig) -> int:
-    """Number of logical cores a residual block needs (body + shortcut)."""
-    from .conv import estimate_conv_cores  # local import to avoid cycles in docs
+    """Number of logical cores a residual block needs (body + shortcut).
 
-    total = sum(estimate_conv_cores(spec, arch) for spec in block.body)
-    total += estimate_conv_cores(block.shortcut, arch)
+    The output layer and the shortcut are counted with the *forced* shared
+    tiling of the add-join, matching what the mapper actually produces.
+    """
+    total = sum(estimate_conv_cores(spec, arch) for spec in block.body[:-1])
+    total += estimate_join_cores([block.body[-1], block.shortcut], arch)
     return total
-
-
-def _merge_shortcut(block: ResidualBlockSpec, output_layer: LogicalLayer,
-                    shortcut_layer: LogicalLayer) -> LogicalLayer:
-    """Fold the shortcut layer's cores into the output layer's reduction groups."""
-    if len(output_layer.groups) != len(shortcut_layer.groups):
-        raise MappingError(
-            f"residual block {block.name}: output layer has "
-            f"{len(output_layer.groups)} groups but the shortcut has "
-            f"{len(shortcut_layer.groups)} — tilings are misaligned"
-        )
-    merged_groups: List[ReductionGroup] = []
-    shortcut_cores = {core.index: core for core in shortcut_layer.cores}
-    for out_group, short_group in zip(output_layer.groups, shortcut_layer.groups):
-        out_head = output_layer.core_by_index(out_group.head)
-        short_head = shortcut_layer.core_by_index(short_group.head)
-        if not np.array_equal(out_group.lanes, short_group.lanes):
-            raise MappingError(
-                f"residual block {block.name}: group lane sets differ between "
-                "output and shortcut layers"
-            )
-        if not np.array_equal(out_head.lane_outputs[out_group.lanes],
-                              short_head.lane_outputs[short_group.lanes]):
-            raise MappingError(
-                f"residual block {block.name}: group outputs differ between "
-                "output and shortcut layers"
-            )
-        merged_groups.append(ReductionGroup(
-            lanes=out_group.lanes.copy(),
-            core_indices=list(out_group.core_indices) + list(short_group.core_indices),
-            head=out_group.head,
-        ))
-    all_cores = list(output_layer.cores) + [shortcut_cores[i] for i in shortcut_cores]
-    for core in shortcut_layer.cores:
-        core.layer = output_layer.name
-    return LogicalLayer(
-        name=output_layer.name,
-        cores=all_cores,
-        groups=merged_groups,
-        threshold=output_layer.threshold,
-        out_size=output_layer.out_size,
-    )

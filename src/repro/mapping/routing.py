@@ -182,3 +182,25 @@ def serial_waves(transfers: Sequence[Transfer]) -> List[Wave]:
 def total_hop_count(transfers: Sequence[Transfer]) -> int:
     """Total number of link traversals of a set of transfers."""
     return sum(transfer.hops for transfer in transfers)
+
+
+def verify_waves(waves: Sequence[Wave]) -> None:
+    """Independently re-check that every wave is conflict-free.
+
+    Recomputes each transfer's per-step resource usage (directed links,
+    injection and delivery ports) from scratch — without trusting the
+    bookkeeping :class:`Wave` maintained while packing — and raises
+    :class:`MappingError` on any double booking.  Used by the pass
+    pipeline's invariant checks.
+    """
+    for wave_index, wave in enumerate(waves):
+        used: Dict[int, Set[Tuple[TileCoordinate, object, str]]] = {}
+        for transfer in wave.transfers:
+            for step, key in Wave._resources(transfer, transfer.route):
+                step_set = used.setdefault(step, set())
+                if key in step_set:
+                    raise MappingError(
+                        f"wave {wave_index}: resource {key} used twice in "
+                        f"step {step} (routing conflict)"
+                    )
+                step_set.add(key)

@@ -7,7 +7,7 @@ backward passes, a mini-batch trainer and fixed-point quantisation helpers.
 """
 
 from .layers import AvgPool2D, Conv2D, Dense, Flatten, Layer, LayerError, ReLU
-from .model import ResidualBlock, Sequential
+from .model import Branches, ResidualBlock, Sequential
 from .quantize import (
     QuantizationError,
     QuantizedTensor,
@@ -29,6 +29,7 @@ from .training import (
 __all__ = [
     "Adam",
     "AvgPool2D",
+    "Branches",
     "Conv2D",
     "Dense",
     "Flatten",

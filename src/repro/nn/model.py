@@ -1,11 +1,14 @@
-"""Network containers: sequential models and residual blocks.
+"""Network containers: sequential models, residual blocks and branch joins.
 
 The paper's four benchmarks (Table III) are sequential stacks of layers,
 except the CIFAR-10 ResNet which inserts residual blocks whose shortcut skips
 a stack of convolutions and is added to the block output.  ``Sequential`` and
-``ResidualBlock`` cover both; a residual block is itself a layer, so the
-ResNet remains a sequential model at the top level — which is also how the
-mapping toolchain walks it.
+``ResidualBlock`` cover both; :class:`Branches` generalises the pattern to
+arbitrary DAG topologies — several parallel branches over one input, merged
+by element-wise addition (skip connections of any span, nested freely) or by
+channel concatenation (inception-style multi-kernel stages).  All three
+composites are themselves layers, so every network stays a sequential model
+at the top level — which is also how the conversion toolchain walks it.
 """
 
 from __future__ import annotations
@@ -36,18 +39,26 @@ class ResidualBlock(Layer):
         self._x: Optional[np.ndarray] = None
 
     # -- forward / backward -------------------------------------------------
+    def merge(self, body_out: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Add the (projected) shortcut to the body output and activate.
+
+        Shared by :meth:`forward` and the conversion toolchain's activation
+        capture, so the merge semantics exist exactly once.
+        """
+        shortcut = x if self.projection is None else self.projection.forward(x)
+        if body_out.shape != shortcut.shape:
+            raise LayerError(
+                f"{self.name}: body output {body_out.shape} does not match "
+                f"shortcut {shortcut.shape}"
+            )
+        return self.activation.forward(body_out + shortcut)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = np.asarray(x, dtype=np.float64)
         out = self._x
         for layer in self.body:
             out = layer.forward(out)
-        shortcut = self._x if self.projection is None else self.projection.forward(self._x)
-        if out.shape != shortcut.shape:
-            raise LayerError(
-                f"{self.name}: body output {out.shape} does not match "
-                f"shortcut {shortcut.shape}"
-            )
-        return self.activation.forward(out + shortcut)
+        return self.merge(out, self._x)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         grad = self.activation.backward(grad)
@@ -75,6 +86,134 @@ class ResidualBlock(Layer):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResidualBlock(name={self.name!r}, body={len(self.body)} layers)"
+
+
+class Branches(Layer):
+    """Parallel branches over one input, merged by addition or concatenation.
+
+    ``branches`` is a list of layer stacks all reading the same input; an
+    empty stack is the identity.  With ``merge="add"`` the branch outputs are
+    summed and passed through a ReLU — a residual block is the two-branch
+    case with an identity branch, and nesting :class:`Branches` inside a
+    branch yields multi-skip topologies.  With ``merge="concat"`` the branch
+    outputs (feature maps of equal height/width) are concatenated along the
+    channel axis — the inception pattern.
+
+    For SNN conversion (:func:`repro.snn.conversion.convert_ann_to_graph`)
+    an ``add`` merge becomes a partial-sum add-join node (every branch must
+    end with a bias-free ``Conv2D``, or be empty/identity); a ``concat``
+    merge becomes a wiring-only concat node.
+    """
+
+    MERGES = ("add", "concat")
+
+    def __init__(self, branches: Sequence[Sequence[Layer]], merge: str = "concat",
+                 name: str = ""):
+        super().__init__(name)
+        if merge not in self.MERGES:
+            raise LayerError(f"unknown merge {merge!r} (expected one of {self.MERGES})")
+        if len(branches) < 2:
+            raise LayerError("Branches needs at least two branches")
+        self.branches: List[List[Layer]] = [list(branch) for branch in branches]
+        self.merge = merge
+        self.activation = ReLU(name=f"{self.name}.relu") if merge == "add" else None
+        self._split_channels: List[int] = []
+
+    # -- forward / backward -------------------------------------------------
+    def _branch_forward(self, branch: List[Layer], x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in branch:
+            out = layer.forward(out)
+        return out
+
+    def merge_outputs(self, outputs: List[np.ndarray]) -> np.ndarray:
+        """Merge per-branch outputs (add+ReLU or channel concat).
+
+        Shared by :meth:`forward` and the conversion toolchain's activation
+        capture, so the merge semantics exist exactly once.
+        """
+        if self.merge == "add":
+            shapes = {out.shape for out in outputs}
+            if len(shapes) != 1:
+                raise LayerError(
+                    f"{self.name}: add-merge branch outputs differ in shape "
+                    f"({shapes})"
+                )
+            total = outputs[0]
+            for out in outputs[1:]:
+                total = total + out
+            return self.activation.forward(total)
+        if any(out.ndim != 4 for out in outputs):
+            raise LayerError(
+                f"{self.name}: concat-merge needs NHWC branch outputs"
+            )
+        spatial = {out.shape[:3] for out in outputs}
+        if len(spatial) != 1:
+            raise LayerError(
+                f"{self.name}: concat-merge branch outputs differ spatially "
+                f"({spatial})"
+            )
+        self._split_channels = [out.shape[-1] for out in outputs]
+        return np.concatenate(outputs, axis=-1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        outputs = [self._branch_forward(branch, x) for branch in self.branches]
+        return self.merge_outputs(outputs)
+
+    def _branch_backward(self, branch: List[Layer], grad: np.ndarray) -> np.ndarray:
+        out = grad
+        for layer in reversed(branch):
+            out = layer.backward(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self.merge == "add":
+            grad = self.activation.backward(grad)
+            total = None
+            for branch in self.branches:
+                piece = self._branch_backward(branch, grad)
+                total = piece if total is None else total + piece
+            return total
+        if not self._split_channels:
+            raise LayerError(f"{self.name}: backward before forward")
+        total = None
+        offset = 0
+        for branch, channels in zip(self.branches, self._split_channels):
+            piece = self._branch_backward(
+                branch, grad[..., offset:offset + channels])
+            total = piece if total is None else total + piece
+            offset += channels
+        return total
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        shapes = []
+        for branch in self.branches:
+            shape = input_shape
+            for layer in branch:
+                shape = layer.output_shape(shape)
+            shapes.append(tuple(shape))
+        if self.merge == "add":
+            if len(set(shapes)) != 1:
+                raise LayerError(
+                    f"{self.name}: add-merge branch shapes differ ({set(shapes)})"
+                )
+            return shapes[0]
+        if any(len(shape) != 3 for shape in shapes):
+            raise LayerError(f"{self.name}: concat-merge needs (h, w, c) branches")
+        if len({shape[:2] for shape in shapes}) != 1:
+            raise LayerError(f"{self.name}: concat-merge branches differ spatially")
+        h, w = shapes[0][:2]
+        return (h, w, sum(shape[2] for shape in shapes))
+
+    # -- parameter plumbing -------------------------------------------------
+    def sublayers(self) -> List[Layer]:
+        return [layer for branch in self.branches for layer in branch]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = "/".join(str(len(branch)) for branch in self.branches)
+        return (f"Branches(name={self.name!r}, merge={self.merge!r}, "
+                f"branches={sizes})")
 
 
 class Sequential:
@@ -133,14 +272,15 @@ class Sequential:
         return shapes
 
     def all_layers(self) -> Iterator[Layer]:
-        """Iterate over every parameterised leaf layer, descending into blocks."""
-        for layer in self.layers:
-            if isinstance(layer, ResidualBlock):
-                yield layer
+        """Iterate over every layer, recursing into composite blocks."""
+        def walk(layer: Layer) -> Iterator[Layer]:
+            yield layer
+            if isinstance(layer, (ResidualBlock, Branches)):
                 for sub in layer.sublayers():
-                    yield sub
-            else:
-                yield layer
+                    yield from walk(sub)
+
+        for layer in self.layers:
+            yield from walk(layer)
 
     # -- parameters -----------------------------------------------------------
     def parameters(self) -> Dict[str, np.ndarray]:

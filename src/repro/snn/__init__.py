@@ -6,7 +6,12 @@ hardware does — which is what makes the paper's "no accuracy loss from
 mapping" claim checkable bit for bit.
 """
 
-from .conversion import ConversionConfig, ConversionError, convert_ann_to_snn
+from .conversion import (
+    ConversionConfig,
+    ConversionError,
+    convert_ann_to_graph,
+    convert_ann_to_snn,
+)
 from .encoding import (
     EncodingError,
     deterministic_encode,
@@ -43,6 +48,7 @@ __all__ = [
     "SnnNetwork",
     "SnnRunResult",
     "SpecError",
+    "convert_ann_to_graph",
     "convert_ann_to_snn",
     "deterministic_encode",
     "encode",

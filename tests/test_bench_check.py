@@ -1,0 +1,159 @@
+"""Tests for the ``python -m repro.bench --check`` regression gate."""
+
+import json
+
+import pytest
+
+import repro.bench as bench
+import repro.bench.__main__ as bench_main
+from repro.bench import check_regression, load_bench_report
+
+
+def _throughput(**fps):
+    return {
+        "backends": {
+            name: {"seconds": 1.0 / value, "frames_per_sec": value}
+            for name, value in fps.items()
+        },
+    }
+
+
+class TestCheckRegression:
+    def test_no_regression_within_tolerance(self):
+        current = _throughput(reference=80.0, vectorized=900.0)
+        committed = _throughput(reference=100.0, vectorized=1000.0)
+        assert check_regression(current, committed, tolerance=0.25) == []
+
+    def test_regression_beyond_tolerance_flagged(self):
+        current = _throughput(vectorized=700.0)
+        committed = _throughput(vectorized=1000.0)
+        failures = check_regression(current, committed, tolerance=0.25)
+        assert len(failures) == 1
+        assert "vectorized" in failures[0]
+
+    def test_exactly_at_floor_passes(self):
+        current = _throughput(vectorized=750.0)
+        committed = _throughput(vectorized=1000.0)
+        assert check_regression(current, committed, tolerance=0.25) == []
+
+    def test_new_and_removed_backends_skipped(self):
+        current = _throughput(new_backend=1.0, shared=100.0)
+        committed = _throughput(old_backend=9999.0, shared=100.0)
+        assert check_regression(current, committed) == []
+
+    def test_improvements_never_fail(self):
+        current = _throughput(vectorized=5000.0)
+        committed = _throughput(vectorized=1000.0)
+        assert check_regression(current, committed) == []
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            check_regression(_throughput(), _throughput(), tolerance=1.5)
+
+
+class TestLoadBenchReport:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="python -m repro.bench"):
+            load_bench_report(tmp_path / "BENCH_engine.json")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_bench_report(path)
+
+
+class TestCheckCli:
+    """CLI exit codes, with the measurement monkeypatched for speed."""
+
+    @pytest.fixture
+    def fake_measure(self, monkeypatch):
+        def measure(frames=64, timesteps=16, repeats=5, check_parity=True):
+            return _throughput(reference=100.0, vectorized=1000.0,
+                               sharded=1500.0)
+        monkeypatch.setattr(bench_main, "measure_throughput", measure)
+        return measure
+
+    def _write_baseline(self, tmp_path, throughput):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(
+            {"schema": 1, "git_rev": "abc1234", "throughput": throughput}))
+        return path
+
+    def test_check_passes_against_equal_baseline(self, tmp_path, fake_measure,
+                                                 capsys):
+        baseline = self._write_baseline(
+            tmp_path, _throughput(reference=100.0, vectorized=1000.0))
+        code = bench_main.main(["--check", "--baseline", str(baseline)])
+        assert code == 0
+        assert "bench check OK" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, tmp_path, fake_measure, capsys):
+        baseline = self._write_baseline(
+            tmp_path, _throughput(vectorized=10_000.0))
+        code = bench_main.main(["--check", "--baseline", str(baseline)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_check_tolerance_flag(self, tmp_path, fake_measure):
+        # measured 1000 vs committed 1100: fails at 5%, passes at 25%
+        baseline = self._write_baseline(
+            tmp_path, _throughput(vectorized=1100.0))
+        assert bench_main.main(["--check", "--baseline", str(baseline),
+                                "--tolerance", "0.05"]) == 1
+        assert bench_main.main(["--check", "--baseline", str(baseline),
+                                "--tolerance", "0.25"]) == 0
+
+    def test_check_measures_with_committed_geometry(self, tmp_path,
+                                                    monkeypatch):
+        seen = {}
+
+        def measure(frames=64, timesteps=16, repeats=5, check_parity=True):
+            seen["frames"], seen["timesteps"] = frames, timesteps
+            return _throughput(vectorized=1000.0)
+        monkeypatch.setattr(bench_main, "measure_throughput", measure)
+        throughput = _throughput(vectorized=1000.0)
+        throughput.update({"frames": 32, "timesteps": 8})
+        baseline = self._write_baseline(tmp_path, throughput)
+        assert bench_main.main(["--check", "--baseline", str(baseline)]) == 0
+        assert seen == {"frames": 32, "timesteps": 8}
+
+    def test_check_rejects_mismatched_geometry(self, tmp_path, fake_measure,
+                                               capsys):
+        throughput = _throughput(vectorized=1000.0)
+        throughput.update({"frames": 64, "timesteps": 16})
+        baseline = self._write_baseline(tmp_path, throughput)
+        code = bench_main.main(["--check", "--baseline", str(baseline),
+                                "--frames", "8"])
+        assert code == 2
+        assert "not be comparable" in capsys.readouterr().err
+
+    def test_check_missing_baseline_exits_2(self, tmp_path, fake_measure,
+                                            capsys):
+        code = bench_main.main(
+            ["--check", "--baseline", str(tmp_path / "missing.json")])
+        assert code == 2
+
+    def test_check_baseline_without_throughput_exits_2(self, tmp_path,
+                                                       fake_measure):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({"schema": 1}))
+        assert bench_main.main(["--check", "--baseline", str(path)]) == 2
+
+    def test_check_does_not_rewrite_baseline(self, tmp_path, fake_measure):
+        baseline = self._write_baseline(
+            tmp_path, _throughput(reference=100.0))
+        before = baseline.read_text()
+        bench_main.main(["--check", "--baseline", str(baseline)])
+        assert baseline.read_text() == before
+
+
+def test_committed_trajectory_is_checkable():
+    """The repo's committed BENCH_engine.json loads and has a throughput
+    section the gate can compare against."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    committed = load_bench_report(path)
+    assert "throughput" in committed
+    assert "backends" in committed["throughput"]

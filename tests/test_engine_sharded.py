@@ -233,6 +233,98 @@ class TestAutoSelection:
                                       vectorized.spike_counts)
 
 
+class TestPersistentPool:
+    """The worker pool survives across run() calls and tears down cleanly."""
+
+    def test_pool_reused_across_runs(self, dense_program, dense_snn,
+                                     dense_inputs):
+        trains = deterministic_encode(dense_inputs, dense_snn.timesteps)
+        backend = ShardedBackend(dense_program, workers=2)
+        try:
+            assert not backend.pool_alive  # lazy: no pool before first run
+            first = backend.run(trains)
+            assert backend.pool_alive
+            pool = backend._pool
+            second = backend.run(trains)
+            assert backend._pool is pool  # same pool, fork paid once
+            np.testing.assert_array_equal(first.spike_counts,
+                                          second.spike_counts)
+        finally:
+            backend.close()
+
+    def test_tiny_batches_never_fork_a_pool(self, dense_program, dense_snn,
+                                            dense_inputs):
+        trains = deterministic_encode(dense_inputs[:1], dense_snn.timesteps)
+        backend = ShardedBackend(dense_program, workers=4)
+        backend.run(trains)  # 1 frame -> in-process fallback
+        assert not backend.pool_alive
+
+    def test_close_is_idempotent_and_reopens(self, dense_program, dense_snn,
+                                             dense_inputs):
+        trains = deterministic_encode(dense_inputs, dense_snn.timesteps)
+        backend = ShardedBackend(dense_program, workers=2)
+        expected = backend.run(trains)
+        backend.close()
+        backend.close()  # idempotent
+        assert not backend.pool_alive
+        result = backend.run(trains)  # re-forks transparently
+        assert backend.pool_alive
+        np.testing.assert_array_equal(result.spike_counts,
+                                      expected.spike_counts)
+        backend.close()
+
+    def test_context_manager_closes_pool(self, dense_program, dense_snn,
+                                         dense_inputs):
+        trains = deterministic_encode(dense_inputs, dense_snn.timesteps)
+        with ShardedBackend(dense_program, workers=2) as backend:
+            backend.run(trains)
+            assert backend.pool_alive
+        assert not backend.pool_alive
+
+    def test_pool_survives_worker_error(self):
+        """A worker exception re-raises in the parent but keeps the pool
+        usable for the next run."""
+        program = _overflow_program()
+        backend = ShardedBackend(program, workers=2)
+        try:
+            bad = np.ones((4, 3, 4), dtype=bool)
+            with pytest.raises(NeuronCoreError):
+                backend.run(bad)
+            pool = backend._pool
+            assert pool is not None
+            good = np.zeros((4, 3, 4), dtype=bool)
+            result = backend.run(good)
+            assert backend._pool is pool
+            assert result.spike_counts.shape == (4, 4)
+        finally:
+            backend.close()
+
+    def test_engine_close_closes_cached_backends(self, dense_program,
+                                                 dense_snn, dense_inputs):
+        from repro.engine import ExecutionEngine
+
+        trains = deterministic_encode(dense_inputs, dense_snn.timesteps)
+        with ExecutionEngine(dense_program, backend="sharded",
+                             backend_options={"sharded": {"workers": 2}}) \
+                as engine:
+            engine.run(trains)
+            backend = engine.backend("sharded")
+            assert backend.pool_alive
+        assert not backend.pool_alive
+
+    def test_auto_close_propagates_to_delegates(self, dense_program,
+                                                dense_snn, rng):
+        backend = AutoBackend(dense_program, sharded_min_frames=4, workers=2)
+        trains = deterministic_encode(rng.random((6, dense_snn.input_size)),
+                                      dense_snn.timesteps)
+        backend.run(trains)
+        assert backend.last_selection == "sharded"
+        delegate = backend.delegate("sharded")
+        assert delegate.pool_alive
+        backend.close()
+        assert not delegate.pool_alive
+
+
 @pytest.mark.slow
 class TestSlowShardedSweeps:
     """Multi-frame multiprocess sweeps, deselected from fast tier-1 runs."""

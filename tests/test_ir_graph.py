@@ -1,0 +1,154 @@
+"""Tests for the layer-graph IR: construction, validation, conversion."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GRAPH_INPUT, GraphError, GraphSnnRunner, LayerGraph, \
+    as_layer_graph, graph_from_snn
+from repro.snn.encoding import deterministic_encode
+from repro.snn.runner import AbstractSnnRunner
+from repro.snn.spec import ConvSpec, DenseSpec
+
+
+def _dense(rng, name, n_in, n_out, threshold=10):
+    return DenseSpec(name=name, weights=rng.integers(-4, 5, size=(n_in, n_out)),
+                     threshold=threshold)
+
+
+def _conv(rng, name, shape, cout, k=3, pad=1, threshold=8):
+    return ConvSpec(name=name,
+                    weights=rng.integers(-2, 3, size=(k, k, shape[2], cout)),
+                    threshold=threshold, input_shape=shape, stride=1, pad=pad)
+
+
+class TestGraphConstruction:
+    def test_linear_chain(self, rng):
+        graph = LayerGraph("toy", (12,), timesteps=4)
+        a = graph.add_layer(_dense(rng, "a", 12, 8))
+        b = graph.add_layer(_dense(rng, "b", 8, 4), input=a)
+        graph.validate()
+        assert graph.output == b
+        assert graph.output_size == 4
+        assert [node.name for node in graph.topological()] == [GRAPH_INPUT, "a", "b"]
+
+    def test_duplicate_names_rejected(self, rng):
+        graph = LayerGraph("toy", (12,))
+        graph.add_layer(_dense(rng, "a", 12, 8))
+        with pytest.raises(GraphError, match="duplicate"):
+            graph.add_layer(_dense(rng, "a", 8, 4), input="a")
+
+    def test_unknown_input_rejected(self, rng):
+        graph = LayerGraph("toy", (12,))
+        with pytest.raises(GraphError, match="no node named"):
+            graph.add_layer(_dense(rng, "a", 12, 8), input="ghost")
+
+    def test_size_mismatch_rejected(self, rng):
+        graph = LayerGraph("toy", (12,))
+        with pytest.raises(GraphError, match="expects"):
+            graph.add_layer(_dense(rng, "a", 10, 8))
+
+    def test_join_shape_mismatch_rejected(self, rng):
+        graph = LayerGraph("toy", (12,))
+        with pytest.raises(GraphError, match="differ"):
+            graph.add_join("j", [
+                (_dense(rng, "a", 12, 8), GRAPH_INPUT),
+                (_dense(rng, "b", 12, 6), GRAPH_INPUT),
+            ])
+
+    def test_join_threshold_is_primary_contribution(self, rng):
+        graph = LayerGraph("toy", (12,))
+        join = graph.add_join("j", [
+            (_dense(rng, "a", 12, 8, threshold=7), GRAPH_INPUT),
+            (_dense(rng, "b", 12, 8, threshold=3), GRAPH_INPUT),
+        ])
+        assert graph.node(join).threshold == 7
+
+    def test_concat_needs_two_inputs(self, rng):
+        graph = LayerGraph("toy", (12,))
+        a = graph.add_layer(_dense(rng, "a", 12, 8))
+        with pytest.raises(GraphError, match="at least two"):
+            graph.add_concat("cat", [a])
+
+    def test_concat_of_external_input_rejected(self, rng):
+        graph = LayerGraph("toy", (12,))
+        a = graph.add_layer(_dense(rng, "a", 12, 8))
+        with pytest.raises(GraphError, match="external input"):
+            graph.add_concat("cat", [a, GRAPH_INPUT])
+
+    def test_cycle_detected_by_validate(self, rng):
+        graph = LayerGraph("toy", (12,))
+        a = graph.add_layer(_dense(rng, "a", 12, 12))
+        b = graph.add_layer(_dense(rng, "b", 12, 12), input=a)
+        # tamper: make a read from b, creating a 2-cycle
+        graph.nodes[a].inputs = (b,)
+        with pytest.raises(GraphError, match="cycle"):
+            graph.validate()
+
+    def test_describe_lists_nodes(self, rng):
+        graph = LayerGraph("toy", (12,))
+        graph.add_layer(_dense(rng, "a", 12, 8))
+        text = graph.describe()
+        assert "a" in text and "DenseSpec" in text
+
+
+class TestConcatParts:
+    def test_flat_concat_parts_are_contiguous(self, rng):
+        graph = LayerGraph("toy", (12,))
+        a = graph.add_layer(_dense(rng, "a", 12, 5))
+        b = graph.add_layer(_dense(rng, "b", 12, 7))
+        cat = graph.add_concat("cat", [a, b])
+        parts = dict(graph.concat_parts(cat))
+        np.testing.assert_array_equal(parts["a"], np.arange(5))
+        np.testing.assert_array_equal(parts["b"], np.arange(5, 12))
+
+    def test_channel_concat_interleaves_hwc(self, rng):
+        shape = (3, 3, 2)
+        graph = LayerGraph("toy", shape)
+        a = graph.add_layer(_conv(rng, "a", shape, cout=2))
+        b = graph.add_layer(_conv(rng, "b", shape, cout=1))
+        cat = graph.add_concat("cat", [a, b])
+        node = graph.node(cat)
+        assert node.output_shape == (3, 3, 3)
+        parts = dict(graph.concat_parts(cat))
+        # scatter both producers' row-major HWC vectors and check layout
+        out = np.zeros(node.out_size, dtype=np.int64)
+        out[parts["a"]] = np.arange(100, 100 + 18)  # 3*3*2 elements
+        out[parts["b"]] = np.arange(200, 200 + 9)
+        grid = out.reshape(3, 3, 3)
+        a_grid = np.arange(100, 118).reshape(3, 3, 2)
+        b_grid = np.arange(200, 209).reshape(3, 3, 1)
+        np.testing.assert_array_equal(grid[:, :, :2], a_grid)
+        np.testing.assert_array_equal(grid[:, :, 2:], b_grid)
+
+
+class TestGraphFromSnn:
+    def test_dense_network_stays_linear(self, dense_snn):
+        graph = graph_from_snn(dense_snn)
+        kinds = [node.kind for node in graph.topological()]
+        assert kinds == ["input", "fire", "fire"]
+        assert graph.output_size == dense_snn.output_size
+        assert graph.timesteps == dense_snn.timesteps
+
+    def test_residual_block_expands_to_add_join(self, conv_snn):
+        graph = graph_from_snn(conv_snn)
+        joins = [node for node in graph.fire_nodes() if node.is_join]
+        assert len(joins) == 1
+        join = joins[0]
+        # last body layer reads the previous body layer; the shortcut reads
+        # the block's input layer
+        assert join.inputs == ("res1", "pool1")
+        assert {spec.name for spec in join.specs} == {"res2", "shortcut"}
+
+    def test_as_layer_graph_passthrough(self, dense_snn):
+        graph = graph_from_snn(dense_snn)
+        assert as_layer_graph(graph) is graph
+        with pytest.raises(GraphError):
+            as_layer_graph(42)
+
+    def test_graph_runner_matches_abstract_runner(self, conv_snn, conv_inputs):
+        """The DAG runner reproduces the flat runner on residual networks."""
+        trains = deterministic_encode(conv_inputs, conv_snn.timesteps)
+        flat = AbstractSnnRunner(conv_snn).run_spike_trains(trains)
+        graph = GraphSnnRunner(graph_from_snn(conv_snn)).run_spike_trains(trains)
+        np.testing.assert_array_equal(flat.spike_counts, graph.spike_counts)
+        np.testing.assert_array_equal(flat.predictions, graph.predictions)

@@ -124,7 +124,7 @@ class TestCompiledArtifacts:
         logical = build_logical_network(dense_snn, arch, materialize=False)
         placement = place_network(logical, arch)
         with pytest.raises(MappingError):
-            _build_program(dense_snn, logical, placement, arch, wave_packing=True)
+            _build_program(logical, placement, arch, wave_packing=True)
 
 
 class TestEstimatorConsistency:

@@ -17,8 +17,10 @@ import pytest
 
 from repro.apps.networks import (
     build_cifar_cnn,
+    build_cifar_multiskip,
     build_cifar_resnet,
     build_mnist_cnn,
+    build_mnist_inception,
     build_mnist_mlp,
 )
 from repro.apps.pipeline import ExperimentConfig, format_table, run_experiment
@@ -61,6 +63,23 @@ CONFIGS = {
     ),
 }
 
+#: DAG workloads beyond the paper's Table IV: the same flow, converted
+#: through the layer-graph path and mapped with the repro.opt NoC passes
+DAG_CONFIGS = {
+    "mnist-inception": ExperimentConfig(
+        name="mnist-inception", model_builder=build_mnist_inception,
+        dataset="mnist", timesteps=20, target_fps=30, train_epochs=1,
+        train_size=256, test_size=24, optimizer="adam", learning_rate=1e-3,
+        hardware_frames=4, backend="vectorized", optimize_noc=True, seed=0,
+    ),
+    "cifar-multiskip": ExperimentConfig(
+        name="cifar-multiskip", model_builder=build_cifar_multiskip,
+        dataset="cifar", timesteps=80, target_fps=30, train_epochs=1,
+        train_size=192, test_size=20, optimizer="adam", learning_rate=1e-3,
+        hardware_frames=0, optimize_noc=True, seed=0,
+    ),
+}
+
 _RESULTS = {}
 
 
@@ -93,6 +112,23 @@ def test_regenerate_table4_row(benchmark, name):
     assert result.power.power_mw == pytest.approx(paper["power_mw"], rel=1.5)
     # per-core power in the paper's 0.1-0.2 mW regime
     assert 0.05 < result.power.power_per_core_mw < 0.4
+
+
+@pytest.mark.parametrize("name", list(DAG_CONFIGS))
+def test_table4_dag_row(benchmark, name):
+    """The Table IV flow on DAG workloads (graph converter + NoC passes)."""
+    config = DAG_CONFIGS[name]
+    result = benchmark.pedantic(run_experiment, args=(config,), rounds=1,
+                                iterations=1)
+    print_table(f"Table IV (DAG): {name}", result.table_iv_row())
+    assert result.metadata["converter"] == "graph"
+    assert result.metadata["optimize_noc"] is True
+    assert result.snn_accuracy <= result.ann_accuracy + 0.1
+    assert result.shenjing_accuracy is not None
+    if result.hardware_matches_abstract is not None:
+        # the NoC-optimized mapping is bit-exact against the graph runner
+        assert result.hardware_matches_abstract is True
+    assert result.cores > 500
 
 
 def test_table4_cross_row_shape(benchmark):

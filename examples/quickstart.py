@@ -67,7 +67,8 @@ def list_networks(names=None, calibration_samples: int = 4, seed: int = 0) -> No
               f"{estimate.fabric[0]}x{estimate.fabric[1]}")
 
 
-def main(backend: str = "auto", check_parity: bool = True) -> None:
+def main(backend: str = "auto", check_parity: bool = True,
+         optimize_noc: bool = False) -> None:
     rng = np.random.default_rng(0)
 
     # A 40-24-5 spiking MLP.  Each 16x16 core holds at most 16 inputs and 16
@@ -89,9 +90,18 @@ def main(backend: str = "auto", check_parity: bool = True) -> None:
     spike_trains = deterministic_encode(inputs, network.timesteps)
     abstract = AbstractSnnRunner(network).run_spike_trains(spike_trains)
 
-    # Compile onto Shenjing and execute through the engine.
-    compiled = compile_network(network, arch)
+    # Compile onto Shenjing and execute through the engine.  With
+    # --optimize-noc the repro.opt passes (congestion-aware placement,
+    # multicast delivery, reduction trees) rewrite the NoC schedule —
+    # bit-exactly, as the lossless-mapping check below still proves.
+    compiled = compile_network(network, arch, optimize_noc=optimize_noc)
     print(compiled.describe())
+    if optimize_noc:
+        from repro.opt import plan_metrics
+
+        metrics = plan_metrics(compiled.routes)
+        print(f"NoC-optimized: {metrics.wave_count} waves, per-timestep wave "
+              f"depth {metrics.wave_depth}, {metrics.total_hops} hops")
     engine = ExecutionEngine(compiled.program, backend=backend)
     hardware = engine.run(spike_trains)
 
@@ -124,6 +134,10 @@ if __name__ == "__main__":
                              "(auto | reference | vectorized | sharded)")
     parser.add_argument("--no-parity", action="store_true",
                         help="skip the cross-backend parity check")
+    parser.add_argument("--optimize-noc", action="store_true",
+                        help="enable the repro.opt NoC optimization passes "
+                             "(congestion-aware placement, multicast "
+                             "delivery, reduction trees)")
     parser.add_argument("--list-networks", nargs="*", metavar="NAME",
                         default=None,
                         help="list benchmark network builders with core/chip "
@@ -132,4 +146,5 @@ if __name__ == "__main__":
     if args.list_networks is not None:
         list_networks(args.list_networks or None)
     else:
-        main(backend=args.backend, check_parity=not args.no_parity)
+        main(backend=args.backend, check_parity=not args.no_parity,
+             optimize_noc=args.optimize_noc)

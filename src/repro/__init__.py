@@ -11,7 +11,11 @@ The package is organised as:
 * :mod:`repro.datasets` — synthetic MNIST / CIFAR-10 substitutes;
 * :mod:`repro.power` — energy table, frequency and architectural power model;
 * :mod:`repro.baselines` — block-level-spike baseline and published chip data;
-* :mod:`repro.apps` — the paper's four applications and the experiment pipeline.
+* :mod:`repro.apps` — the paper's four applications and the experiment pipeline;
+* :mod:`repro.ir` — layer-graph IR and the pass-based compilation pipeline;
+* :mod:`repro.opt` — NoC-aware placement & routing optimization passes;
+* :mod:`repro.engine` — batched/sharded execution backends;
+* :mod:`repro.bench` — perf/NoC benchmark harness (``python -m repro.bench``).
 """
 
 __version__ = "0.1.0"

@@ -2,12 +2,13 @@
 
 Builders for the four applications the paper evaluates — MNIST MLP, MNIST
 CNN, CIFAR-10 CNN and CIFAR-10 ResNet — as :class:`~repro.nn.model.Sequential`
-ANNs ready for training and conversion, and two branching workloads that
+ANNs ready for training and conversion, and four branching workloads that
 exercise the layer-graph compiler (:mod:`repro.ir`) beyond the paper's
-topologies: a two-branch concat "inception-lite" MNIST net and a multi-skip
-CIFAR net with nested addition joins.  All parameterised layers are built
-without biases (Shenjing cores have no bias input; see
-:mod:`repro.snn.conversion`).
+topologies: a two-branch concat "inception-lite" MNIST net, a multi-skip
+CIFAR net with nested addition joins, a DenseNet-style MNIST net with
+repeated channel concatenations, and a CIFAR net whose addition join merges
+a stride-2 projection shortcut.  All parameterised layers are built without
+biases (Shenjing cores have no bias input; see :mod:`repro.snn.conversion`).
 
 Each builder also has a ``*_small`` variant with the same layer types but
 scaled-down widths; the test-suite and quick examples use those so that full
@@ -294,6 +295,95 @@ def build_cifar_multiskip_small(seed: int = 0) -> Sequential:
     return model
 
 
+def build_mnist_densenet(c0: int = 16, growth: int = 8, blocks: int = 3,
+                         hidden: int = 128, seed: int = 0) -> Sequential:
+    """A DenseNet-style MNIST net: repeated channel concatenations.
+
+    Every block concatenates its conv output with its *input* feature map
+    (``Branches([[conv], []], merge="concat")``), so block ``i`` sees all
+    ``c0 + i * growth`` channels produced so far — the DenseNet growth
+    pattern.  Each concat is a wiring-only node in the layer graph, and the
+    nested identity branches make later concats reference earlier concat
+    nodes (nested :class:`~repro.mapping.logical.VirtualSource` wiring).
+    """
+    rng = _rng(seed)
+    layers = [
+        Conv2D(1, c0, 3, padding="same", bias=False, rng=rng, name="stem"),
+        ReLU(name="relu_stem"),
+        AvgPool2D(2, name="pool1"),
+    ]
+    channels = c0
+    for index in range(blocks):
+        conv_branch = [
+            Conv2D(channels, growth, 3, padding="same", bias=False, rng=rng,
+                   name=f"dense{index + 1}"),
+            ReLU(name=f"relu_d{index + 1}"),
+        ]
+        layers.append(Branches([conv_branch, []], merge="concat",
+                               name=f"cat{index + 1}"))
+        channels += growth
+    layers += [
+        AvgPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+        Dense(7 * 7 * channels, hidden, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu_fc"),
+        Dense(hidden, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=MNIST_INPUT_SHAPE, name="mnist-densenet")
+
+
+def build_mnist_densenet_small(seed: int = 0) -> Sequential:
+    """Reduced-width DenseNet-lite (4+2x2 channels) for fast tests."""
+    model = build_mnist_densenet(c0=4, growth=2, blocks=2, hidden=32, seed=seed)
+    model.name = "mnist-densenet-small"
+    return model
+
+
+def build_cifar_strided(c1: int = 16, c2: int = 32, hidden: int = 128,
+                        seed: int = 0) -> Sequential:
+    """A CIFAR net with a strided-projection addition join.
+
+    The main branch downsamples with a stride-2 3x3 conv followed by a
+    stride-1 conv; the shortcut is a stride-2 1x1 *projection* conv — the
+    classic ResNet downsampling block.  Both contributions halve the
+    spatial dimensions, so the add-join merges a stride > 1 projection
+    shortcut, exercising the join mapper's strided path end-to-end.
+    """
+    rng = _rng(seed)
+    join = Branches([
+        [
+            Conv2D(c1, c2, 3, stride=2, padding=1, bias=False, rng=rng,
+                   name="sp_main1"),
+            ReLU(name="sp_relu1"),
+            Conv2D(c2, c2, 3, padding="same", bias=False, rng=rng,
+                   name="sp_main2"),
+        ],
+        [
+            Conv2D(c1, c2, 1, stride=2, padding=0, bias=False, rng=rng,
+                   name="sp_proj"),
+        ],
+    ], merge="add", name="sp_join")
+    layers = [
+        Conv2D(3, c1, 3, padding="same", bias=False, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        AvgPool2D(2, name="pool1"),
+        join,
+        AvgPool2D(2, name="pool2"),
+        Flatten(name="flatten"),
+        Dense(3 * 3 * c2, hidden, bias=False, rng=rng, name="fc1"),
+        ReLU(name="relu2"),
+        Dense(hidden, 10, bias=False, rng=rng, name="fc2"),
+    ]
+    return Sequential(layers, input_shape=CIFAR_INPUT_SHAPE, name="cifar-strided")
+
+
+def build_cifar_strided_small(seed: int = 0) -> Sequential:
+    """Reduced-width strided-projection net (4/8 channels) for fast tests."""
+    model = build_cifar_strided(c1=4, c2=8, hidden=32, seed=seed)
+    model.name = "cifar-strided-small"
+    return model
+
+
 #: The Table III structures by paper column label.
 TABLE_III_BUILDERS = {
     "mnist-mlp": build_mnist_mlp,
@@ -317,4 +407,8 @@ ALL_BUILDERS = {
     "mnist-inception-small": build_mnist_inception_small,
     "cifar-multiskip": build_cifar_multiskip,
     "cifar-multiskip-small": build_cifar_multiskip_small,
+    "mnist-densenet": build_mnist_densenet,
+    "mnist-densenet-small": build_mnist_densenet_small,
+    "cifar-strided": build_cifar_strided,
+    "cifar-strided-small": build_cifar_strided_small,
 }

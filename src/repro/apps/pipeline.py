@@ -35,11 +35,16 @@ import numpy as np
 from ..core.config import ArchitectureConfig, DEFAULT_ARCH
 from ..datasets import Dataset, synthetic_cifar10, synthetic_mnist
 from ..engine import create_backend, get_backend
-from ..nn.model import Sequential
+from ..ir.runner import GraphSnnRunner
+from ..nn.model import Branches, Sequential
 from ..nn.training import Adam, SGD, Trainer
 from ..power.interchip import InterchipTraffic
 from ..power.power_model import PowerModel, PowerReport
-from ..snn.conversion import ConversionConfig, convert_ann_to_snn
+from ..snn.conversion import (
+    ConversionConfig,
+    convert_ann_to_graph,
+    convert_ann_to_snn,
+)
 from ..snn.encoding import encode, flatten_images
 from ..snn.runner import AbstractSnnRunner
 from ..snn.spec import SnnNetwork
@@ -77,6 +82,10 @@ class ExperimentConfig:
     backend: str = "auto"
     #: fabric height override (None = one chip's rows)
     fabric_rows: Optional[int] = None
+    #: run the repro.opt NoC optimization passes (congestion-aware
+    #: placement, multicast delivery, reduction trees) during mapping;
+    #: bit-exact, so accuracy rows are unchanged — only the NoC schedule is
+    optimize_noc: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in ("mnist", "cifar"):
@@ -119,6 +128,20 @@ class ExperimentResult:
         return row
 
 
+def _estimation_pipeline():
+    """Mapping-only pipeline (through the optimized placement, no routing).
+
+    Used by the estimator path of :func:`run_experiment` when
+    ``optimize_noc`` is set: networks too large to cycle-simulate still get
+    their placement optimized before the structural estimate prices the NoC.
+    """
+    from .. import opt as _opt  # noqa: F401 — registers the NoC passes
+    from ..ir.passes import build_pipeline
+
+    return build_pipeline(("graph-build", "logical-map", "placement",
+                           "congestion-placement"))
+
+
 def load_dataset(name: str, train_size: int, test_size: int, seed: int) -> Dataset:
     """Load the synthetic dataset substitute requested by an experiment."""
     if name == "mnist":
@@ -153,12 +176,23 @@ def run_experiment(config: ExperimentConfig,
     model = config.model_builder()
     ann_accuracy = train_reference_ann(model, dataset, config)
 
-    # 2. ANN -> SNN conversion
+    # 2. ANN -> SNN conversion.  Sequential models convert through the flat
+    # SnnNetwork path; models containing Branches (DAG topologies: concats,
+    # multi-span skips) convert through the layer-graph converter and are
+    # simulated by the abstract graph runner — the Table IV flow is
+    # otherwise identical.
     conversion = ConversionConfig(weight_bits=config.weight_bits,
                                   timesteps=config.timesteps)
-    snn = convert_ann_to_snn(model, dataset.train_images[:conversion.max_calibration_samples],
-                             conversion, name=f"{config.name}-snn")
-    runner = AbstractSnnRunner(snn)
+    calibration = dataset.train_images[:conversion.max_calibration_samples]
+    is_dag = any(isinstance(layer, Branches) for layer in model.layers)
+    if is_dag:
+        network = convert_ann_to_graph(model, calibration, conversion,
+                                       name=f"{config.name}-snn")
+        runner = GraphSnnRunner(network)
+    else:
+        network = convert_ann_to_snn(model, calibration, conversion,
+                                     name=f"{config.name}-snn")
+        runner = AbstractSnnRunner(network)
     test_trains = encode(flatten_images(dataset.test_images), config.timesteps)
     snn_result = runner.run_spike_trains(test_trains)
     snn_accuracy = snn_result.accuracy(dataset.test_labels)
@@ -167,13 +201,25 @@ def run_experiment(config: ExperimentConfig,
     start = time.perf_counter()
     if config.hardware_frames != 0:
         compiled: Optional[CompiledNetwork] = compile_network(
-            snn, arch, rows=config.fabric_rows)
-        estimate = estimate_mapping(snn, arch, rows=config.fabric_rows,
+            network, arch, rows=config.fabric_rows,
+            optimize_noc=config.optimize_noc)
+        estimate = estimate_mapping(network, arch, rows=config.fabric_rows,
                                     logical=compiled.logical,
                                     placement=compiled.placement)
     else:
         compiled = None
-        estimate = estimate_mapping(snn, arch, rows=config.fabric_rows)
+        if config.optimize_noc:
+            # the estimator needs the optimized placement to price the NoC
+            from ..ir.pipeline import compile as ir_compile
+
+            mapped = ir_compile(network, arch, rows=config.fabric_rows,
+                                pipeline=_estimation_pipeline(),
+                                materialize=False)
+            estimate = estimate_mapping(network, arch, rows=config.fabric_rows,
+                                        logical=mapped.logical,
+                                        placement=mapped.placement)
+        else:
+            estimate = estimate_mapping(network, arch, rows=config.fabric_rows)
     mapping_time_ms = (time.perf_counter() - start) * 1e3
 
     # 4. hardware simulation (when requested)
@@ -197,6 +243,13 @@ def run_experiment(config: ExperimentConfig,
         # Mapping is lossless (verified by the test-suite for every layer
         # type), so the mapped accuracy equals the abstract SNN accuracy.
         shenjing_accuracy = snn_accuracy
+
+    # NoC metrics of the compiled route plan (when mapping actually ran)
+    noc_metrics: Optional[Dict[str, object]] = None
+    if compiled is not None and compiled.routes is not None:
+        from ..opt.cost import plan_metrics
+
+        noc_metrics = plan_metrics(compiled.routes).as_dict()
 
     # 5. power / energy estimate
     lanes_per_frame = estimate.lanes_per_frame()
@@ -230,6 +283,9 @@ def run_experiment(config: ExperimentConfig,
             "cycles_per_timestep": estimate.cycles_per_timestep,
             "execution_backend": execution_backend,
             "hardware_frames": 0 if compiled is None else frames,
+            "converter": "graph" if is_dag else "flat",
+            "optimize_noc": config.optimize_noc,
+            "noc": noc_metrics,
         },
     )
 

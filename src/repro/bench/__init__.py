@@ -19,6 +19,14 @@ gate: it re-measures throughput, compares every backend's frames/sec
 against the committed ``BENCH_engine.json``, and exits non-zero when any
 backend regressed by more than the tolerance (default 25 %).
 
+The harness also records the :mod:`repro.opt` NoC metrics (per-timestep
+wave depth, total hops) of the default vs NoC-optimized compilation
+pipeline for the DAG workloads into a ``noc`` section; ``--check``
+additionally gates on those — NoC metrics are deterministic (seeded
+placement search), so a regression there is a compiler change, not noise,
+and the optimized pipeline must keep cutting wave depth by at least the
+recorded ``required_reduction`` (the ISSUE 4 acceptance floor of 20 %).
+
 The harness is built for constrained environments: worker counts are capped
 by ``os.cpu_count()``-derived defaults, and nothing here asserts — the
 pytest wrappers in ``benchmarks/`` own the acceptance thresholds (and relax
@@ -195,6 +203,86 @@ def measure_sharded_scaling(frames: int = 128,
         "cpu_count": os.cpu_count() or 1,
         "workers": workers,
     }
+
+
+#: networks whose NoC metrics are tracked in the perf trajectory
+NOC_NETWORKS = ("mnist-inception", "cifar-multiskip")
+
+#: minimum wave-depth reduction the optimized pipeline must sustain
+NOC_REQUIRED_REDUCTION = 0.20
+
+
+def measure_noc(networks: Sequence[str] = NOC_NETWORKS,
+                timesteps: int = 8, seed: int = 0) -> Dict[str, object]:
+    """NoC metrics of the default vs optimized pipeline per network.
+
+    Compiles each (full-size) network through both pipelines on the
+    default architecture and records wave depth, hop counts and the
+    relative reductions.  Everything here is deterministic: the ANN
+    weights, the calibration batch and the placement search are all
+    seeded, so ``--check`` can gate on these numbers exactly.
+    """
+    from ..apps.networks import ALL_BUILDERS
+    from ..core.config import DEFAULT_ARCH
+    from ..opt import compare_noc_pipelines
+    from ..snn.conversion import ConversionConfig, convert_ann_to_graph
+
+    rows: Dict[str, object] = {}
+    for name in networks:
+        # per-network RNG derived from (seed, name) so the metrics do not
+        # depend on enumeration order (--check iterates the committed
+        # JSON's sorted keys, generation iterates NOC_NETWORKS)
+        rng = np.random.default_rng([seed] + list(name.encode()))
+        model = ALL_BUILDERS[name](seed=seed)
+        calibration = rng.random((2,) + model.input_shape)
+        graph = convert_ann_to_graph(
+            model, calibration,
+            ConversionConfig(timesteps=timesteps, max_calibration_samples=2))
+        rows[name] = compare_noc_pipelines(graph, DEFAULT_ARCH)
+    return {
+        "timesteps": timesteps,
+        "seed": seed,
+        "required_reduction": NOC_REQUIRED_REDUCTION,
+        "networks": rows,
+    }
+
+
+def check_noc_regression(current: Dict[str, object],
+                         committed: Dict[str, object],
+                         tolerance: float = 0.25) -> List[str]:
+    """Compare fresh NoC metrics against the committed trajectory.
+
+    Returns one failure line per violated gate: the optimized pipeline's
+    wave depth / total hops must not exceed the committed values by more
+    than ``tolerance``, and the wave-depth reduction vs the default
+    pipeline must stay at or above the committed ``required_reduction``.
+    Networks present on only one side are skipped.
+    """
+    failures: List[str] = []
+    required = float(committed.get("required_reduction",
+                                   NOC_REQUIRED_REDUCTION))
+    current_rows = current.get("networks", {})
+    committed_rows = committed.get("networks", {})
+    for name in sorted(set(current_rows) & set(committed_rows)):
+        fresh = current_rows[name]
+        baseline = committed_rows[name]
+        for metric in ("wave_depth", "total_hops"):
+            measured = float(fresh["optimized"][metric])
+            ceiling = float(baseline["optimized"][metric]) * (1.0 + tolerance)
+            if measured > ceiling:
+                failures.append(
+                    f"{name}: optimized {metric} {measured:.0f} > "
+                    f"{ceiling:.0f} (committed "
+                    f"{baseline['optimized'][metric]}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+        reduction = float(fresh["reduction"]["wave_depth"])
+        if reduction < required:
+            failures.append(
+                f"{name}: wave-depth reduction {reduction:.1%} below the "
+                f"required {required:.0%}"
+            )
+    return failures
 
 
 #: default allowed frames/sec regression before --check fails (25 %)

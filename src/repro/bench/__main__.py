@@ -20,8 +20,10 @@ from . import (
     DEFAULT_CHECK_TOLERANCE,
     DEFAULT_FRAMES,
     DEFAULT_TIMESTEPS,
+    check_noc_regression,
     check_regression,
     load_bench_report,
+    measure_noc,
     measure_sharded_scaling,
     measure_throughput,
     write_bench_report,
@@ -34,6 +36,17 @@ def _print_throughput(throughput, frames: int, timesteps: int) -> None:
         print(f"  {name:<24} {row['frames_per_sec']:>10.1f} frames/s")
     for name, value in throughput.get("speedups", {}).items():
         print(f"  {name:<36} {value:.2f}x")
+
+
+def _print_noc(noc) -> None:
+    print("NoC metrics (default pipeline -> repro.opt optimized):")
+    for name, row in noc["networks"].items():
+        default, optimized = row["default"], row["optimized"]
+        reduction = row["reduction"]
+        print(f"  {name:<20} wave depth {default['wave_depth']:>6} -> "
+              f"{optimized['wave_depth']:>6} ({reduction['wave_depth']:.1%})  "
+              f"hops {default['total_hops']:>7} -> "
+              f"{optimized['total_hops']:>7} ({reduction['total_hops']:.1%})")
 
 
 def run_check(args) -> int:
@@ -70,6 +83,16 @@ def run_check(args) -> int:
     _print_throughput(throughput, frames, timesteps)
     failures = check_regression(throughput, committed_throughput,
                                 tolerance=args.tolerance)
+    committed_noc = committed.get("noc")
+    if isinstance(committed_noc, dict) and not args.skip_noc:
+        noc = measure_noc(
+            networks=tuple(committed_noc.get("networks", {})),
+            timesteps=int(committed_noc.get("timesteps", 8)),
+            seed=int(committed_noc.get("seed", 0)),
+        )
+        _print_noc(noc)
+        failures += check_noc_regression(noc, committed_noc,
+                                         tolerance=args.tolerance)
     if failures:
         print(f"\nbench check FAILED ({len(failures)} regression(s) vs "
               f"committed rev {committed.get('git_rev', '?')}):")
@@ -102,6 +125,9 @@ def main(argv=None) -> int:
                         help=f"output path (default: ./{BENCH_FILENAME})")
     parser.add_argument("--skip-scaling", action="store_true",
                         help="skip the sharded worker-count sweep")
+    parser.add_argument("--skip-noc", action="store_true",
+                        help="skip the NoC pipeline comparison "
+                             "(wave depth / hops of default vs repro.opt)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed trajectory and "
                              "exit 1 on >tolerance frames/sec regression "
@@ -136,6 +162,11 @@ def main(argv=None) -> int:
         for count, row in scaling["workers"].items():
             print(f"  workers={count:<3} shards={row['shards']:<3}"
                   f" {row['frames_per_sec']:>10.1f} frames/s")
+
+    if not args.skip_noc:
+        noc = measure_noc()
+        sections["noc"] = noc
+        _print_noc(noc)
 
     path = write_bench_report(sections, path=args.output)
     print(f"wrote {path}")

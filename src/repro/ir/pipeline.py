@@ -147,13 +147,22 @@ class RoutePlan:
 
 
 def build_routes(logical: LogicalNetwork, placement: Placement,
-                 wave_packing: bool = True) -> RoutePlan:
+                 wave_packing: bool = True,
+                 delivery_strategy=None,
+                 reduction_strategy=None) -> RoutePlan:
     """Plan every spike delivery and partial-sum reduction as routed waves.
 
     Canonicalises each consumer core's axons (producer-contiguous,
     lane-ascending — permuting the weight rows along) and packs the
     resulting transfers into conflict-free waves.  Must run before program
     emission: the canonicalisation mutates core weight ordering.
+
+    ``delivery_strategy`` / ``reduction_strategy`` are optional rewrite hooks
+    installed by the :mod:`repro.opt` passes: the delivery strategy's
+    ``rewrite(transfers, placement)`` may merge point-to-point spike
+    transfers into multicast chains, and the reduction strategy's
+    ``rounds(layer, placement)`` replaces the serial member-to-head
+    accumulation with its own round schedule (e.g. balanced trees).
     """
     pack = pack_waves if wave_packing else serial_waves
     locators = logical.build_locators()
@@ -187,24 +196,30 @@ def build_routes(logical: LogicalNetwork, placement: Placement,
                     payload={"axon_offset": segment.axon_offset},
                 ))
         if transfers:
+            if delivery_strategy is not None:
+                transfers = delivery_strategy.rewrite(transfers, placement)
             routes.delivery_waves = pack(transfers)
 
-        max_members = max((len(group.members) for group in layer.groups),
-                          default=0)
-        for round_index in range(max_members):
-            round_transfers: List[Transfer] = []
-            for group in layer.groups:
-                members = group.members
-                if round_index >= len(members):
-                    continue
-                round_transfers.append(Transfer(
-                    src=placement.position(members[round_index]),
-                    dst=placement.position(group.head),
-                    net="ps",
-                    lanes=frozenset(int(lane) for lane in group.lanes),
-                    payload={"consecutive": round_index > 0},
-                ))
-            routes.reduction_rounds.append(pack(round_transfers))
+        if reduction_strategy is not None:
+            for round_transfers in reduction_strategy.rounds(layer, placement):
+                routes.reduction_rounds.append(pack(round_transfers))
+        else:
+            max_members = max((len(group.members) for group in layer.groups),
+                              default=0)
+            for round_index in range(max_members):
+                round_transfers: List[Transfer] = []
+                for group in layer.groups:
+                    members = group.members
+                    if round_index >= len(members):
+                        continue
+                    round_transfers.append(Transfer(
+                        src=placement.position(members[round_index]),
+                        dst=placement.position(group.head),
+                        net="ps",
+                        lanes=frozenset(int(lane) for lane in group.lanes),
+                        payload={"consecutive": round_index > 0},
+                    ))
+                routes.reduction_rounds.append(pack(round_transfers))
         plan_layers.append(routes)
     return RoutePlan(layers=plan_layers, locators=locators)
 
@@ -300,10 +315,12 @@ def _emit_output_bindings(program: Program,
 # ----------------------------------------------------------------------
 def _emit_spike_wave(phase: Phase, wave: Wave) -> None:
     routes = [transfer.route for transfer in wave.transfers]
+    ejects = [dict(transfer.payload.get("ejects", ()))
+              for transfer in wave.transfers]
     depth = max(len(route) for route in routes) + 1
     for step in range(depth):
         group = phase.new_group(f"spike-wave-step{step}")
-        for transfer, route in zip(wave.transfers, routes):
+        for transfer, route, eject_at in zip(wave.transfers, routes, ejects):
             if step < len(route):
                 hop = route[step]
                 if step == 0:
@@ -313,6 +330,8 @@ def _emit_spike_wave(phase: Phase, wave: Wave) -> None:
                     incoming = route[step - 1].direction.opposite
                     group.add(hop.tile, SpikeBypass(
                         src=incoming, dst=hop.direction, lanes=transfer.lanes,
+                        eject=step in eject_at,
+                        axon_offset=int(eject_at.get(step, 0)),
                     ))
             elif step == len(route):
                 incoming = route[-1].direction.opposite
@@ -432,7 +451,9 @@ class RoutePackPass(Pass):
 
     def run(self, ctx: CompileContext) -> str:
         routes = build_routes(ctx.require("logical"), ctx.require("placement"),
-                              wave_packing=bool(ctx.option("wave_packing", True)))
+                              wave_packing=bool(ctx.option("wave_packing", True)),
+                              delivery_strategy=ctx.get("delivery_strategy"),
+                              reduction_strategy=ctx.get("reduction_strategy"))
         ctx.set("routes", routes)
         return f"{routes.wave_count()} waves"
 
@@ -518,7 +539,8 @@ def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
             pipeline: Optional[Union[PassManager, Sequence[str]]] = None,
             rows: Optional[int] = None, wave_packing: bool = True,
             materialize: bool = True, validate: bool = False,
-            to: str = "program") -> CompiledNetwork:
+            to: str = "program", optimize_noc: bool = False,
+            noc_options: Optional[Dict[str, object]] = None) -> CompiledNetwork:
     """Compile a network (flat or DAG) through the pass pipeline.
 
     Parameters
@@ -528,25 +550,41 @@ def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
         patterns) or a :class:`LayerGraph` with arbitrary DAG topology.
     pipeline:
         A custom :class:`PassManager`, or a sequence of registered pass
-        names; defaults to :func:`default_pipeline`.
+        names; defaults to :func:`default_pipeline` (or, with
+        ``optimize_noc``, :func:`repro.opt.optimized_pipeline`).
     validate:
         Run every pass's invariant checks (acyclicity, placement validity,
         wave conflict-freedom, program consistency) after it executes.
     to:
         ``"program"`` (default) or ``"schedule"`` — how far the default
         pipeline runs; ignored when ``pipeline`` is given.
+    optimize_noc:
+        Insert the :mod:`repro.opt` NoC optimization passes
+        (congestion-aware placement, multicast delivery, reduction trees)
+        between ``placement`` and ``route-pack``.  Ignored when an explicit
+        ``pipeline`` is given.
+    noc_options:
+        Extra options for the NoC passes (``noc_seed``,
+        ``noc_placement_iterations``, ``multicast_max_targets``, ...).
     """
     if pipeline is None:
-        manager = default_pipeline(to)
+        if optimize_noc:
+            from ..opt import optimized_pipeline
+
+            manager = optimized_pipeline(to)
+        else:
+            manager = default_pipeline(to)
     elif isinstance(pipeline, PassManager):
         manager = pipeline
     else:
         manager = build_pipeline(list(pipeline))
-    ctx = CompileContext(arch, network=network, options={
+    options: Dict[str, object] = {
         "rows": rows,
         "wave_packing": wave_packing,
         "materialize": materialize,
-    })
+    }
+    options.update(noc_options or {})
+    ctx = CompileContext(arch, network=network, options=options)
     manager.run(ctx, validate=validate)
     return CompiledNetwork(
         program=ctx.get("program"),
@@ -555,5 +593,6 @@ def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
         snn=network if isinstance(network, SnnNetwork) else None,
         graph=ctx.get("graph"),
         schedule=ctx.get("schedule"),
+        routes=ctx.get("routes"),
         trace=list(ctx.trace),
     )

@@ -33,7 +33,9 @@ class CompiledNetwork:
     ``snn`` is set when the input was a flat :class:`SnnNetwork`; DAG inputs
     carry only ``graph``.  ``schedule`` is populated when the pipeline ran
     through the engine's ``lower``/``optimize`` passes
-    (``compile(..., to="schedule")``), and ``trace`` records per-pass timing
+    (``compile(..., to="schedule")``), ``routes`` carries the packed
+    :class:`~repro.ir.pipeline.RoutePlan` (the input of the
+    :mod:`repro.opt` NoC cost model), and ``trace`` records per-pass timing
     and summaries.
     """
 
@@ -43,6 +45,7 @@ class CompiledNetwork:
     snn: Optional[SnnNetwork] = None
     graph: Optional[object] = None
     schedule: Optional[object] = None
+    routes: Optional[object] = None
     trace: List[object] = field(default_factory=list)
 
     @property
@@ -99,15 +102,18 @@ def build_logical_network(network, arch: ArchitectureConfig,
 # ----------------------------------------------------------------------
 def compile_network(network, arch: ArchitectureConfig,
                     rows: Optional[int] = None,
-                    wave_packing: bool = True) -> CompiledNetwork:
+                    wave_packing: bool = True,
+                    optimize_noc: bool = False) -> CompiledNetwork:
     """Compile a network into an executable Shenjing program.
 
-    Runs the full default pass pipeline; see :func:`repro.ir.compile` for
+    Runs the full default pass pipeline (with the :mod:`repro.opt` NoC
+    passes when ``optimize_noc`` is set); see :func:`repro.ir.compile` for
     custom pipelines, per-pass validation and schedule-producing runs.
     """
     from ..ir.pipeline import compile as ir_compile
 
-    return ir_compile(network, arch, rows=rows, wave_packing=wave_packing)
+    return ir_compile(network, arch, rows=rows, wave_packing=wave_packing,
+                      optimize_noc=optimize_noc)
 
 
 def _build_program(logical: LogicalNetwork, placement: Placement,

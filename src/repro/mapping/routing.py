@@ -75,6 +75,14 @@ class Transfer:
     the compiler when it turns the transfer into atomic operations (e.g. the
     axon offset of a spike delivery, or whether a PS send injects the local
     partial sum or the router's accumulated sum).
+
+    ``via`` is an ordered tuple of waypoint tiles the packet visits on its
+    way to ``dst`` (the route is the concatenation of XY segments through
+    them).  Multicast chains built by :mod:`repro.opt.multicast` use the
+    waypoints as intermediate delivery points: ``payload["ejects"]`` lists
+    ``(hop_index, axon_offset)`` pairs marking the hops whose BYPASS also
+    ejects the packet into the local core (the paper's eject-and-forward
+    multicast, Section II).
     """
 
     src: TileCoordinate
@@ -82,20 +90,43 @@ class Transfer:
     net: str
     lanes: Optional[FrozenSet[int]] = None
     payload: dict = field(default_factory=dict)
+    via: Tuple[TileCoordinate, ...] = ()
 
     def __post_init__(self) -> None:
         if self.net not in ("ps", "spike"):
             raise MappingError(f"unknown NoC {self.net!r}")
         if self.src == self.dst:
             raise MappingError("transfer source and destination must differ")
+        self.via = tuple(self.via)
+        waypoints = (self.src,) + self.via + (self.dst,)
+        for a, b in zip(waypoints, waypoints[1:]):
+            if a == b:
+                raise MappingError(
+                    f"transfer visits tile {a} twice in a row (degenerate "
+                    "multicast waypoint)"
+                )
+        total = sum(route_length(a, b) for a, b in zip(waypoints, waypoints[1:]))
+        for hop_index, axon_offset in self.payload.get("ejects", ()):
+            if not 0 < hop_index < total:
+                raise MappingError(
+                    f"eject hop index {hop_index} outside the route "
+                    f"(1..{total - 1})"
+                )
+            if axon_offset < 0:
+                raise MappingError("eject axon offset must be non-negative")
 
     @property
     def route(self) -> List[Hop]:
-        return xy_route(self.src, self.dst)
+        hops: List[Hop] = []
+        waypoints = (self.src,) + self.via + (self.dst,)
+        for a, b in zip(waypoints, waypoints[1:]):
+            hops.extend(xy_route(a, b))
+        return hops
 
     @property
     def hops(self) -> int:
-        return route_length(self.src, self.dst)
+        waypoints = (self.src,) + self.via + (self.dst,)
+        return sum(route_length(a, b) for a, b in zip(waypoints, waypoints[1:]))
 
 
 @dataclass
@@ -121,6 +152,10 @@ class Wave:
         for step, hop in enumerate(route):
             yield step, (hop.tile, hop.direction, transfer.net)
         yield len(route), (transfer.dst, "LOCAL", transfer.net)
+        # multicast chains also occupy the ejection path of every
+        # intermediate delivery tile in the step whose BYPASS ejects there
+        for hop_index, _ in transfer.payload.get("ejects", ()):
+            yield hop_index, (route[hop_index].tile, "LOCAL", transfer.net)
 
     def can_accept(self, transfer: Transfer, route: List[Hop]) -> bool:
         for step, key in self._resources(transfer, route):

@@ -1,0 +1,228 @@
+"""NoC cost model: wave depth, hop counts and per-link congestion.
+
+The paper's central observation is that partial-sum NoC traffic — not
+compute — bounds the accelerator's cycle time: every wave of packets adds
+``depth`` instruction groups to the per-timestep schedule, so the quantity
+to minimise is the *total wave depth per time step*.  This module provides
+the measurement side of the :mod:`repro.opt` subsystem:
+
+* :func:`plan_metrics` — exact metrics of a packed
+  :class:`~repro.ir.pipeline.RoutePlan` (wave count, per-timestep wave
+  depth, total hops, per-link congestion histogram);
+* :func:`link_congestion` / :func:`congestion_histogram` — per-directed-link
+  load of a set of :class:`~repro.mapping.routing.Transfer`\\ s, computed
+  from their XY routes;
+* :func:`build_traffic_model` / :func:`placement_cost` — a cheap,
+  placement-independent summary of a logical network's traffic (delivery
+  and reduction edges between logical cores) and the hop-weighted cost
+  function the congestion-aware placement search minimises.
+
+All of it is read-only: nothing here mutates the logical network or the
+placement (the traffic model deliberately avoids
+:func:`~repro.mapping.spike_mapping.canonicalise_axons`, which reorders
+core axons as a side effect).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.isa import Direction
+from ..core.tile import TileCoordinate
+from ..mapping.logical import EXTERNAL_INPUT, LogicalNetwork
+from ..mapping.routing import Transfer, Wave, route_length
+
+#: one directed mesh link of one NoC: (tile the hop leaves, direction, net)
+LinkKey = Tuple[TileCoordinate, Direction, str]
+
+#: relative weight of a reduction edge in the placement cost: reduction
+#: rounds are serial (round r+1 reads round r's sums), so their route
+#: lengths sit on the critical path more often than delivery hops do
+REDUCTION_EDGE_WEIGHT = 2.0
+
+
+# ----------------------------------------------------------------------
+# Exact metrics of routed transfers / packed plans
+# ----------------------------------------------------------------------
+def wave_depth(wave: Wave) -> int:
+    """Depth of one wave: its longest route plus the delivery step."""
+    if not wave.transfers:
+        return 0
+    return max(len(transfer.route) for transfer in wave.transfers) + 1
+
+
+def link_congestion(transfers: Iterable[Transfer]) -> Dict[LinkKey, int]:
+    """Number of packets crossing every directed link (from XY routes)."""
+    loads: Counter = Counter()
+    for transfer in transfers:
+        for hop in transfer.route:
+            loads[(hop.tile, hop.direction, transfer.net)] += 1
+    return dict(loads)
+
+
+def congestion_histogram(transfers: Iterable[Transfer]) -> Dict[int, int]:
+    """Histogram ``{load -> number of directed links with that load}``."""
+    histogram: Counter = Counter()
+    for load in link_congestion(transfers).values():
+        histogram[load] += 1
+    return dict(histogram)
+
+
+@dataclass
+class NocMetrics:
+    """Aggregate NoC cost of one compiled route plan (one time step)."""
+
+    #: number of waves scheduled per time step
+    wave_count: int = 0
+    #: total per-timestep wave depth — the NoC instruction groups one time
+    #: step spends moving packets; the per-timestep NoC bottleneck
+    wave_depth: int = 0
+    #: deepest single wave
+    max_wave_depth: int = 0
+    #: total link traversals per time step
+    total_hops: int = 0
+    #: number of transfers (packets injected) per time step
+    transfer_count: int = 0
+    #: most-loaded directed link
+    max_link_load: int = 0
+    #: ``{load -> directed links with that load}``
+    link_histogram: Dict[int, int] = field(default_factory=dict)
+    #: per-layer wave depth (delivery + reduction)
+    per_layer: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "wave_count": self.wave_count,
+            "wave_depth": self.wave_depth,
+            "max_wave_depth": self.max_wave_depth,
+            "total_hops": self.total_hops,
+            "transfer_count": self.transfer_count,
+            "max_link_load": self.max_link_load,
+        }
+
+
+def plan_metrics(plan) -> NocMetrics:
+    """Exact NoC metrics of a packed :class:`~repro.ir.pipeline.RoutePlan`.
+
+    Each transfer's (possibly multi-segment) XY route is materialised once
+    and reused for the depth, hop and congestion tallies —
+    :attr:`Transfer.route` rebuilds the hop list on every access.
+    """
+    metrics = NocMetrics()
+    loads: Counter = Counter()
+    for layer in plan.layers:
+        layer_depth = 0
+        layer_waves = list(layer.delivery_waves)
+        for round_waves in layer.reduction_rounds:
+            layer_waves.extend(round_waves)
+        for wave in layer_waves:
+            depth = 0
+            for transfer in wave.transfers:
+                route = transfer.route
+                depth = max(depth, len(route) + 1)
+                metrics.total_hops += len(route)
+                metrics.transfer_count += 1
+                for hop in route:
+                    loads[(hop.tile, hop.direction, transfer.net)] += 1
+            metrics.wave_count += 1
+            metrics.wave_depth += depth
+            metrics.max_wave_depth = max(metrics.max_wave_depth, depth)
+            layer_depth += depth
+        metrics.per_layer[layer.layer] = layer_depth
+    histogram: Counter = Counter()
+    for load in loads.values():
+        histogram[load] += 1
+    metrics.link_histogram = dict(histogram)
+    metrics.max_link_load = max(loads.values()) if loads else 0
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Placement-independent traffic model (for the placement search)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficEdge:
+    """One logical traffic demand between two logical cores."""
+
+    src_core: int
+    dst_core: int
+    lanes: int
+    weight: float = 1.0
+
+
+@dataclass
+class TrafficModel:
+    """All core-to-core traffic of a logical network, by kind."""
+
+    delivery: List[TrafficEdge] = field(default_factory=list)
+    reduction: List[TrafficEdge] = field(default_factory=list)
+
+    def edges(self) -> List[TrafficEdge]:
+        return self.delivery + self.reduction
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.delivery) + len(self.reduction)
+
+
+def build_traffic_model(logical: LogicalNetwork) -> TrafficModel:
+    """Extract every delivery and reduction edge of a logical network.
+
+    Delivery edges mirror the delivery segments
+    :func:`~repro.mapping.spike_mapping.canonicalise_axons` will later
+    produce (one per producer head core per consumer core) but are derived
+    read-only through the output locators.  Reduction edges connect every
+    group member to its head.
+    """
+    model = TrafficModel()
+    locators = logical.build_locators()
+    for layer in logical.layers:
+        for core in layer.cores:
+            if core.source == EXTERNAL_INPUT:
+                continue
+            locator = locators[core.source]
+            lanes_by_producer: Dict[int, int] = {}
+            for element in core.axon_sources:
+                producer_core, _ = locator[int(element)]
+                lanes_by_producer[producer_core] = \
+                    lanes_by_producer.get(producer_core, 0) + 1
+            for producer_core, lanes in sorted(lanes_by_producer.items()):
+                model.delivery.append(TrafficEdge(
+                    src_core=producer_core, dst_core=core.index,
+                    lanes=lanes, weight=1.0,
+                ))
+        for group in layer.groups:
+            for member in group.members:
+                model.reduction.append(TrafficEdge(
+                    src_core=member, dst_core=group.head,
+                    lanes=int(group.lanes.size),
+                    weight=REDUCTION_EDGE_WEIGHT,
+                ))
+    return model
+
+
+def placement_cost(model: TrafficModel,
+                   positions: Dict[int, TileCoordinate]) -> float:
+    """Hop-weighted cost of a placement under a traffic model.
+
+    The sum of ``weight * manhattan_distance`` over every traffic edge: a
+    cheap, incrementally updatable proxy for the packed wave depth (shorter
+    routes make shallower waves, and clustered consumers make shorter
+    multicast chains).
+    """
+    total = 0.0
+    for edge in model.edges():
+        total += edge.weight * route_length(positions[edge.src_core],
+                                            positions[edge.dst_core])
+    return total
+
+
+def core_adjacency(model: TrafficModel) -> Dict[int, List[Tuple[int, float]]]:
+    """Per-core list of ``(other core, weight)`` — for incremental deltas."""
+    adjacency: Dict[int, List[Tuple[int, float]]] = {}
+    for edge in model.edges():
+        adjacency.setdefault(edge.src_core, []).append((edge.dst_core, edge.weight))
+        adjacency.setdefault(edge.dst_core, []).append((edge.src_core, edge.weight))
+    return adjacency

@@ -1,0 +1,134 @@
+"""Multicast-aware spike delivery: merge fan-out SENDs into chains.
+
+A producer head core whose output feeds several consumer cores emits, in
+the default route plan, one point-to-point transfer per consumer.  All of
+them inject at the same source router, so the wave packer must put each in
+its own wave: a fan-out of ``m`` costs ``m`` waves of full route depth.
+
+The spike router supports eject-and-forward multicast (Section II of the
+paper: "a spike packet can be ejected at a destination and simultaneously
+forwarded to the next destination").  This pass merges transfers that carry
+*identical lane sets* from one source tile into a single chain transfer:
+the packet visits the consumers in nearest-neighbour order, ejecting into
+each intermediate consumer's axon buffer (``SpikeBypass(eject=True)``) and
+terminating with an ordinary ``RECV`` at the last one — one injection, one
+traversal of every chain link, one wave.
+
+Only exact lane-set matches merge: an eject delivers the whole in-flight
+packet, so partial-overlap consumers (conv halos) keep their own transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.tile import TileCoordinate
+from ..mapping.placement import Placement
+from ..mapping.routing import Transfer, route_length, xy_route
+
+#: default cap on consumers per chain (longer chains split; bounds the
+#: depth of any single wave and keeps link occupancy packable)
+DEFAULT_MAX_TARGETS = 16
+
+
+@dataclass
+class MulticastDelivery:
+    """Delivery-rewrite strategy installed by the ``multicast-delivery`` pass."""
+
+    max_targets: int = DEFAULT_MAX_TARGETS
+
+    def __post_init__(self) -> None:
+        if self.max_targets < 2:
+            raise ValueError("multicast chains need at least two targets")
+
+    # ------------------------------------------------------------------
+    def rewrite(self, transfers: List[Transfer],
+                placement: Placement) -> List[Transfer]:
+        """Merge same-source, same-lane-set spike transfers into chains."""
+        groups: Dict[Tuple[TileCoordinate, frozenset], List[Transfer]] = {}
+        order: List[Tuple[TileCoordinate, frozenset]] = []
+        passthrough: List[Transfer] = []
+        for transfer in transfers:
+            if transfer.net != "spike" or transfer.lanes is None or transfer.via:
+                passthrough.append(transfer)
+                continue
+            key = (transfer.src, transfer.lanes)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(transfer)
+
+        rewritten: List[Transfer] = list(passthrough)
+        for key in order:
+            fanout = groups[key]
+            if len(fanout) < 2:
+                rewritten.extend(fanout)
+                continue
+            rewritten.extend(self._chains(fanout))
+        return rewritten
+
+    # ------------------------------------------------------------------
+    def _chains(self, fanout: List[Transfer]) -> List[Transfer]:
+        """Split one fan-out into reversal-free chains and build them.
+
+        Consumers are visited in nearest-neighbour order.  A router cannot
+        bounce a packet back out of the port it arrived on
+        (``BYPASS $SRC, $DST`` requires distinct ports), so whenever the
+        XY segment towards the next consumer would leave the current
+        waypoint against its arrival direction — or the chain hits
+        ``max_targets`` — the chain is closed and a fresh one starts from
+        the source.
+        """
+        src = fanout[0].src
+        remaining = list(fanout)
+        chains: List[List[Transfer]] = []
+        chain: List[Transfer] = []
+        current = src
+        arrival = None  # direction of the last hop into ``current``
+        while remaining:
+            nearest = min(
+                range(len(remaining)),
+                key=lambda i: (route_length(current, remaining[i].dst),
+                               remaining[i].dst.row, remaining[i].dst.col),
+            )
+            chosen = remaining[nearest]
+            segment = xy_route(current, chosen.dst)
+            if chain and (len(chain) >= self.max_targets
+                          or segment[0].direction == arrival.opposite):
+                chains.append(chain)
+                chain = []
+                current = src
+                arrival = None
+                continue
+            remaining.pop(nearest)
+            chain.append(chosen)
+            current = chosen.dst
+            arrival = segment[-1].direction
+        if chain:
+            chains.append(chain)
+        return [self._build(src, chain) for chain in chains]
+
+    def _build(self, src: TileCoordinate, ordered: List[Transfer]) -> Transfer:
+        """Assemble one chain transfer from an ordered consumer list."""
+        if len(ordered) == 1:
+            return ordered[0]
+        ejects: List[Tuple[int, int]] = []
+        hop_index = 0
+        previous = src
+        for transfer in ordered[:-1]:
+            hop_index += route_length(previous, transfer.dst)
+            ejects.append((hop_index, int(transfer.payload["axon_offset"])))
+            previous = transfer.dst
+        last = ordered[-1]
+        return Transfer(
+            src=src,
+            dst=last.dst,
+            net="spike",
+            lanes=ordered[0].lanes,
+            via=tuple(transfer.dst for transfer in ordered[:-1]),
+            payload={
+                "axon_offset": int(last.payload["axon_offset"]),
+                "ejects": tuple(ejects),
+            },
+        )

@@ -1,0 +1,124 @@
+"""The registered NoC optimization passes and the optimized pipeline.
+
+Three passes slot into the standard pipeline between ``placement`` and
+``route-pack``:
+
+``congestion-placement``
+    Replaces the greedy rectangle placement with a cost-guided annealing
+    search over the same fabric (:mod:`repro.opt.placement`), minimising
+    the hop-weighted traffic cost instead of bounding-box area.
+
+``multicast-delivery``
+    Installs the :class:`~repro.opt.multicast.MulticastDelivery` rewrite:
+    ``route-pack`` merges fan-out spike SENDs into eject-and-forward chains.
+
+``reduction-tree``
+    Installs the :class:`~repro.opt.reduction.TreeReduction` strategy:
+    ``route-pack`` schedules partial-sum folds as balanced binary trees
+    (O(log k) rounds) instead of serial member chains (O(k)).
+
+All three are opt-in: the default pipeline is untouched, and
+``repro.ir.compile(..., optimize_noc=True)`` (or
+:func:`optimized_pipeline`) enables them.  The optimized program stays
+bit-exact — outputs *and* :class:`~repro.core.stats.ExecutionStats` agree
+across the reference/vectorized/sharded backends, and spike counts match
+the default pipeline's.
+"""
+
+from __future__ import annotations
+
+from ..ir.passes import CompileContext, Pass, PassManager, build_pass, \
+    register_pass
+from ..ir.pipeline import default_pipeline
+from ..mapping.logical import MappingError
+from .multicast import DEFAULT_MAX_TARGETS, MulticastDelivery
+from .placement import optimize_placement
+from .reduction import TreeReduction
+
+#: the NoC optimization passes, in pipeline order
+OPT_PASSES = ("congestion-placement", "multicast-delivery", "reduction-tree")
+
+
+@register_pass
+class CongestionPlacementPass(Pass):
+    """Refine the greedy placement with the cost-guided annealing search."""
+
+    name = "congestion-placement"
+    requires = ("logical", "placement")
+    provides = ("placement",)
+
+    def run(self, ctx: CompileContext) -> str:
+        logical = ctx.require("logical")
+        result = optimize_placement(
+            logical,
+            ctx.require("placement"),
+            iterations=ctx.option("noc_placement_iterations"),
+            seed=int(ctx.option("noc_seed", 0)),
+        )
+        ctx.set("placement", result.placement)
+        ctx.set("placement_search", result)
+        return (f"traffic cost {result.initial_cost:.0f} -> "
+                f"{result.final_cost:.0f} "
+                f"({result.improvement:.0%} lower, "
+                f"{result.accepted}/{result.iterations} moves)")
+
+    def verify(self, ctx: CompileContext) -> None:
+        placement = ctx.require("placement")
+        placement.validate()
+        logical = ctx.require("logical")
+        if placement.n_placed != logical.n_cores:
+            raise MappingError(
+                f"optimized placement covers {placement.n_placed} cores, "
+                f"logical network has {logical.n_cores}"
+            )
+        search = ctx.get("placement_search")
+        if search is not None and search.final_cost > search.initial_cost:
+            raise MappingError(
+                "congestion-placement made the traffic cost worse "
+                f"({search.initial_cost:.0f} -> {search.final_cost:.0f})"
+            )
+
+
+@register_pass
+class MulticastDeliveryPass(Pass):
+    """Install the multicast chain rewrite for spike delivery."""
+
+    name = "multicast-delivery"
+    requires = ("logical", "placement")
+    provides = ("delivery_strategy",)
+
+    def run(self, ctx: CompileContext) -> str:
+        max_targets = int(ctx.option("multicast_max_targets",
+                                     DEFAULT_MAX_TARGETS))
+        ctx.set("delivery_strategy", MulticastDelivery(max_targets=max_targets))
+        return f"chains capped at {max_targets} targets"
+
+
+@register_pass
+class ReductionTreePass(Pass):
+    """Install balanced-tree scheduling for partial-sum reductions."""
+
+    name = "reduction-tree"
+    requires = ("logical", "placement")
+    provides = ("reduction_strategy",)
+
+    def run(self, ctx: CompileContext) -> str:
+        ctx.set("reduction_strategy", TreeReduction())
+        tallest = max(
+            (len(group.members) for layer in ctx.require("logical").layers
+             for group in layer.groups),
+            default=0,
+        )
+        rounds = max(1, tallest).bit_length() if tallest else 0
+        return (f"tallest group: {tallest} members -> "
+                f"<= {rounds} tree rounds")
+
+
+def optimized_pipeline(to: str = "program") -> PassManager:
+    """The default pipeline with the NoC passes after ``placement``."""
+    manager = default_pipeline(to)
+    anchor = "placement"
+    for name in OPT_PASSES:
+        manager = manager.insert_after(anchor, build_pass(name))
+        anchor = name
+    return manager

@@ -1,0 +1,165 @@
+"""Congestion-aware placement: cost-guided search over the tile fabric.
+
+The greedy rectangle scan of :func:`repro.mapping.placement.place_network`
+minimises bounding-box area; it knows nothing about the NoC traffic the
+placement induces.  This module refines a greedy placement with simulated
+annealing over two move kinds — swap the tiles of two cores, or move a core
+to a free tile inside the existing fabric — guided by the hop-weighted
+traffic cost of :func:`repro.opt.cost.placement_cost`.  Deltas are computed
+incrementally from the per-core adjacency, so one move costs O(degree)
+instead of O(edges).
+
+The search never grows the fabric (rows/cols are fixed, so chip counts and
+program geometry stay comparable) and is fully deterministic for a given
+seed.  A move budget proportional to the core count keeps full-size
+networks (thousands of cores) tractable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.tile import TileCoordinate
+from ..mapping.logical import LogicalNetwork
+from ..mapping.placement import Placement
+from ..mapping.routing import route_length
+from .cost import TrafficModel, build_traffic_model, core_adjacency, placement_cost
+
+#: default move budget per core (capped by MAX_ITERATIONS)
+ITERATIONS_PER_CORE = 60
+
+#: hard cap on the annealing move budget
+MAX_ITERATIONS = 120_000
+
+
+@dataclass
+class PlacementSearchResult:
+    """Outcome of one placement search."""
+
+    placement: Placement
+    initial_cost: float
+    final_cost: float
+    iterations: int
+    accepted: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction in [0, 1]."""
+        if self.initial_cost <= 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.initial_cost
+
+
+def _layer_columns(logical: LogicalNetwork,
+                   positions: Dict[int, TileCoordinate]) -> Dict[str, Tuple[int, int]]:
+    columns: Dict[str, Tuple[int, int]] = {}
+    for layer in logical.layers:
+        cols = [positions[core.index].col for core in layer.cores]
+        columns[layer.name] = (min(cols), max(cols))
+    return columns
+
+
+def optimize_placement(logical: LogicalNetwork, placement: Placement,
+                       iterations: Optional[int] = None,
+                       seed: int = 0,
+                       model: Optional[TrafficModel] = None) -> PlacementSearchResult:
+    """Refine ``placement`` by annealing over swaps and moves.
+
+    Returns a :class:`PlacementSearchResult` whose placement is never worse
+    than the input under the traffic cost (the best-seen assignment is
+    kept, and the input itself is the starting incumbent).
+    """
+    model = model or build_traffic_model(logical)
+    adjacency = core_adjacency(model)
+    positions: Dict[int, TileCoordinate] = dict(placement.positions)
+    cores = sorted(positions)
+    occupied = set(positions.values())
+    free_tiles: List[TileCoordinate] = [
+        TileCoordinate(row, col)
+        for row in range(placement.rows)
+        for col in range(placement.cols)
+        if TileCoordinate(row, col) not in occupied
+    ]
+
+    def attached_cost(core: int) -> float:
+        tile = positions[core]
+        return sum(weight * route_length(tile, positions[other])
+                   for other, weight in adjacency.get(core, ()))
+
+    initial_cost = placement_cost(model, positions)
+    cost = initial_cost
+    best_cost = cost
+    best_positions = dict(positions)
+
+    if iterations is None:
+        iterations = min(MAX_ITERATIONS, ITERATIONS_PER_CORE * len(cores))
+    rng = np.random.default_rng(seed)
+    # geometric cooling from a temperature of the order of one average edge
+    mean_edge = initial_cost / max(1, model.edge_count)
+    temperature = max(mean_edge, 1.0)
+    cooling = (0.01 / temperature) ** (1.0 / max(1, iterations))
+
+    accepted = 0
+    for _ in range(iterations):
+        core_a = cores[int(rng.integers(len(cores)))]
+        move_to_free = free_tiles and rng.random() < 0.25
+        if move_to_free:
+            tile_b = free_tiles[int(rng.integers(len(free_tiles)))]
+            core_b = None
+        else:
+            core_b = cores[int(rng.integers(len(cores)))]
+            if core_b == core_a:
+                temperature *= cooling
+                continue
+            tile_b = positions[core_b]
+        tile_a = positions[core_a]
+
+        before = attached_cost(core_a)
+        if core_b is not None:
+            before += attached_cost(core_b)
+            # the a<->b edge (if any) is counted twice on both sides and its
+            # length is swap-invariant, so the double-count cancels in delta
+        positions[core_a] = tile_b
+        if core_b is not None:
+            positions[core_b] = tile_a
+        after = attached_cost(core_a)
+        if core_b is not None:
+            after += attached_cost(core_b)
+        delta = after - before
+
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            accepted += 1
+            cost += delta
+            if core_b is None:
+                free_tiles[free_tiles.index(tile_b)] = tile_a
+            if cost < best_cost:
+                best_cost = cost
+                best_positions = dict(positions)
+        else:
+            positions[core_a] = tile_a
+            if core_b is not None:
+                positions[core_b] = tile_b
+        temperature *= cooling
+
+    refined = Placement(
+        arch=placement.arch,
+        positions=best_positions,
+        rows=placement.rows,
+        cols=placement.cols,
+        layer_columns=_layer_columns(logical, best_positions),
+    )
+    refined.validate()
+    # re-derive the exact cost of the returned assignment (the incremental
+    # accumulator can drift by float rounding over many accepted moves)
+    final_cost = placement_cost(model, best_positions)
+    return PlacementSearchResult(
+        placement=refined,
+        initial_cost=initial_cost,
+        final_cost=final_cost,
+        iterations=iterations,
+        accepted=accepted,
+    )

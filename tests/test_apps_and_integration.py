@@ -144,6 +144,47 @@ class TestEndToEndPipeline:
         assert result.cores > 10
         assert result.power.frequency_hz > 0
 
+    def test_dag_experiment_with_noc_optimization(self):
+        """The Table IV flow on a Branches (DAG) model, NoC passes enabled.
+
+        Exercises the graph converter path of ``run_experiment`` end to
+        end: convert_ann_to_graph + GraphSnnRunner for the abstract run,
+        the repro.opt pipeline for the mapping, and a cycle-verified
+        hardware simulation that must match the graph runner bit-exactly.
+        """
+        from repro.apps.networks import build_mnist_inception_small
+
+        config = ExperimentConfig(
+            name="dag-e2e", model_builder=build_mnist_inception_small,
+            dataset="mnist", timesteps=6, target_fps=30,
+            train_epochs=1, train_size=64, test_size=16,
+            hardware_frames=3, backend="vectorized", optimize_noc=True,
+            seed=0,
+        )
+        result = run_experiment(config)
+        assert result.hardware_matches_abstract is True
+        assert result.metadata["converter"] == "graph"
+        assert result.metadata["optimize_noc"] is True
+        noc = result.metadata["noc"]
+        assert noc is not None and noc["wave_depth"] > 0
+        row = result.table_iv_row()
+        assert row["Shenjing Accu."] is not None
+
+    def test_dag_experiment_estimator_path(self):
+        """DAG models also take the estimator-only path (no simulation)."""
+        from repro.apps.networks import build_cifar_strided_small
+
+        config = ExperimentConfig(
+            name="dag-est", model_builder=build_cifar_strided_small,
+            dataset="cifar", timesteps=5, target_fps=30,
+            train_epochs=1, train_size=48, test_size=12,
+            hardware_frames=0, optimize_noc=True, seed=0,
+        )
+        result = run_experiment(config)
+        assert result.metadata["converter"] == "graph"
+        assert result.shenjing_accuracy == pytest.approx(result.snn_accuracy)
+        assert result.cores > 10
+
     def test_mlp_full_size_core_count_matches_paper(self):
         """The full 784-512-10 MLP maps onto exactly 10 cores (Fig. 1 / Table IV)."""
         from repro.mapping.estimator import estimate_mapping

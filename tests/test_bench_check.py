@@ -6,7 +6,8 @@ import pytest
 
 import repro.bench as bench
 import repro.bench.__main__ as bench_main
-from repro.bench import check_regression, load_bench_report
+from repro.bench import check_noc_regression, check_regression, \
+    load_bench_report
 
 
 def _throughput(**fps):
@@ -148,12 +149,91 @@ class TestCheckCli:
         assert baseline.read_text() == before
 
 
+def _noc_section(wave_depth=1500, total_hops=20000, reduction=0.40,
+                 required=0.20):
+    return {
+        "timesteps": 8,
+        "seed": 0,
+        "required_reduction": required,
+        "networks": {
+            "mnist-inception": {
+                "default": {"wave_depth": 2500, "total_hops": 56000},
+                "optimized": {"wave_depth": wave_depth,
+                              "total_hops": total_hops},
+                "reduction": {"wave_depth": reduction, "total_hops": 0.6},
+            },
+        },
+    }
+
+
+class TestCheckNocRegression:
+    def test_identical_metrics_pass(self):
+        assert check_noc_regression(_noc_section(), _noc_section()) == []
+
+    def test_wave_depth_regression_flagged(self):
+        failures = check_noc_regression(
+            _noc_section(wave_depth=2200), _noc_section(wave_depth=1500),
+            tolerance=0.25)
+        assert len(failures) == 1
+        assert "wave_depth" in failures[0]
+
+    def test_hop_regression_flagged(self):
+        failures = check_noc_regression(
+            _noc_section(total_hops=30000), _noc_section(total_hops=20000),
+            tolerance=0.25)
+        assert any("total_hops" in line for line in failures)
+
+    def test_reduction_floor_enforced(self):
+        failures = check_noc_regression(
+            _noc_section(reduction=0.12), _noc_section(required=0.20))
+        assert any("below the required" in line for line in failures)
+
+    def test_improvements_never_fail(self):
+        current = _noc_section(wave_depth=900, total_hops=9000,
+                               reduction=0.6)
+        assert check_noc_regression(current, _noc_section()) == []
+
+    def test_unknown_networks_skipped(self):
+        current = _noc_section()
+        current["networks"] = {"other-net": current["networks"].pop(
+            "mnist-inception")}
+        assert check_noc_regression(current, _noc_section()) == []
+
+    def test_cli_gates_on_noc_section(self, tmp_path, monkeypatch, capsys):
+        """A committed noc section pulls the NoC gate into --check."""
+        def fake_throughput(frames=64, timesteps=16, repeats=5,
+                            check_parity=True):
+            return _throughput(reference=100.0)
+
+        def fake_noc(networks=(), timesteps=8, seed=0):
+            return _noc_section(reduction=0.05)
+
+        monkeypatch.setattr(bench_main, "measure_throughput", fake_throughput)
+        monkeypatch.setattr(bench_main, "measure_noc", fake_noc)
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "throughput": _throughput(reference=100.0),
+            "noc": _noc_section(),
+        }))
+        code = bench_main.main(["--check", "--baseline", str(path)])
+        assert code == 1
+        assert "below the required" in capsys.readouterr().out
+        # --skip-noc drops the gate
+        assert bench_main.main(["--check", "--baseline", str(path),
+                                "--skip-noc"]) == 0
+
+
 def test_committed_trajectory_is_checkable():
-    """The repo's committed BENCH_engine.json loads and has a throughput
-    section the gate can compare against."""
+    """The repo's committed BENCH_engine.json loads and has the sections
+    the gate compares against (throughput frames/sec and NoC metrics)."""
     from pathlib import Path
 
     path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
     committed = load_bench_report(path)
     assert "throughput" in committed
     assert "backends" in committed["throughput"]
+    assert "noc" in committed
+    for row in committed["noc"]["networks"].values():
+        assert row["reduction"]["wave_depth"] >= \
+            committed["noc"]["required_reduction"]

@@ -1,0 +1,175 @@
+"""Unit tests of the repro.opt NoC cost model.
+
+Wave depth, hop counts and per-link congestion are checked on hand-built
+transfer sets with known geometry, the multicast chain extensions of
+:class:`~repro.mapping.routing.Transfer` are checked directly, and the
+placement-independent traffic model is validated against the delivery
+segments the routing layer actually produces.
+"""
+
+import pytest
+
+from repro.core.isa import Direction
+from repro.core.tile import TileCoordinate
+from repro.ir import compile as ir_compile
+from repro.mapping.logical import EXTERNAL_INPUT, MappingError
+from repro.mapping.routing import (
+    Transfer,
+    Wave,
+    pack_waves,
+    total_hop_count,
+    verify_waves,
+)
+from repro.mapping.spike_mapping import canonicalise_axons
+from repro.opt import (
+    NocMetrics,
+    build_traffic_model,
+    congestion_histogram,
+    core_adjacency,
+    link_congestion,
+    placement_cost,
+    plan_metrics,
+    wave_depth,
+)
+
+
+def T(r1, c1, r2, c2, net="spike", lanes=(0,), **payload):
+    return Transfer(src=TileCoordinate(r1, c1), dst=TileCoordinate(r2, c2),
+                    net=net, lanes=frozenset(lanes), payload=dict(payload))
+
+
+class TestWaveDepthAndHops:
+    def test_wave_depth_is_longest_route_plus_delivery(self):
+        wave = Wave()
+        for transfer in (T(0, 0, 0, 3), T(1, 0, 1, 1)):
+            wave.add(transfer, transfer.route)
+        assert wave_depth(wave) == 4  # 3 hops + the RECV step
+
+    def test_empty_wave_has_zero_depth(self):
+        assert wave_depth(Wave()) == 0
+
+    def test_total_hops_is_manhattan_sum(self):
+        transfers = [T(0, 0, 2, 3), T(1, 1, 1, 4)]
+        assert total_hop_count(transfers) == 5 + 3
+
+
+class TestLinkCongestion:
+    def test_shared_prefix_counts_per_link(self):
+        # two transfers east along row 0: links (0,0)E and (0,1)E shared
+        transfers = [T(0, 0, 0, 2), T(0, 0, 0, 3)]
+        loads = link_congestion(transfers)
+        assert loads[(TileCoordinate(0, 0), Direction.EAST, "spike")] == 2
+        assert loads[(TileCoordinate(0, 1), Direction.EAST, "spike")] == 2
+        assert loads[(TileCoordinate(0, 2), Direction.EAST, "spike")] == 1
+
+    def test_histogram_buckets_links_by_load(self):
+        transfers = [T(0, 0, 0, 2), T(0, 0, 0, 3)]
+        assert congestion_histogram(transfers) == {2: 2, 1: 1}
+
+    def test_nets_are_independent(self):
+        transfers = [T(0, 0, 0, 1, net="spike"), T(0, 0, 0, 1, net="ps")]
+        assert all(load == 1 for load in link_congestion(transfers).values())
+
+
+class TestMulticastTransfer:
+    def chain(self):
+        return Transfer(
+            src=TileCoordinate(0, 0), dst=TileCoordinate(0, 4), net="spike",
+            lanes=frozenset({0, 1}),
+            via=(TileCoordinate(0, 2),),
+            payload={"axon_offset": 0, "ejects": ((2, 4),)},
+        )
+
+    def test_route_concatenates_segments(self):
+        chain = self.chain()
+        assert chain.hops == 4
+        assert len(chain.route) == 4
+        assert [hop.tile.col for hop in chain.route] == [0, 1, 2, 3]
+
+    def test_eject_occupies_waypoint_local_port(self):
+        chain = self.chain()
+        resources = list(Wave._resources(chain, chain.route))
+        assert (2, (TileCoordinate(0, 2), "LOCAL", "spike")) in resources
+
+    def test_degenerate_waypoint_rejected(self):
+        with pytest.raises(MappingError, match="twice in a row"):
+            Transfer(src=TileCoordinate(0, 0), dst=TileCoordinate(0, 2),
+                     net="spike", via=(TileCoordinate(0, 0),))
+
+    def test_eject_outside_route_rejected(self):
+        with pytest.raises(MappingError, match="outside the route"):
+            Transfer(src=TileCoordinate(0, 0), dst=TileCoordinate(0, 2),
+                     net="spike", payload={"ejects": ((5, 0),)})
+
+    def test_two_chains_ejecting_at_same_tile_conflict(self):
+        chain = self.chain()
+        other = Transfer(
+            src=TileCoordinate(2, 2), dst=TileCoordinate(0, 3), net="spike",
+            lanes=frozenset({2}), via=(TileCoordinate(0, 2),),
+            payload={"axon_offset": 0, "ejects": ((2, 8),)},
+        )
+        waves = pack_waves([chain, other])
+        # the shared (0,2) LOCAL ejection step forces a second wave
+        assert len(waves) == 2
+        verify_waves(waves)
+
+
+class TestTrafficModel:
+    def test_delivery_edges_match_canonical_segments(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        logical = compiled.logical
+        model = build_traffic_model(logical)
+        locators = logical.build_locators()
+        expected = 0
+        for layer in logical.layers:
+            for core in layer.cores:
+                if core.source == EXTERNAL_INPUT:
+                    continue
+                expected += len(canonicalise_axons(core, locators[core.source]))
+        assert len(model.delivery) == expected
+        assert len(model.reduction) == sum(
+            len(group.members)
+            for layer in logical.layers for group in layer.groups
+        )
+
+    def test_placement_cost_prefers_short_routes(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        model = build_traffic_model(compiled.logical)
+        near = dict(compiled.placement.positions)
+        far = {core: TileCoordinate(tile.row, tile.col + 10 * core)
+               for core, tile in near.items()}
+        assert placement_cost(model, near) < placement_cost(model, far)
+
+    def test_adjacency_is_symmetric(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        model = build_traffic_model(compiled.logical)
+        adjacency = core_adjacency(model)
+        for core, neighbours in adjacency.items():
+            for other, weight in neighbours:
+                assert (core, weight) in adjacency[other]
+
+
+class TestPlanMetrics:
+    def test_metrics_consistent_with_plan(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        metrics = plan_metrics(compiled.routes)
+        assert isinstance(metrics, NocMetrics)
+        waves = list(compiled.routes.all_waves())
+        assert metrics.wave_count == len(waves)
+        assert metrics.wave_depth == sum(wave_depth(wave) for wave in waves)
+        assert metrics.max_wave_depth == max(wave_depth(wave) for wave in waves)
+        transfers = [t for wave in waves for t in wave.transfers]
+        assert metrics.transfer_count == len(transfers)
+        assert metrics.total_hops == total_hop_count(transfers)
+        assert metrics.max_link_load == max(
+            link_congestion(transfers).values())
+        assert set(metrics.per_layer) == {
+            layer.name for layer in compiled.logical.layers}
+        assert sum(metrics.per_layer.values()) == metrics.wave_depth
+
+    def test_as_dict_round_trips_scalars(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        row = plan_metrics(compiled.routes).as_dict()
+        assert {"wave_count", "wave_depth", "max_wave_depth", "total_hops",
+                "transfer_count", "max_link_load"} == set(row)
+        assert all(isinstance(value, int) for value in row.values())

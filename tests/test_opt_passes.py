@@ -1,0 +1,252 @@
+"""Tests of the repro.opt passes: registration, ordering and behaviour.
+
+Covers the pass-framework integration (registry names, requires/provides
+enforcement, pipeline surgery), the placement search (validity, cost
+monotonicity, determinism), the multicast chain builder (merging, eject
+bookkeeping, reversal splitting, target caps) and the reduction-tree
+scheduler (round counts, payload flags, bit-identical sums).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tile import TileCoordinate
+from repro.ir import (
+    PASS_REGISTRY,
+    CompileContext,
+    PassError,
+    build_pass,
+    compile as ir_compile,
+    default_pipeline,
+)
+from repro.mapping.placement import Placement
+from repro.mapping.routing import Transfer, pack_waves, verify_waves
+from repro.opt import (
+    OPT_PASSES,
+    MulticastDelivery,
+    TreeReduction,
+    build_traffic_model,
+    optimize_placement,
+    optimized_pipeline,
+    plan_metrics,
+)
+
+
+class TestPassRegistration:
+    def test_all_opt_passes_registered(self):
+        for name in OPT_PASSES:
+            assert name in PASS_REGISTRY
+            assert build_pass(name).name == name
+
+    def test_optimized_pipeline_order(self):
+        names = optimized_pipeline().names()
+        assert names == [
+            "graph-build", "logical-map", "placement",
+            "congestion-placement", "multicast-delivery", "reduction-tree",
+            "route-pack", "emit-program",
+        ]
+
+    def test_optimized_schedule_pipeline_appends_engine_passes(self):
+        names = optimized_pipeline(to="schedule").names()
+        assert names[-2:] == ["lower", "optimize"]
+
+    def test_requires_enforced_without_placement(self, arch):
+        from repro.ir import PassManager
+
+        ctx = CompileContext(arch)
+        manager = PassManager([build_pass("congestion-placement")])
+        with pytest.raises(PassError, match="logical"):
+            manager.run(ctx)
+
+    def test_default_pipeline_untouched(self):
+        assert default_pipeline().names() == [
+            "graph-build", "logical-map", "placement", "route-pack",
+            "emit-program",
+        ]
+
+
+class TestCongestionPlacement:
+    def test_search_improves_and_stays_valid(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        result = optimize_placement(compiled.logical, compiled.placement,
+                                    seed=0)
+        assert result.final_cost <= result.initial_cost
+        assert result.improvement >= 0.0
+        refined = result.placement
+        refined.validate()
+        assert refined.n_placed == compiled.placement.n_placed
+        assert set(refined.positions) == set(compiled.placement.positions)
+        assert (refined.rows, refined.cols) == (compiled.placement.rows,
+                                                compiled.placement.cols)
+        # cost claimed by the search matches an independent evaluation
+        model = build_traffic_model(compiled.logical)
+        from repro.opt import placement_cost
+
+        assert result.final_cost == pytest.approx(
+            placement_cost(model, refined.positions))
+
+    def test_search_is_deterministic_per_seed(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        one = optimize_placement(compiled.logical, compiled.placement, seed=7)
+        two = optimize_placement(compiled.logical, compiled.placement, seed=7)
+        assert one.placement.positions == two.placement.positions
+        assert one.final_cost == two.final_cost
+
+    def test_layer_columns_recomputed(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        result = optimize_placement(compiled.logical, compiled.placement,
+                                    seed=0)
+        for layer in compiled.logical.layers:
+            first, last = result.placement.layer_columns[layer.name]
+            cols = [result.placement.positions[core.index].col
+                    for core in layer.cores]
+            assert (first, last) == (min(cols), max(cols))
+
+
+def _fanout(src, consumers, lanes=(0, 1)):
+    return [Transfer(src=src, dst=dst, net="spike", lanes=frozenset(lanes),
+                     payload={"axon_offset": offset})
+            for dst, offset in consumers]
+
+
+class TestMulticastDelivery:
+    def test_merges_identical_lane_fanout(self):
+        src = TileCoordinate(0, 0)
+        transfers = _fanout(src, [(TileCoordinate(0, 2), 0),
+                                  (TileCoordinate(0, 4), 4),
+                                  (TileCoordinate(0, 6), 8)])
+        merged = MulticastDelivery().rewrite(transfers, placement=None)
+        assert len(merged) == 1
+        chain = merged[0]
+        assert chain.via == (TileCoordinate(0, 2), TileCoordinate(0, 4))
+        assert chain.dst == TileCoordinate(0, 6)
+        # ejects at the hop leaving each intermediate consumer
+        assert chain.payload["ejects"] == ((2, 0), (4, 4))
+        assert chain.payload["axon_offset"] == 8
+        assert chain.hops == 6
+        verify_waves(pack_waves(merged))
+
+    def test_different_lane_sets_do_not_merge(self):
+        src = TileCoordinate(0, 0)
+        transfers = _fanout(src, [(TileCoordinate(0, 2), 0)], lanes=(0,)) + \
+            _fanout(src, [(TileCoordinate(0, 4), 0)], lanes=(1,))
+        merged = MulticastDelivery().rewrite(transfers, placement=None)
+        assert len(merged) == 2
+        assert all(not transfer.via for transfer in merged)
+
+    def test_reversal_splits_chain(self):
+        # consumers on opposite sides of the source: after delivering east,
+        # the packet cannot bounce back west out of the same port
+        src = TileCoordinate(0, 1)
+        transfers = _fanout(src, [(TileCoordinate(0, 2), 0),
+                                  (TileCoordinate(0, 0), 4)])
+        merged = MulticastDelivery().rewrite(transfers, placement=None)
+        assert len(merged) == 2
+        assert all(not transfer.via for transfer in merged)
+        verify_waves(pack_waves(merged))
+
+    def test_max_targets_caps_chain_length(self):
+        src = TileCoordinate(0, 0)
+        consumers = [(TileCoordinate(0, col), 0) for col in range(1, 8)]
+        merged = MulticastDelivery(max_targets=3).rewrite(
+            _fanout(src, consumers), placement=None)
+        assert len(merged) == 3  # 7 consumers in chains of <= 3
+        assert max(len(t.via) + 1 for t in merged) <= 3
+
+    def test_ps_transfers_pass_through(self):
+        transfers = [Transfer(src=TileCoordinate(0, 0),
+                              dst=TileCoordinate(0, 2), net="ps",
+                              lanes=frozenset({0}))] * 1
+        merged = MulticastDelivery().rewrite(list(transfers), placement=None)
+        assert merged == transfers
+
+    def test_rejects_degenerate_cap(self):
+        with pytest.raises(ValueError, match="at least two"):
+            MulticastDelivery(max_targets=1)
+
+
+class TestTreeReduction:
+    def _placement(self, arch, n):
+        positions = {i: TileCoordinate(i, 0) for i in range(n)}
+        placement = Placement(arch=arch, positions=positions, rows=n, cols=1)
+        return placement
+
+    def _layer(self, rng, arch, cores):
+        """A single-group dense layer spanning ``cores`` cores."""
+        from repro.mapping.logical import LogicalCore, LogicalLayer, \
+            ReductionGroup
+
+        lanes = np.arange(4)
+        logical_cores = [
+            LogicalCore(index=i, layer="fc", source="__input__",
+                        axon_sources=np.arange(4),
+                        lane_outputs=np.arange(4))
+            for i in range(cores)
+        ]
+        group = ReductionGroup(lanes=lanes,
+                               core_indices=list(range(cores)), head=0)
+        return LogicalLayer(name="fc", cores=logical_cores, groups=[group],
+                            threshold=5, out_size=4)
+
+    @pytest.mark.parametrize("cores,expected_rounds", [
+        (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4),
+    ])
+    def test_round_count_is_log2(self, rng, arch, cores, expected_rounds):
+        layer = self._layer(rng, arch, cores)
+        rounds = TreeReduction().rounds(layer, self._placement(arch, cores))
+        assert len(rounds) == expected_rounds
+        # every core sends exactly once across all rounds
+        senders = [t.src for round_transfers in rounds
+                   for t in round_transfers]
+        assert len(senders) == cores - 1
+        assert len(set(senders)) == cores - 1
+
+    def test_payload_flags_follow_accumulation_state(self, rng, arch):
+        layer = self._layer(rng, arch, 5)
+        rounds = TreeReduction().rounds(layer, self._placement(arch, 5))
+        first = rounds[0]
+        # nobody has received yet: all sends are local, all sums non-consec
+        assert all(not t.payload["use_sum_buf"] for t in first)
+        assert all(not t.payload["consecutive"] for t in first)
+        last = rounds[-1]
+        # the final fold into the head accumulates into its running sum
+        assert all(t.payload["consecutive"] for t in last)
+
+    def test_single_core_group_has_no_rounds(self, rng, arch):
+        layer = self._layer(rng, arch, 1)
+        assert TreeReduction().rounds(layer, self._placement(arch, 1)) == []
+
+    def test_head_never_sends(self, rng, arch):
+        layer = self._layer(rng, arch, 8)
+        placement = self._placement(arch, 8)
+        head_tile = placement.position(0)
+        for round_transfers in TreeReduction().rounds(layer, placement):
+            assert all(t.src != head_tile for t in round_transfers)
+
+
+class TestPipelineIntegration:
+    def test_optimize_noc_equals_explicit_pipeline(self, dense_snn, arch):
+        via_flag = ir_compile(dense_snn, arch, optimize_noc=True)
+        via_pipeline = ir_compile(dense_snn, arch,
+                                  pipeline=optimized_pipeline())
+        assert plan_metrics(via_flag.routes).as_dict() == \
+            plan_metrics(via_pipeline.routes).as_dict()
+
+    def test_noc_options_reach_the_passes(self, dense_snn, arch):
+        capped = ir_compile(dense_snn, arch, optimize_noc=True,
+                            noc_options={"multicast_max_targets": 2,
+                                         "noc_placement_iterations": 10,
+                                         "noc_seed": 3})
+        for wave in capped.routes.all_waves():
+            for transfer in wave.transfers:
+                assert len(transfer.via) + 1 <= 2
+        trace = {record.name: record.summary for record in capped.trace}
+        assert "chains capped at 2 targets" in trace["multicast-delivery"]
+        assert "/10 moves" in trace["congestion-placement"]
+
+    def test_validate_runs_opt_invariants(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch, optimize_noc=True,
+                              validate=True)
+        assert compiled.program is not None
+        names = [record.name for record in compiled.trace]
+        assert names[3:6] == list(OPT_PASSES)

@@ -14,8 +14,13 @@ The package is organised as:
 * :mod:`repro.apps` — the paper's four applications and the experiment pipeline;
 * :mod:`repro.ir` — layer-graph IR and the pass-based compilation pipeline;
 * :mod:`repro.opt` — NoC-aware placement & routing optimization passes;
+* :mod:`repro.timing` — schedule-aware analytic cycle model;
 * :mod:`repro.engine` — batched/sharded execution backends;
-* :mod:`repro.bench` — perf/NoC benchmark harness (``python -m repro.bench``).
+* :mod:`repro.bench` — perf/NoC/timing benchmark harness
+  (``python -m repro.bench``).
+
+Standalone documentation lives in ``docs/`` (architecture, pipeline,
+backends, timing), linted by ``tests/test_docs.py``.
 """
 
 __version__ = "0.1.0"

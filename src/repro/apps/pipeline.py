@@ -129,17 +129,21 @@ class ExperimentResult:
 
 
 def _estimation_pipeline():
-    """Mapping-only pipeline (through the optimized placement, no routing).
+    """Mapping-only pipeline: optimized placement + routed waves, no program.
 
     Used by the estimator path of :func:`run_experiment` when
     ``optimize_noc`` is set: networks too large to cycle-simulate still get
-    their placement optimized before the structural estimate prices the NoC.
+    their placement optimized and their NoC traffic routed into packed
+    waves (multicast chains, reduction trees), so the :mod:`repro.timing`
+    model prices the optimized schedule instead of the closed-form bound.
+    Weights are never materialised and no program is emitted.
     """
     from .. import opt as _opt  # noqa: F401 — registers the NoC passes
     from ..ir.passes import build_pipeline
 
     return build_pipeline(("graph-build", "logical-map", "placement",
-                           "congestion-placement"))
+                           "congestion-placement", "multicast-delivery",
+                           "reduction-tree", "route-pack", "timing-model"))
 
 
 def load_dataset(name: str, train_size: int, test_size: int, seed: int) -> Dataset:
@@ -199,25 +203,31 @@ def run_experiment(config: ExperimentConfig,
 
     # 3. mapping (timed — the "Mapping time" row)
     start = time.perf_counter()
+    routed = None  # the packed RoutePlan, whenever one was built
     if config.hardware_frames != 0:
         compiled: Optional[CompiledNetwork] = compile_network(
             network, arch, rows=config.fabric_rows,
             optimize_noc=config.optimize_noc)
+        routed = compiled.routes
         estimate = estimate_mapping(network, arch, rows=config.fabric_rows,
                                     logical=compiled.logical,
-                                    placement=compiled.placement)
+                                    placement=compiled.placement,
+                                    routes=routed, timing=compiled.timing)
     else:
         compiled = None
         if config.optimize_noc:
-            # the estimator needs the optimized placement to price the NoC
+            # the estimator needs the optimized placement and the packed
+            # waves to price the NoC schedule the opt passes produce
             from ..ir.pipeline import compile as ir_compile
 
             mapped = ir_compile(network, arch, rows=config.fabric_rows,
                                 pipeline=_estimation_pipeline(),
                                 materialize=False)
+            routed = mapped.routes
             estimate = estimate_mapping(network, arch, rows=config.fabric_rows,
                                         logical=mapped.logical,
-                                        placement=mapped.placement)
+                                        placement=mapped.placement,
+                                        routes=routed, timing=mapped.timing)
         else:
             estimate = estimate_mapping(network, arch, rows=config.fabric_rows)
     mapping_time_ms = (time.perf_counter() - start) * 1e3
@@ -244,12 +254,13 @@ def run_experiment(config: ExperimentConfig,
         # type), so the mapped accuracy equals the abstract SNN accuracy.
         shenjing_accuracy = snn_accuracy
 
-    # NoC metrics of the compiled route plan (when mapping actually ran)
+    # NoC metrics of the packed route plan (whenever routing ran — full
+    # compiles and the weightless optimize_noc estimation pipeline both)
     noc_metrics: Optional[Dict[str, object]] = None
-    if compiled is not None and compiled.routes is not None:
+    if routed is not None:
         from ..opt.cost import plan_metrics
 
-        noc_metrics = plan_metrics(compiled.routes).as_dict()
+        noc_metrics = plan_metrics(routed).as_dict()
 
     # 5. power / energy estimate
     lanes_per_frame = estimate.lanes_per_frame()
@@ -281,6 +292,7 @@ def run_experiment(config: ExperimentConfig,
             "dataset": dataset.name,
             "fabric": estimate.fabric,
             "cycles_per_timestep": estimate.cycles_per_timestep,
+            "timing_source": estimate.cycle_source,
             "execution_backend": execution_backend,
             "hardware_frames": 0 if compiled is None else frames,
             "converter": "graph" if is_dag else "flat",

@@ -20,12 +20,20 @@ against the committed ``BENCH_engine.json``, and exits non-zero when any
 backend regressed by more than the tolerance (default 25 %).
 
 The harness also records the :mod:`repro.opt` NoC metrics (per-timestep
-wave depth, total hops) of the default vs NoC-optimized compilation
-pipeline for the DAG workloads into a ``noc`` section; ``--check``
-additionally gates on those — NoC metrics are deterministic (seeded
-placement search), so a regression there is a compiler change, not noise,
-and the optimized pipeline must keep cutting wave depth by at least the
-recorded ``required_reduction`` (the ISSUE 4 acceptance floor of 20 %).
+wave depth, total hops, and the :mod:`repro.timing` estimated cycles) of
+the default vs NoC-optimized compilation pipeline for the DAG workloads
+into a ``noc`` section; ``--check`` additionally gates on those — NoC
+metrics are deterministic (seeded placement search), so a regression there
+is a compiler change, not noise, and the optimized pipeline must keep
+cutting wave depth by at least the recorded ``required_reduction`` (the
+ISSUE 4 acceptance floor of 20 %).
+
+A ``timing`` section tracks the :mod:`repro.timing` analytic cycle model
+against *simulated* ``ExecutionStats.cycles`` on small (cheap-to-simulate)
+networks, default and NoC-optimized pipelines both; ``--check`` fails when
+the model's relative error exceeds the committed ``tolerance`` (the wave
+model is exact by construction, so any error is drift) or when the
+optimized estimate stops undercutting the default one.
 
 The harness is built for constrained environments: worker counts are capped
 by ``os.cpu_count()``-derived defaults, and nothing here asserts — the
@@ -205,6 +213,29 @@ def measure_sharded_scaling(frames: int = 128,
     }
 
 
+def seeded_benchmark_graph(name: str, timesteps: int, seed: int = 0):
+    """Deterministically convert benchmark builder ``name`` to a layer graph.
+
+    The one seeding recipe shared by every consumer that must agree on the
+    exact weights/calibration — ``measure_noc``, ``measure_timing``,
+    ``python -m repro.timing`` and the table-IV estimated-cycles benchmark
+    — so the committed trajectory sections cannot drift apart.  The RNG is
+    derived from ``(seed, name)`` so results do not depend on enumeration
+    order.  Returns ``(graph, rng)``; the rng has consumed only the
+    calibration batch, letting callers draw further deterministic inputs.
+    """
+    from ..apps.networks import ALL_BUILDERS
+    from ..snn.conversion import ConversionConfig, convert_ann_to_graph
+
+    rng = np.random.default_rng([seed] + list(name.encode()))
+    model = ALL_BUILDERS[name](seed=seed)
+    calibration = rng.random((2,) + model.input_shape)
+    graph = convert_ann_to_graph(
+        model, calibration,
+        ConversionConfig(timesteps=timesteps, max_calibration_samples=2))
+    return graph, rng
+
+
 #: networks whose NoC metrics are tracked in the perf trajectory
 NOC_NETWORKS = ("mnist-inception", "cifar-multiskip")
 
@@ -222,22 +253,12 @@ def measure_noc(networks: Sequence[str] = NOC_NETWORKS,
     weights, the calibration batch and the placement search are all
     seeded, so ``--check`` can gate on these numbers exactly.
     """
-    from ..apps.networks import ALL_BUILDERS
     from ..core.config import DEFAULT_ARCH
     from ..opt import compare_noc_pipelines
-    from ..snn.conversion import ConversionConfig, convert_ann_to_graph
 
     rows: Dict[str, object] = {}
     for name in networks:
-        # per-network RNG derived from (seed, name) so the metrics do not
-        # depend on enumeration order (--check iterates the committed
-        # JSON's sorted keys, generation iterates NOC_NETWORKS)
-        rng = np.random.default_rng([seed] + list(name.encode()))
-        model = ALL_BUILDERS[name](seed=seed)
-        calibration = rng.random((2,) + model.input_shape)
-        graph = convert_ann_to_graph(
-            model, calibration,
-            ConversionConfig(timesteps=timesteps, max_calibration_samples=2))
+        graph, _ = seeded_benchmark_graph(name, timesteps, seed=seed)
         rows[name] = compare_noc_pipelines(graph, DEFAULT_ARCH)
     return {
         "timesteps": timesteps,
@@ -281,6 +302,93 @@ def check_noc_regression(current: Dict[str, object],
             failures.append(
                 f"{name}: wave-depth reduction {reduction:.1%} below the "
                 f"required {required:.0%}"
+            )
+    return failures
+
+
+#: networks whose timing-model error is tracked (small variants: cheap to
+#: actually simulate, so the estimate can be compared against real cycles)
+TIMING_NETWORKS = ("mnist-inception-small", "cifar-multiskip-small")
+
+#: maximum relative error of the timing model vs simulated cycles — the
+#: ISSUE 5 acceptance band (the wave-derived model is exact by
+#: construction, so any error at all indicates model drift)
+TIMING_TOLERANCE = 0.10
+
+
+def measure_timing(networks: Sequence[str] = TIMING_NETWORKS,
+                   timesteps: int = 4, frames: int = 2,
+                   seed: int = 0) -> Dict[str, object]:
+    """Timing-model estimates vs simulated cycles, per network and pipeline.
+
+    Compiles each network through the default and the NoC-optimized
+    pipeline, prices both with :mod:`repro.timing`, runs ``frames`` frames
+    on the ``vectorized`` backend and records estimated cycles, simulated
+    ``ExecutionStats.cycles`` and the relative error.  Deterministic
+    (seeded weights/calibration/inputs and analytic engine stats), so
+    ``--check`` gates on the recorded tolerance exactly.
+    """
+    from ..core.config import DEFAULT_ARCH
+    from ..ir.pipeline import compile as ir_compile
+    from ..snn.encoding import deterministic_encode
+    from ..timing import relative_error
+
+    rows: Dict[str, object] = {}
+    for name in networks:
+        graph, rng = seeded_benchmark_graph(name, timesteps, seed=seed)
+        trains = deterministic_encode(rng.random((frames, graph.input_size)),
+                                      timesteps)
+        row: Dict[str, object] = {}
+        for label, optimize in (("default", False), ("optimized", True)):
+            compiled = ir_compile(graph, DEFAULT_ARCH, optimize_noc=optimize)
+            estimated = compiled.timing.cycles_for(frames)
+            with create_backend("vectorized", compiled.program) as backend:
+                simulated = int(backend.run(trains).stats.cycles)
+            row[label] = {
+                "estimated_cycles": int(estimated),
+                "simulated_cycles": simulated,
+                "relative_error": relative_error(estimated, simulated),
+            }
+        rows[name] = row
+    return {
+        "timesteps": timesteps,
+        "frames": frames,
+        "seed": seed,
+        "tolerance": TIMING_TOLERANCE,
+        "networks": rows,
+    }
+
+
+def check_timing_regression(current: Dict[str, object],
+                            committed: Dict[str, object]) -> List[str]:
+    """Gate fresh timing measurements against the committed tolerance.
+
+    Returns one failure line per violation: a pipeline whose timing-model
+    relative error vs simulated cycles exceeds the committed ``tolerance``,
+    or a network whose optimized estimate is not strictly below its default
+    estimate (the NoC passes must keep paying for themselves in estimated
+    cycles).  Networks present on only one side are skipped.
+    """
+    failures: List[str] = []
+    tolerance = float(committed.get("tolerance", TIMING_TOLERANCE))
+    current_rows = current.get("networks", {})
+    committed_rows = committed.get("networks", {})
+    for name in sorted(set(current_rows) & set(committed_rows)):
+        row = current_rows[name]
+        for label in ("default", "optimized"):
+            error = float(row[label]["relative_error"])
+            if error > tolerance:
+                failures.append(
+                    f"{name}: {label} timing-model error {error:.1%} vs "
+                    f"simulated cycles exceeds the committed tolerance "
+                    f"{tolerance:.0%}"
+                )
+        if row["optimized"]["estimated_cycles"] >= \
+                row["default"]["estimated_cycles"]:
+            failures.append(
+                f"{name}: optimized estimated cycles "
+                f"{row['optimized']['estimated_cycles']} not below default "
+                f"{row['default']['estimated_cycles']}"
             )
     return failures
 

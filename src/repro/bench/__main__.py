@@ -22,10 +22,12 @@ from . import (
     DEFAULT_TIMESTEPS,
     check_noc_regression,
     check_regression,
+    check_timing_regression,
     load_bench_report,
     measure_noc,
     measure_sharded_scaling,
     measure_throughput,
+    measure_timing,
     write_bench_report,
 )
 
@@ -47,6 +49,23 @@ def _print_noc(noc) -> None:
               f"{optimized['wave_depth']:>6} ({reduction['wave_depth']:.1%})  "
               f"hops {default['total_hops']:>7} -> "
               f"{optimized['total_hops']:>7} ({reduction['total_hops']:.1%})")
+        if "estimated_cycles_per_timestep" in default:
+            print(f"  {'':<20} est. cycles/timestep "
+                  f"{default['estimated_cycles_per_timestep']:>6} -> "
+                  f"{optimized['estimated_cycles_per_timestep']:>6} "
+                  f"({reduction.get('estimated_cycles', 0):.1%})")
+
+
+def _print_timing(timing) -> None:
+    print("timing model vs simulated cycles "
+          f"(tolerance {timing['tolerance']:.0%}):")
+    for name, row in timing["networks"].items():
+        for label in ("default", "optimized"):
+            cell = row[label]
+            print(f"  {name:<24} {label:<10} estimated "
+                  f"{cell['estimated_cycles']:>8}  simulated "
+                  f"{cell['simulated_cycles']:>8}  error "
+                  f"{cell['relative_error']:.2%}")
 
 
 def run_check(args) -> int:
@@ -93,6 +112,19 @@ def run_check(args) -> int:
         _print_noc(noc)
         failures += check_noc_regression(noc, committed_noc,
                                          tolerance=args.tolerance)
+    committed_timing = committed.get("timing")
+    if isinstance(committed_timing, dict) and not args.skip_timing:
+        timing = measure_timing(
+            networks=tuple(committed_timing.get("networks", {})),
+            timesteps=int(committed_timing.get("timesteps", 4)),
+            frames=int(committed_timing.get("frames", 2)),
+            seed=int(committed_timing.get("seed", 0)),
+        )
+        # the gate enforces the *committed* tolerance; print that one
+        timing["tolerance"] = float(
+            committed_timing.get("tolerance", timing["tolerance"]))
+        _print_timing(timing)
+        failures += check_timing_regression(timing, committed_timing)
     if failures:
         print(f"\nbench check FAILED ({len(failures)} regression(s) vs "
               f"committed rev {committed.get('git_rev', '?')}):")
@@ -128,6 +160,9 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-noc", action="store_true",
                         help="skip the NoC pipeline comparison "
                              "(wave depth / hops of default vs repro.opt)")
+    parser.add_argument("--skip-timing", action="store_true",
+                        help="skip the timing-model parity measurement "
+                             "(estimated vs simulated cycles, repro.timing)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed trajectory and "
                              "exit 1 on >tolerance frames/sec regression "
@@ -167,6 +202,11 @@ def main(argv=None) -> int:
         noc = measure_noc()
         sections["noc"] = noc
         _print_noc(noc)
+
+    if not args.skip_timing:
+        timing = measure_timing()
+        sections["timing"] = timing
+        _print_timing(timing)
 
     path = write_bench_report(sections, path=args.output)
     print(f"wrote {path}")

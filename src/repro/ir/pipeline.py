@@ -8,11 +8,13 @@
     placement     LogicalNetwork          ->  Placement
     route-pack    Logical + Placement     ->  RoutePlan (conflict-free waves)
     emit-program  RoutePlan               ->  Program (atomic-op schedule)
+    timing-model  RoutePlan               ->  TimingEstimate (repro.timing)
     lower         Program                 ->  LoweredSchedule (engine)
     optimize      LoweredSchedule         ->  optimized LoweredSchedule
 
-The first five produce the executable :class:`~repro.mapping.program.Program`
-(the historical ``compile_network`` output); the last two are the execution
+The first six produce the executable :class:`~repro.mapping.program.Program`
+(the historical ``compile_network`` output) plus its analytic cycle estimate
+(``CompiledNetwork.timing``); the last two are the execution
 engine's schedule passes registered in the same framework, so
 ``compile(..., to="schedule")`` — or the ``vectorized``/``sharded`` backends
 through :func:`repro.engine.vectorized.prepare_schedule` — run one uniform
@@ -57,7 +59,7 @@ from .passes import (
 
 #: pass names of the program-producing pipeline, in order
 PROGRAM_PASSES = ("graph-build", "logical-map", "placement", "route-pack",
-                  "emit-program")
+                  "emit-program", "timing-model")
 
 #: engine passes appended for schedule-producing pipelines
 SCHEDULE_PASSES = ("lower", "optimize")
@@ -481,6 +483,41 @@ class EmitProgramPass(Pass):
 
 
 @register_pass
+class TimingModelPass(Pass):
+    """Price the packed route plan with the analytic timing model."""
+
+    name = "timing-model"
+    requires = ("routes",)
+    provides = ("timing",)
+
+    def run(self, ctx: CompileContext) -> str:
+        from ..timing import time_route_plan
+
+        logical = ctx.get("logical")
+        name = logical.name if logical is not None else ""
+        timesteps = logical.metadata.get("timesteps") \
+            if logical is not None else None
+        timing = time_route_plan(ctx.require("routes"), ctx.arch,
+                                 name=name, timesteps=timesteps)
+        ctx.set("timing", timing)
+        return f"{timing.cycles_per_timestep} cycles/timestep"
+
+    def verify(self, ctx: CompileContext) -> None:
+        # the wave-derived estimate must equal the emitted program's group
+        # latencies exactly — any divergence is a model (or emission) bug
+        program = ctx.get("program")
+        if program is None:
+            return
+        estimated = ctx.require("timing").cycles_per_timestep
+        emitted = program.cycles_per_timestep()
+        if estimated != emitted:
+            raise MappingError(
+                f"timing model estimates {estimated} cycles/timestep but the "
+                f"emitted program takes {emitted}"
+            )
+
+
+@register_pass
 class LowerPass(Pass):
     """Lower the program to the engine's flat batched schedule."""
 
@@ -594,5 +631,6 @@ def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
         graph=ctx.get("graph"),
         schedule=ctx.get("schedule"),
         routes=ctx.get("routes"),
+        timing=ctx.get("timing"),
         trace=list(ctx.trace),
     )

@@ -35,8 +35,9 @@ class CompiledNetwork:
     through the engine's ``lower``/``optimize`` passes
     (``compile(..., to="schedule")``), ``routes`` carries the packed
     :class:`~repro.ir.pipeline.RoutePlan` (the input of the
-    :mod:`repro.opt` NoC cost model), and ``trace`` records per-pass timing
-    and summaries.
+    :mod:`repro.opt` NoC cost model), ``timing`` the
+    :class:`~repro.timing.TimingEstimate` the ``timing-model`` pass derived
+    from those waves, and ``trace`` records per-pass timing and summaries.
     """
 
     program: Program
@@ -46,6 +47,7 @@ class CompiledNetwork:
     graph: Optional[object] = None
     schedule: Optional[object] = None
     routes: Optional[object] = None
+    timing: Optional[object] = None
     trace: List[object] = field(default_factory=list)
 
     @property

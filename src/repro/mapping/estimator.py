@@ -8,9 +8,20 @@ per-time-step operation counts *structurally* from the logical mapping and the
 placement — without materialising weights or executing anything — so that the
 power model can produce Table IV's rows for every benchmark.
 
-The cycle estimate per time step uses, for every NoC phase, the classical
-congestion/dilation bound: ``max(most-loaded link, longest route) + 1``,
-which closely tracks what the wave-packed schedule achieves.
+Cycle estimates come in two flavours:
+
+* **schedule-aware** — when the caller passes the compiled
+  :class:`~repro.ir.pipeline.RoutePlan` (``routes=``), per-layer cycles are
+  delegated to the :mod:`repro.timing` analytic model, which prices the
+  actual packed waves (multicast chains, reduction-tree rounds, optimized
+  placement included) and matches the simulator's
+  ``ExecutionStats.cycles`` exactly;
+* **closed-form** — without a route plan (the
+  ``examples/quickstart.py --list-networks`` path, where nothing has been
+  routed), every NoC phase is bounded with the classical
+  congestion/dilation bound ``max(most-loaded link, longest route) + 1``
+  over point-to-point transfers and the serial member-chain reduction —
+  a pre-compile approximation of the *default* pipeline's schedule.
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ import numpy as np
 from ..core.config import ArchitectureConfig
 from ..snn.spec import SnnNetwork
 from .compiler import build_logical_network
-from .logical import EXTERNAL_INPUT, LogicalLayer, LogicalNetwork
+from .logical import EXTERNAL_INPUT, LogicalLayer, LogicalNetwork, MappingError
 from .placement import Placement, place_network
 from .routing import Transfer, route_length, xy_route
 from .spike_mapping import canonicalise_axons
@@ -59,6 +70,14 @@ class MappingEstimate:
     chips: int
     fabric: Tuple[int, int]
     timesteps: int
+    #: the schedule-aware :class:`~repro.timing.TimingEstimate` when the
+    #: estimate was made from a compiled route plan (None = closed-form)
+    timing: Optional[object] = None
+
+    @property
+    def cycle_source(self) -> str:
+        """How per-layer cycles were derived: ``"waves"`` or ``"structural"``."""
+        return "waves" if self.timing is not None else "structural"
 
     @property
     def cycles_per_timestep(self) -> int:
@@ -104,7 +123,8 @@ class MappingEstimate:
 def estimate_mapping(snn, arch: ArchitectureConfig,
                      rows: Optional[int] = None,
                      logical: Optional[LogicalNetwork] = None,
-                     placement: Optional[Placement] = None) -> MappingEstimate:
+                     placement: Optional[Placement] = None,
+                     routes=None, timing=None) -> MappingEstimate:
     """Estimate per-time-step operation counts for a network on ``arch``.
 
     ``snn`` may be an :class:`SnnNetwork` or a
@@ -112,18 +132,46 @@ def estimate_mapping(snn, arch: ArchitectureConfig,
     same structural walk).  A pre-built logical network / placement can be
     passed in to avoid recomputing them (the experiment pipeline reuses the
     compiled ones for networks it also simulates).
+
+    When ``routes`` (a compiled :class:`~repro.ir.pipeline.RoutePlan`) is
+    given, per-layer **cycles** are delegated to the :mod:`repro.timing`
+    model, which prices the actual packed wave schedule — required for
+    ``optimize_noc=True`` mappings, whose multicast chains and reduction
+    trees the closed-form walk cannot see.  A ``timing`` estimate the
+    ``timing-model`` pass already produced (``CompiledNetwork.timing``)
+    can be passed directly to skip re-pricing the plan.  Operation counts
+    stay structural either way.
     """
     if logical is None:
         logical = build_logical_network(snn, arch, materialize=False)
     if placement is None:
         placement = place_network(logical, arch, rows=rows)
 
+    wave_cycles: Dict[str, int] = {}
+    if timing is None and routes is not None:
+        from ..timing import time_route_plan
+
+        timing = time_route_plan(routes, arch, name=snn.name,
+                                 timesteps=snn.timesteps)
+    if timing is not None:
+        wave_cycles = timing.per_layer()
+        missing = [layer.name for layer in logical.layers
+                   if layer.name not in wave_cycles]
+        if missing:
+            # a partial/custom plan would silently mix the two cycle models
+            # while cycle_source claims "waves" — fail loudly instead
+            raise MappingError(
+                f"timing estimate does not cover logical layers {missing}; "
+                "pass the route plan of the full mapping"
+            )
+
     locators = logical.build_locators()
     estimates: List[LayerEstimate] = []
     for layer in logical.layers:
-        estimates.append(
-            _estimate_layer(layer, logical, placement, arch, locators)
-        )
+        estimate = _estimate_layer(layer, logical, placement, arch, locators)
+        if layer.name in wave_cycles:
+            estimate.cycles = wave_cycles[layer.name]
+        estimates.append(estimate)
     return MappingEstimate(
         name=snn.name,
         arch=arch,
@@ -132,6 +180,7 @@ def estimate_mapping(snn, arch: ArchitectureConfig,
         chips=placement.chips_used(),
         fabric=(placement.rows, placement.cols),
         timesteps=snn.timesteps,
+        timing=timing,
     )
 
 

@@ -1,16 +1,22 @@
 """Residual blocks as add-joins (Section III.3) — compatibility wrappers.
 
-A residual block is the two-contribution case of the generic partial-sum
-add-join (:mod:`repro.mapping.join`): the block's output layer and its
-shortcut normalisation layer are mapped with a shared output tiling and
-merged into one set of reduction groups, so the shortcut's partial sums
-travel through the PS NoC to the output cores — "the partial sum after
-normalization is then sent to the corresponding cores of the residual block
-through PS NoCs for addition".
+Nothing in the compiler special-cases residual blocks any more: the
+``graph-build`` pass (:func:`repro.ir.graph.graph_from_snn`) expands a
+:class:`~repro.snn.spec.ResidualBlockSpec` into plain fire nodes plus an
+add-join node, and ``logical-map`` handles that join through the *generic*
+k-way partial-sum add-join mapper (:func:`repro.mapping.join.map_add_join`)
+— a residual block is simply its two-contribution case.  The block's output
+layer and its shortcut normalisation layer share one output tiling and one
+set of reduction groups, so the shortcut's partial sums travel through the
+PS NoC to the output cores — "the partial sum after normalization is then
+sent to the corresponding cores of the residual block through PS NoCs for
+addition".
 
-The layer-graph compiler (:mod:`repro.ir`) expands ``ResidualBlockSpec``
-into plain fire nodes plus an add-join node and never calls this module;
-these wrappers keep the historical per-block API available.
+This module only keeps the historical per-block API alive as thin wrappers
+over that generic mapper, for callers (and regression tests) that want to
+map or count a single block outside a full graph compile.  New code should
+build a :class:`~repro.ir.graph.LayerGraph` (or let ``graph-build`` expand
+the spec) instead of calling these directly.
 """
 
 from __future__ import annotations
@@ -27,11 +33,13 @@ from .logical import LogicalLayer
 def map_residual_block(block: ResidualBlockSpec, arch: ArchitectureConfig,
                        source: str, start_index: int = 0,
                        materialize: bool = True) -> List[LogicalLayer]:
-    """Map a residual block onto logical layers.
+    """Map a residual block onto logical layers (legacy per-block API).
 
     Returns one :class:`LogicalLayer` per body layer; the last one is the
     add-join of the block's output layer and its shortcut normalisation
-    layer (whose cores read the block's input layer ``source``).
+    layer (whose cores read the block's input layer ``source``).  The
+    pipeline path produces the identical mapping by expanding the block in
+    ``graph-build`` and joining in ``logical-map``.
     """
     layers: List[LogicalLayer] = []
     index = start_index

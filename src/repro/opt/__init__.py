@@ -17,6 +17,29 @@ custom ``pipeline=optimized_pipeline()``, or
 ``ExperimentConfig(optimize_noc=True)``.  Optimized compiles stay
 bit-exact (outputs and :class:`~repro.core.stats.ExecutionStats`) across
 the reference/vectorized/sharded backends.
+
+Usage
+-----
+::
+
+    from repro.ir import compile
+    from repro.opt import optimized_pipeline, plan_metrics, \
+        compare_noc_pipelines
+
+    compiled = compile(network, arch, optimize_noc=True)        # the knob
+    compiled = compile(network, arch,
+                       pipeline=optimized_pipeline())           # same thing
+    plan_metrics(compiled.routes).as_dict()     # wave depth, hops, links
+    compiled.timing.cycles_per_timestep        # repro.timing estimate
+
+    # default vs optimized, incl. estimated cycles per timestep:
+    compare_noc_pipelines(network, arch)
+
+    # tuning knobs ride through compile(..., noc_options={...}):
+    #   noc_seed, noc_placement_iterations, multicast_max_targets
+
+See ``docs/timing.md`` for how the cycle estimates are derived and
+``docs/pipeline.md`` for where the passes slot into the pipeline.
 """
 
 from __future__ import annotations
@@ -78,17 +101,24 @@ def compare_noc_pipelines(network, arch, rows: Optional[int] = None,
 
     Returns ``{"default": metrics, "optimized": metrics, "reduction": {...}}``
     where the reduction entries are relative improvements in [0, 1] (0.25 =
-    the optimized pipeline cut the metric by 25 %).  Used by the benchmark
-    harness and the acceptance tests; compiles the network twice (the
-    mapping is re-built, so the two compiles never share mutable state).
+    the optimized pipeline cut the metric by 25 %).  Each metrics dict also
+    carries ``estimated_cycles_per_timestep`` — the :mod:`repro.timing`
+    analytic estimate of the compiled schedule — so the cycle impact of the
+    NoC passes is surfaced next to the raw wave metrics.  Used by the
+    benchmark harness and the acceptance tests; compiles the network twice
+    (the mapping is re-built, so the two compiles never share mutable
+    state).
     """
     from ..ir.pipeline import compile as ir_compile
 
-    def metrics_for(optimize: bool) -> NocMetrics:
+    def metrics_for(optimize: bool) -> Dict[str, object]:
         compiled = ir_compile(network, arch, rows=rows,
                               optimize_noc=optimize,
                               noc_options=noc_options)
-        return plan_metrics(compiled.routes)
+        row = plan_metrics(compiled.routes).as_dict()
+        row["estimated_cycles_per_timestep"] = \
+            compiled.timing.cycles_per_timestep
+        return row
 
     default = metrics_for(False)
     optimized = metrics_for(True)
@@ -99,11 +129,17 @@ def compare_noc_pipelines(network, arch, rows: Optional[int] = None,
         return 1.0 - after / before
 
     return {
-        "default": default.as_dict(),
-        "optimized": optimized.as_dict(),
+        "default": default,
+        "optimized": optimized,
         "reduction": {
-            "wave_depth": relative(default.wave_depth, optimized.wave_depth),
-            "total_hops": relative(default.total_hops, optimized.total_hops),
-            "wave_count": relative(default.wave_count, optimized.wave_count),
+            "wave_depth": relative(default["wave_depth"],
+                                   optimized["wave_depth"]),
+            "total_hops": relative(default["total_hops"],
+                                   optimized["total_hops"]),
+            "wave_count": relative(default["wave_count"],
+                                   optimized["wave_count"]),
+            "estimated_cycles": relative(
+                default["estimated_cycles_per_timestep"],
+                optimized["estimated_cycles_per_timestep"]),
         },
     }

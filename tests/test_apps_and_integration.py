@@ -165,6 +165,8 @@ class TestEndToEndPipeline:
         assert result.hardware_matches_abstract is True
         assert result.metadata["converter"] == "graph"
         assert result.metadata["optimize_noc"] is True
+        # compiled mappings price cycles from the packed waves (repro.timing)
+        assert result.metadata["timing_source"] == "waves"
         noc = result.metadata["noc"]
         assert noc is not None and noc["wave_depth"] > 0
         row = result.table_iv_row()
@@ -184,6 +186,9 @@ class TestEndToEndPipeline:
         assert result.metadata["converter"] == "graph"
         assert result.shenjing_accuracy == pytest.approx(result.snn_accuracy)
         assert result.cores > 10
+        # even without a program, the optimize_noc estimator path routes the
+        # optimized mapping weightless so cycles come from the wave schedule
+        assert result.metadata["timing_source"] == "waves"
 
     def test_mlp_full_size_core_count_matches_paper(self):
         """The full 784-512-10 MLP maps onto exactly 10 cores (Fig. 1 / Table IV)."""

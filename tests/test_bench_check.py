@@ -7,7 +7,7 @@ import pytest
 import repro.bench as bench
 import repro.bench.__main__ as bench_main
 from repro.bench import check_noc_regression, check_regression, \
-    load_bench_report
+    check_timing_regression, load_bench_report
 
 
 def _throughput(**fps):
@@ -224,9 +224,90 @@ class TestCheckNocRegression:
                                 "--skip-noc"]) == 0
 
 
+def _timing_section(default_error=0.0, optimized_error=0.0, tolerance=0.10,
+                    default_cycles=11000, optimized_cycles=9000):
+    return {
+        "timesteps": 4,
+        "frames": 2,
+        "seed": 0,
+        "tolerance": tolerance,
+        "networks": {
+            "mnist-inception-small": {
+                "default": {"estimated_cycles": default_cycles,
+                            "simulated_cycles": 11000,
+                            "relative_error": default_error},
+                "optimized": {"estimated_cycles": optimized_cycles,
+                              "simulated_cycles": 9000,
+                              "relative_error": optimized_error},
+            },
+        },
+    }
+
+
+class TestCheckTimingRegression:
+    def test_exact_model_passes(self):
+        assert check_timing_regression(_timing_section(),
+                                       _timing_section()) == []
+
+    def test_error_beyond_tolerance_flagged(self):
+        failures = check_timing_regression(
+            _timing_section(optimized_error=0.15),
+            _timing_section(tolerance=0.10))
+        assert len(failures) == 1
+        assert "optimized" in failures[0] and "tolerance" in failures[0]
+
+    def test_error_at_tolerance_passes(self):
+        assert check_timing_regression(
+            _timing_section(default_error=0.10),
+            _timing_section(tolerance=0.10)) == []
+
+    def test_committed_tolerance_wins(self):
+        # the gate uses the committed tolerance, not the fresh section's
+        current = _timing_section(default_error=0.15, tolerance=0.50)
+        failures = check_timing_regression(current,
+                                           _timing_section(tolerance=0.10))
+        assert len(failures) == 1
+
+    def test_optimized_not_below_default_flagged(self):
+        current = _timing_section(default_cycles=9000, optimized_cycles=9000)
+        failures = check_timing_regression(current, _timing_section())
+        assert any("not below default" in line for line in failures)
+
+    def test_unknown_networks_skipped(self):
+        current = _timing_section()
+        current["networks"] = {"other-net": current["networks"].pop(
+            "mnist-inception-small")}
+        assert check_timing_regression(current, _timing_section()) == []
+
+    def test_cli_gates_on_timing_section(self, tmp_path, monkeypatch, capsys):
+        """A committed timing section pulls the timing gate into --check."""
+        def fake_throughput(frames=64, timesteps=16, repeats=5,
+                            check_parity=True):
+            return _throughput(reference=100.0)
+
+        def fake_timing(networks=(), timesteps=4, frames=2, seed=0):
+            return _timing_section(optimized_error=0.2)
+
+        monkeypatch.setattr(bench_main, "measure_throughput", fake_throughput)
+        monkeypatch.setattr(bench_main, "measure_timing", fake_timing)
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "throughput": _throughput(reference=100.0),
+            "timing": _timing_section(),
+        }))
+        code = bench_main.main(["--check", "--baseline", str(path)])
+        assert code == 1
+        assert "tolerance" in capsys.readouterr().out
+        # --skip-timing drops the gate
+        assert bench_main.main(["--check", "--baseline", str(path),
+                                "--skip-timing"]) == 0
+
+
 def test_committed_trajectory_is_checkable():
     """The repo's committed BENCH_engine.json loads and has the sections
-    the gate compares against (throughput frames/sec and NoC metrics)."""
+    the gate compares against (throughput frames/sec, NoC metrics and
+    timing-model parity)."""
     from pathlib import Path
 
     path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -237,3 +318,11 @@ def test_committed_trajectory_is_checkable():
     for row in committed["noc"]["networks"].values():
         assert row["reduction"]["wave_depth"] >= \
             committed["noc"]["required_reduction"]
+        # the optimized pipeline's estimated cycles undercut the default's
+        assert row["optimized"]["estimated_cycles_per_timestep"] < \
+            row["default"]["estimated_cycles_per_timestep"]
+    assert "timing" in committed
+    for row in committed["timing"]["networks"].values():
+        for pipeline in ("default", "optimized"):
+            assert row[pipeline]["relative_error"] <= \
+                committed["timing"]["tolerance"]

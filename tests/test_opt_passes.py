@@ -43,7 +43,7 @@ class TestPassRegistration:
         assert names == [
             "graph-build", "logical-map", "placement",
             "congestion-placement", "multicast-delivery", "reduction-tree",
-            "route-pack", "emit-program",
+            "route-pack", "emit-program", "timing-model",
         ]
 
     def test_optimized_schedule_pipeline_appends_engine_passes(self):
@@ -61,7 +61,7 @@ class TestPassRegistration:
     def test_default_pipeline_untouched(self):
         assert default_pipeline().names() == [
             "graph-build", "logical-map", "placement", "route-pack",
-            "emit-program",
+            "emit-program", "timing-model",
         ]
 
 

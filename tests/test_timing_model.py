@@ -1,0 +1,212 @@
+"""Unit tests of the ``repro.timing`` analytic cycle model.
+
+Hand-built waves with known cycle counts, the serialization lower bound,
+program-derived pricing, and the model's central contract: for a compiled
+network the wave-derived estimate equals the emitted program's cycle count
+and the cycles the simulator actually charges — exactly, under both the
+default and the NoC-optimized pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tile import TileCoordinate
+from repro.engine import run as engine_run
+from repro.ir import compile as ir_compile
+from repro.mapping.routing import Transfer, Wave, pack_waves
+from repro.snn.encoding import deterministic_encode
+from repro.timing import (
+    TimingEstimate,
+    relative_error,
+    serialization_lower_bound,
+    time_compiled,
+    time_program,
+    time_route_plan,
+    time_wave,
+    wave_cycles,
+)
+
+
+def _transfer(src, dst, net="spike", lanes=(0,), via=(), payload=None):
+    payload = dict(payload or {})
+    if net == "spike":
+        payload.setdefault("axon_offset", 0)
+    return Transfer(src=TileCoordinate(*src), dst=TileCoordinate(*dst),
+                    net=net, lanes=frozenset(lanes), payload=payload,
+                    via=tuple(TileCoordinate(*v) for v in via))
+
+
+class TestWaveCycles:
+    def test_single_transfer_costs_hops_plus_delivery(self):
+        wave = Wave()
+        transfer = _transfer((0, 0), (0, 3))  # 3 hops east
+        wave.add(transfer, transfer.route)
+        assert wave_cycles(wave) == 4
+        timing = time_wave(wave)
+        assert (timing.transfers, timing.hops, timing.cycles) == (1, 3, 4)
+
+    def test_wave_costs_its_longest_route(self):
+        transfers = [_transfer((0, 0), (0, 2)),          # 2 hops
+                     _transfer((1, 0), (3, 4), lanes=(1,))]  # 6 hops
+        waves = pack_waves(transfers)
+        assert len(waves) == 1  # disjoint links: both fit one wave
+        assert wave_cycles(waves[0]) == 7
+
+    def test_multicast_via_waypoints_priced_full_length(self):
+        # eject-and-forward chain (0,0) -> (0,2) -> (0,5): 5 links total
+        chain = _transfer((0, 0), (0, 5), via=((0, 2),),
+                          payload={"ejects": ((2, 0),)})
+        wave = Wave()
+        wave.add(chain, chain.route)
+        assert chain.hops == 5
+        assert wave_cycles(wave) == 6
+
+    def test_empty_wave_is_free(self):
+        assert wave_cycles(Wave()) == 0
+
+
+class TestSerializationLowerBound:
+    def test_dilation_dominates(self):
+        # one long route, no shared links: bound = longest + 1
+        transfers = [_transfer((0, 0), (0, 4)), _transfer((1, 0), (1, 1))]
+        assert serialization_lower_bound(transfers) == 5
+
+    def test_congestion_dominates(self):
+        # three packets over the same single east link
+        transfers = [_transfer((0, 0), (0, 1), lanes=(lane,))
+                     for lane in range(3)]
+        assert serialization_lower_bound(transfers) == 4
+
+    def test_different_nets_do_not_share_links(self):
+        transfers = [_transfer((0, 0), (0, 1), net="spike"),
+                     _transfer((0, 0), (0, 1), net="ps")]
+        assert serialization_lower_bound(transfers) == 2
+
+    def test_empty_set_is_free(self):
+        assert serialization_lower_bound([]) == 0
+
+    def test_bound_never_exceeds_packed_schedule(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        for layer in compiled.routes.layers:
+            transfers = [t for wave in layer.delivery_waves
+                         for t in wave.transfers]
+            if not transfers:
+                continue
+            packed = sum(wave_cycles(wave) for wave in layer.delivery_waves)
+            assert serialization_lower_bound(transfers) <= packed
+
+
+class TestCompiledNetworkTiming:
+    def test_wave_model_equals_program_and_simulator(self, dense_snn, arch,
+                                                     dense_inputs):
+        compiled = ir_compile(dense_snn, arch)
+        timing = compiled.timing
+        assert timing is not None and timing.source == "waves"
+        assert timing.cycles_per_timestep == \
+            compiled.program.cycles_per_timestep()
+        trains = deterministic_encode(dense_inputs, dense_snn.timesteps)
+        result = engine_run(compiled.program, trains, backend="reference")
+        assert timing.cycles_for(trains.shape[0]) == result.stats.cycles
+
+    def test_optimized_pipeline_stays_exact(self, conv_snn, conv_arch,
+                                            conv_inputs):
+        compiled = ir_compile(conv_snn, conv_arch, optimize_noc=True,
+                              validate=True)
+        timing = compiled.timing
+        assert timing.cycles_per_timestep == \
+            compiled.program.cycles_per_timestep()
+        trains = deterministic_encode(conv_inputs, conv_snn.timesteps)
+        result = engine_run(compiled.program, trains, backend="vectorized")
+        assert timing.cycles_for(trains.shape[0]) == result.stats.cycles
+
+    def test_time_program_agrees_with_wave_model(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        from_program = time_program(compiled.program)
+        assert from_program.source == "program"
+        assert from_program.cycles_per_timestep == \
+            compiled.timing.cycles_per_timestep
+        assert from_program.per_layer() == compiled.timing.per_layer()
+
+    def test_time_compiled_prefers_cached_estimate(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        assert time_compiled(compiled) is compiled.timing
+        compiled.timing = None
+        rebuilt = time_compiled(compiled)
+        assert rebuilt.cycles_per_timestep == \
+            compiled.program.cycles_per_timestep()
+
+    def test_route_plan_without_timesteps_requires_them(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        timing = time_route_plan(compiled.routes, arch, name="x")
+        assert timing.timesteps is None
+        with pytest.raises(ValueError, match="timesteps"):
+            timing.cycles_per_frame
+        assert timing.cycles_for(2, timesteps=3) == \
+            timing.cycles_per_timestep * 6
+
+    def test_layer_breakdown_components_sum(self, dense_snn, arch):
+        compiled = ir_compile(dense_snn, arch)
+        timing = compiled.timing
+        for layer in timing.layers:
+            assert layer.cycles == (layer.delivery_cycles
+                                    + layer.accumulate_cycles
+                                    + layer.reduction_cycles
+                                    + layer.fire_cycles)
+            assert layer.accumulate_cycles == arch.long_op_cycles
+        payload = timing.as_dict()
+        assert payload["cycles_per_timestep"] == timing.cycles_per_timestep
+        assert set(payload["layers"]) == {l.name for l in timing.layers}
+        assert "cycles/timestep" in timing.describe()
+
+    def test_timing_pass_invariant_catches_drift(self, dense_snn, arch):
+        from repro.ir import CompileContext, build_pass, build_pipeline
+        from repro.mapping import MappingError
+
+        ctx = CompileContext(arch, network=dense_snn)
+        build_pipeline(["graph-build", "logical-map", "placement",
+                        "route-pack", "emit-program", "timing-model"]).run(ctx)
+        ctx.require("timing").layers[0].fire_cycles += 1  # corrupt the model
+        with pytest.raises(MappingError, match="timing model"):
+            build_pass("timing-model").verify(ctx)
+
+
+class TestEstimatorDelegation:
+    def test_partial_plan_rejected(self, dense_snn, arch):
+        """A plan that does not cover every layer must fail loudly, not
+        silently mix wave-priced and closed-form cycles."""
+        import copy
+
+        from repro.mapping import MappingError
+        from repro.mapping.estimator import estimate_mapping
+
+        compiled = ir_compile(dense_snn, arch)
+        partial = copy.copy(compiled.routes)
+        partial.layers = compiled.routes.layers[:1]
+        with pytest.raises(MappingError, match="does not cover"):
+            estimate_mapping(dense_snn, arch, logical=compiled.logical,
+                             placement=compiled.placement, routes=partial)
+
+    def test_precomputed_timing_reused(self, dense_snn, arch):
+        from repro.mapping.estimator import estimate_mapping
+
+        compiled = ir_compile(dense_snn, arch)
+        estimate = estimate_mapping(dense_snn, arch, logical=compiled.logical,
+                                    placement=compiled.placement,
+                                    timing=compiled.timing)
+        assert estimate.timing is compiled.timing
+        assert estimate.cycle_source == "waves"
+        assert estimate.cycles_per_timestep == \
+            compiled.timing.cycles_per_timestep
+
+
+class TestRelativeError:
+    def test_zero_for_exact(self):
+        assert relative_error(100, 100) == 0.0
+
+    def test_symmetric_magnitude(self):
+        assert relative_error(110, 100) == pytest.approx(0.10)
+        assert relative_error(90, 100) == pytest.approx(0.10)
+
+    def test_zero_measured(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == float("inf")

@@ -68,7 +68,7 @@ def list_networks(names=None, calibration_samples: int = 4, seed: int = 0) -> No
 
 
 def main(backend: str = "auto", check_parity: bool = True,
-         optimize_noc: bool = False) -> None:
+         optimize_noc: bool = False, show_trace: bool = False) -> None:
     rng = np.random.default_rng(0)
 
     # A 40-24-5 spiking MLP.  Each 16x16 core holds at most 16 inputs and 16
@@ -96,6 +96,12 @@ def main(backend: str = "auto", check_parity: bool = True,
     # bit-exactly, as the lossless-mapping check below still proves.
     compiled = compile_network(network, arch, optimize_noc=optimize_noc)
     print(compiled.describe())
+    if show_trace:
+        # the per-pass compile trace every compile records (repro.obs
+        # exports the same records as Chrome trace_event JSON)
+        print("\ncompile trace:")
+        print(compiled.describe_trace())
+        print()
     if optimize_noc:
         from repro.opt import plan_metrics
 
@@ -138,6 +144,8 @@ if __name__ == "__main__":
                         help="enable the repro.opt NoC optimization passes "
                              "(congestion-aware placement, multicast "
                              "delivery, reduction trees)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the per-pass compile trace")
     parser.add_argument("--list-networks", nargs="*", metavar="NAME",
                         default=None,
                         help="list benchmark network builders with core/chip "
@@ -147,4 +155,4 @@ if __name__ == "__main__":
         list_networks(args.list_networks or None)
     else:
         main(backend=args.backend, check_parity=not args.no_parity,
-             optimize_noc=args.optimize_noc)
+             optimize_noc=args.optimize_noc, show_trace=args.trace)

@@ -86,6 +86,10 @@ class ExperimentConfig:
     #: placement, multicast delivery, reduction trees) during mapping;
     #: bit-exact, so accuracy rows are unchanged — only the NoC schedule is
     optimize_noc: bool = False
+    #: attach :mod:`repro.obs` probes (per-layer firing rates + NoC
+    #: telemetry) to the hardware run; the probe summary lands in the
+    #: result metadata.  Needs ``hardware_frames != 0`` to observe anything
+    probes: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in ("mnist", "cifar"):
@@ -236,19 +240,31 @@ def run_experiment(config: ExperimentConfig,
     shenjing_accuracy: Optional[float] = None
     hardware_matches: Optional[bool] = None
     execution_backend: Optional[str] = None
+    probe_summary: Optional[Dict[str, object]] = None
     if compiled is not None:
         if config.hardware_frames < 0:
             frames = dataset.test_size
         else:
             frames = min(config.hardware_frames, dataset.test_size)
+        probe_set = None
+        if config.probes:
+            from ..obs import ProbeSet
+
+            probe_set = ProbeSet.firing_rates(noc=True)
         backend_instance = create_backend(config.backend, compiled.program)
-        hw_result = backend_instance.run(test_trains[:frames])
-        # the auto backend reports which delegate it picked
-        execution_backend = getattr(backend_instance, "last_selection",
-                                    None) or config.backend
+        try:
+            hw_result = backend_instance.run(test_trains[:frames],
+                                             probes=probe_set)
+            # the auto backend reports which delegate it picked
+            execution_backend = getattr(backend_instance, "last_selection",
+                                        None) or config.backend
+        finally:
+            backend_instance.close()
         shenjing_accuracy = hw_result.accuracy(dataset.test_labels[:frames])
         hardware_matches = bool(np.array_equal(
             hw_result.spike_counts, snn_result.spike_counts[:frames]))
+        if hw_result.probes is not None:
+            probe_summary = hw_result.probes.summary()
     else:
         # Mapping is lossless (verified by the test-suite for every layer
         # type), so the mapped accuracy equals the abstract SNN accuracy.
@@ -298,6 +314,7 @@ def run_experiment(config: ExperimentConfig,
             "converter": "graph" if is_dag else "flat",
             "optimize_noc": config.optimize_noc,
             "noc": noc_metrics,
+            "probes": probe_summary,
         },
     )
 

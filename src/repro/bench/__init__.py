@@ -35,6 +35,14 @@ the model's relative error exceeds the committed ``tolerance`` (the wave
 model is exact by construction, so any error is drift) or when the
 optimized estimate stops undercutting the default one.
 
+An ``obs`` section records the :mod:`repro.obs` observability costs and
+signals: vectorized throughput with probes detached vs the full
+``ProbeSet`` attached, per-layer firing rates of the full-size DAG nets
+on a small probed batch, and per-pass compile seconds.  ``--check`` gates
+the no-probe throughput within ``max_overhead`` (5 %) of the committed
+baseline and requires the (deterministic) firing rates to reproduce
+exactly; ``--skip-obs`` skips the section.
+
 The harness is built for constrained environments: worker counts are capped
 by ``os.cpu_count()``-derived defaults, and nothing here asserts — the
 pytest wrappers in ``benchmarks/`` own the acceptance thresholds (and relax
@@ -92,17 +100,19 @@ def mlp_bench_case(frames: int = DEFAULT_FRAMES,
 
 
 def time_backend(name: str, program, trains, repeats: int = 5,
-                 **options) -> float:
+                 probes=None, **options) -> float:
     """Best-of-``repeats`` seconds for one batched run (construction and a
-    warmup run excluded).  The backend is closed afterwards so persistent
-    worker pools never outlive their measurement."""
+    warmup run excluded).  ``probes`` (a :class:`repro.obs.ProbeSet`) is
+    forwarded to every run, so probed throughput can be measured with the
+    same harness.  The backend is closed afterwards so persistent worker
+    pools never outlive their measurement."""
     backend = create_backend(name, program, **options)
     try:
-        backend.run(trains)
+        backend.run(trains, probes=probes)
         best = float("inf")
         for _ in range(max(1, repeats)):
             start = time.perf_counter()
-            backend.run(trains)
+            backend.run(trains, probes=probes)
             best = min(best, time.perf_counter() - start)
         return best
     finally:
@@ -390,6 +400,133 @@ def check_timing_regression(current: Dict[str, object],
                 f"{row['optimized']['estimated_cycles']} not below default "
                 f"{row['default']['estimated_cycles']}"
             )
+    return failures
+
+
+#: maximum throughput the no-probe path may lose vs the committed
+#: baseline — the ISSUE 6 acceptance floor for probe overhead (5 %)
+OBS_MAX_OVERHEAD = 0.05
+
+#: batch geometry of the firing-rate measurement (full-size DAG nets are
+#: expensive to execute, so the probed runs use a deliberately small batch)
+OBS_FIRING_FRAMES = 2
+OBS_FIRING_TIMESTEPS = 4
+
+
+def measure_obs(networks: Sequence[str] = NOC_NETWORKS,
+                frames: int = DEFAULT_FRAMES,
+                timesteps: int = DEFAULT_TIMESTEPS,
+                repeats: int = 5,
+                firing_frames: int = OBS_FIRING_FRAMES,
+                firing_timesteps: int = OBS_FIRING_TIMESTEPS,
+                seed: int = 0) -> Dict[str, object]:
+    """The :mod:`repro.obs` observability section of the perf trajectory.
+
+    Three sub-records:
+
+    * ``overhead`` — vectorized frames/sec on the MLP throughput case with
+      no probes vs with the full :class:`~repro.obs.ProbeSet` attached.
+      The no-probe number is the one ``--check`` gates (within
+      ``max_overhead`` of the committed baseline); the probed number keeps
+      the *cost of observing* an explicit entry in the trajectory.
+    * ``firing`` — per-layer firing rates of the full-size DAG workloads
+      on a small probed batch.  Deterministic (seeded weights, calibration
+      and inputs), so ``--check`` requires exact agreement: any drift is a
+      functional change in the compiler or engine, not noise.
+    * ``compile`` — per-pass compile seconds (every
+      :class:`~repro.ir.passes.PassRecord`) for the first network, from
+      the same compile that produced its firing rates.  Informational:
+      wall-clock, so never gated.
+    """
+    from ..core.config import DEFAULT_ARCH
+    from ..ir.pipeline import compile as ir_compile
+    from ..obs import ProbeSet
+
+    program, trains = mlp_bench_case(frames=frames, timesteps=timesteps)
+    off_seconds = time_backend("vectorized", program, trains, repeats=repeats)
+    on_seconds = time_backend("vectorized", program, trains, repeats=repeats,
+                              probes=ProbeSet.full())
+
+    firing_rows: Dict[str, Dict[str, float]] = {}
+    compile_row: Dict[str, object] = {}
+    for name in networks:
+        graph, rng = seeded_benchmark_graph(name, firing_timesteps, seed=seed)
+        compiled = ir_compile(graph, DEFAULT_ARCH)
+        probe_trains = deterministic_encode(
+            rng.random((firing_frames, graph.input_size)), firing_timesteps)
+        with create_backend("vectorized", compiled.program) as backend:
+            result = backend.run(probe_trains, probes=ProbeSet.firing_rates())
+        firing_rows[name] = {
+            layer: float(rate)
+            for layer, rate in sorted(result.probes.firing_rates().items())
+        }
+        if not compile_row:
+            compile_row = {
+                "network": name,
+                "passes": [record.as_dict() for record in compiled.trace],
+                "total_seconds": float(sum(
+                    record.seconds for record in compiled.trace)),
+            }
+    return {
+        "frames": frames,
+        "timesteps": timesteps,
+        "max_overhead": OBS_MAX_OVERHEAD,
+        "overhead": {
+            "probe_off": {"seconds": off_seconds,
+                          "frames_per_sec": frames / off_seconds},
+            "probe_on": {"seconds": on_seconds,
+                         "frames_per_sec": frames / on_seconds},
+            "overhead_ratio": (on_seconds - off_seconds) / off_seconds,
+        },
+        "firing": {
+            "frames": firing_frames,
+            "timesteps": firing_timesteps,
+            "seed": seed,
+            "networks": firing_rows,
+        },
+        "compile": compile_row,
+    }
+
+
+def check_obs_regression(current: Dict[str, object],
+                         committed: Dict[str, object]) -> List[str]:
+    """Gate fresh observability measurements against the committed section.
+
+    Two gates: the no-probe throughput must stay within the committed
+    ``max_overhead`` (5 %) of the committed baseline — instrumentation is
+    only acceptable while its detached cost rounds to zero — and every
+    committed per-layer firing rate must reproduce *exactly* (they are
+    deterministic, and JSON binary64 round-trips, so equality is the right
+    comparison; a mismatch means the compiler or engine changed what the
+    network computes).  Networks present on only one side are skipped.
+    """
+    failures: List[str] = []
+    max_overhead = float(committed.get("max_overhead", OBS_MAX_OVERHEAD))
+    fresh = current.get("overhead", {})
+    baseline = committed.get("overhead", {})
+    if fresh and baseline:
+        measured = float(fresh["probe_off"]["frames_per_sec"])
+        committed_fps = float(baseline["probe_off"]["frames_per_sec"])
+        floor = committed_fps * (1.0 - max_overhead)
+        if measured < floor:
+            failures.append(
+                f"probe-off throughput {measured:.1f} frames/s < "
+                f"{floor:.1f} (committed {committed_fps:.1f}, max probe "
+                f"overhead {max_overhead:.0%})"
+            )
+    current_nets = current.get("firing", {}).get("networks", {})
+    committed_nets = committed.get("firing", {}).get("networks", {})
+    for name in sorted(set(current_nets) & set(committed_nets)):
+        layers = set(current_nets[name]) | set(committed_nets[name])
+        for layer in sorted(layers):
+            measured_rate = current_nets[name].get(layer)
+            committed_rate = committed_nets[name].get(layer)
+            if measured_rate is None or committed_rate is None or \
+                    float(measured_rate) != float(committed_rate):
+                failures.append(
+                    f"{name}: firing rate of layer {layer!r} drifted: "
+                    f"committed {committed_rate} -> measured {measured_rate}"
+                )
     return failures
 
 

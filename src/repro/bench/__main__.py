@@ -20,11 +20,15 @@ from . import (
     DEFAULT_CHECK_TOLERANCE,
     DEFAULT_FRAMES,
     DEFAULT_TIMESTEPS,
+    OBS_FIRING_FRAMES,
+    OBS_FIRING_TIMESTEPS,
     check_noc_regression,
+    check_obs_regression,
     check_regression,
     check_timing_regression,
     load_bench_report,
     measure_noc,
+    measure_obs,
     measure_sharded_scaling,
     measure_throughput,
     measure_timing,
@@ -66,6 +70,31 @@ def _print_timing(timing) -> None:
                   f"{cell['estimated_cycles']:>8}  simulated "
                   f"{cell['simulated_cycles']:>8}  error "
                   f"{cell['relative_error']:.2%}")
+
+
+def _print_obs(obs) -> None:
+    overhead = obs["overhead"]
+    print(f"probe overhead (vectorized, gate {obs['max_overhead']:.0%} on "
+          "the no-probe path):")
+    print(f"  probes off {overhead['probe_off']['frames_per_sec']:>10.1f} "
+          "frames/s")
+    print(f"  probes on  {overhead['probe_on']['frames_per_sec']:>10.1f} "
+          f"frames/s (full ProbeSet attached, "
+          f"{overhead['overhead_ratio']:+.1%} run time)")
+    firing = obs["firing"]
+    print(f"per-layer firing rates ({firing['frames']} frames x "
+          f"{firing['timesteps']} steps):")
+    for name, layers in firing["networks"].items():
+        rates = "  ".join(f"{layer}={rate:.4f}"
+                          for layer, rate in layers.items())
+        print(f"  {name:<20} {rates}")
+    compile_row = obs.get("compile") or {}
+    if compile_row:
+        print(f"compile passes ({compile_row['network']}, "
+              f"{compile_row['total_seconds'] * 1e3:.1f} ms total):")
+        for record in compile_row["passes"]:
+            print(f"  {record['name']:<24} "
+                  f"{record['seconds'] * 1e3:>9.3f} ms  {record['summary']}")
 
 
 def run_check(args) -> int:
@@ -125,6 +154,25 @@ def run_check(args) -> int:
             committed_timing.get("tolerance", timing["tolerance"]))
         _print_timing(timing)
         failures += check_timing_regression(timing, committed_timing)
+    committed_obs = committed.get("obs")
+    if isinstance(committed_obs, dict) and not args.skip_obs:
+        committed_firing = committed_obs.get("firing", {})
+        obs = measure_obs(
+            networks=tuple(committed_firing.get("networks", {})),
+            frames=int(committed_obs.get("frames", frames)),
+            timesteps=int(committed_obs.get("timesteps", timesteps)),
+            repeats=args.repeats,
+            firing_frames=int(committed_firing.get("frames",
+                                                   OBS_FIRING_FRAMES)),
+            firing_timesteps=int(committed_firing.get("timesteps",
+                                                      OBS_FIRING_TIMESTEPS)),
+            seed=int(committed_firing.get("seed", 0)),
+        )
+        # the gate enforces the *committed* overhead ceiling; print that one
+        obs["max_overhead"] = float(
+            committed_obs.get("max_overhead", obs["max_overhead"]))
+        _print_obs(obs)
+        failures += check_obs_regression(obs, committed_obs)
     if failures:
         print(f"\nbench check FAILED ({len(failures)} regression(s) vs "
               f"committed rev {committed.get('git_rev', '?')}):")
@@ -163,6 +211,10 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-timing", action="store_true",
                         help="skip the timing-model parity measurement "
                              "(estimated vs simulated cycles, repro.timing)")
+    parser.add_argument("--skip-obs", action="store_true",
+                        help="skip the observability section (probe "
+                             "overhead, per-layer firing rates and compile "
+                             "pass timings, repro.obs)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed trajectory and "
                              "exit 1 on >tolerance frames/sec regression "
@@ -207,6 +259,12 @@ def main(argv=None) -> int:
         timing = measure_timing()
         sections["timing"] = timing
         _print_timing(timing)
+
+    if not args.skip_obs:
+        obs = measure_obs(frames=frames, timesteps=timesteps,
+                          repeats=args.repeats)
+        sections["obs"] = obs
+        _print_obs(obs)
 
     path = write_bench_report(sections, path=args.output)
     print(f"wrote {path}")

@@ -73,6 +73,9 @@ class SimulationResult:
     spike_counts: np.ndarray
     predictions: np.ndarray
     stats: ExecutionStats
+    #: probe captures of the run (a :class:`repro.obs.ProbeResult`) when the
+    #: backend was asked to observe; ``None`` otherwise
+    probes: Optional[object] = None
 
     def accuracy(self, labels: np.ndarray) -> float:
         labels = np.asarray(labels).ravel()
@@ -114,6 +117,10 @@ class ShenjingSimulator:
         self.arch: ArchitectureConfig = program.arch
         self.system = ShenjingSystem(self.arch, rows=program.rows, cols=program.cols)
         self.collect_stats = collect_stats
+        #: optional probe observer (``repro.obs.SimulatorProbeCollector``):
+        #: called at begin/end of every timestep and after every delivered
+        #: instruction group; ``None`` costs one attribute check per hook
+        self.observer = None
         #: statistics of the one-time configuration (weight loading)
         self._config_stats = ExecutionStats()
         self._configure()
@@ -191,9 +198,14 @@ class ShenjingSimulator:
     def _run_timestep(self, input_spikes: np.ndarray) -> None:
         self.system.start_timestep()
         self._inject_inputs(input_spikes)
+        observer = self.observer
+        if observer is not None:
+            observer.begin_timestep()
         for phase in self.program.phases:
             for group in phase.groups:
                 self._execute_group(group)
+        if observer is not None:
+            observer.end_timestep(self.system)
 
     def _inject_inputs(self, input_spikes: np.ndarray) -> None:
         for binding in self.program.input_bindings:
@@ -221,6 +233,8 @@ class ShenjingSimulator:
             effects = self._execute_op(instruction.tile, instruction.op)
             outgoing.extend(effects)
         self._deliver(outgoing)
+        if self.observer is not None:
+            self.observer.record_group(outgoing)
         if self.collect_stats:
             self.stats.advance_cycles(group.latency(self.arch.long_op_cycles))
 

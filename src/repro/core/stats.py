@@ -148,3 +148,22 @@ class ExecutionStats:
             result[f"ops[{key}]"] = count.operations
             result[f"lanes[{key}]"] = count.lanes
         return result
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering (the observability CLI)."""
+        lines = [
+            f"execution: {self.frames} frame(s), {self.timesteps} "
+            f"timestep(s), {self.cycles} cycles "
+            f"({self.cycles_per_frame:.1f}/frame)",
+            f"  switching activity {self.switching_activity:.4%} "
+            f"({self.active_axons}/{self.scanned_axons} axons)",
+        ]
+        if self.interchip_spike_bits or self.interchip_ps_bits:
+            lines.append(
+                f"  inter-chip bits: {self.interchip_spike_bits} spike, "
+                f"{self.interchip_ps_bits} ps"
+            )
+        for key, count in sorted(self.ops.items()):
+            lines.append(f"  {key:<16} {count.operations:>12} ops  "
+                         f"{count.lanes:>14} lanes")
+        return "\n".join(lines)

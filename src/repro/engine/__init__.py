@@ -100,9 +100,14 @@ class ExecutionEngine:
         return self._instances[key]
 
     def run(self, spike_trains: np.ndarray,
-            backend: Optional[str] = None) -> SimulationResult:
-        """Execute a batch of spike trains on the selected backend."""
-        return self.backend(backend).run(spike_trains)
+            backend: Optional[str] = None,
+            probes=None) -> SimulationResult:
+        """Execute a batch of spike trains on the selected backend.
+
+        ``probes`` (a :class:`repro.obs.ProbeSet`) attaches runtime probes;
+        the result then carries ``result.probes``.
+        """
+        return self.backend(backend).run(spike_trains, probes=probes)
 
     def close(self) -> None:
         """Close every cached backend (terminating persistent worker pools)."""
@@ -119,15 +124,20 @@ class ExecutionEngine:
 def run(program: Program, spike_trains: np.ndarray,
         backend: str = DEFAULT_BACKEND,
         collect_stats: bool = True,
+        probes=None,
         **options: object) -> SimulationResult:
     """Execute ``spike_trains`` on ``program`` with the named backend.
 
     Keyword ``options`` forward to the backend constructor (e.g.
-    ``workers=4`` for ``sharded``).
+    ``workers=4`` for ``sharded``); ``probes`` (a
+    :class:`repro.obs.ProbeSet`) attaches runtime probes.
     """
     backend_instance = create_backend(backend, program,
                                       collect_stats=collect_stats, **options)
-    return backend_instance.run(spike_trains)
+    try:
+        return backend_instance.run(spike_trains, probes=probes)
+    finally:
+        backend_instance.close()
 
 
 __all__ = [

@@ -92,12 +92,13 @@ class AutoBackend(ExecutionBackend):
                 name, self.program, collect_stats=self.collect_stats, **options)
         return self._delegates[key]
 
-    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+    def run(self, spike_trains: np.ndarray,
+            probes=None) -> SimulationResult:
         spike_trains = normalise_spike_trains(spike_trains,
                                               self.program.input_size)
         name = self.select(spike_trains.shape[0])
         self.last_selection = name
-        return self.delegate(name).run(spike_trains)
+        return self.delegate(name).run(spike_trains, probes=probes)
 
     def close(self) -> None:
         """Close every cached delegate (e.g. sharded worker pools)."""

@@ -57,8 +57,16 @@ class ExecutionBackend(abc.ABC):
         self.collect_stats = collect_stats
 
     @abc.abstractmethod
-    def run(self, spike_trains: np.ndarray) -> SimulationResult:
-        """Execute a ``(frames, timesteps, input_size)`` batch of spike trains."""
+    def run(self, spike_trains: np.ndarray,
+            probes=None) -> SimulationResult:
+        """Execute a ``(frames, timesteps, input_size)`` batch of spike trains.
+
+        ``probes`` optionally names runtime observations to capture — a
+        :class:`repro.obs.ProbeSet` — in which case the result carries a
+        :class:`repro.obs.ProbeResult` in ``result.probes``, bit-identical
+        across backends.  ``None`` (or an empty set) must add no
+        per-timestep work beyond a single ``None`` check.
+        """
 
     def close(self) -> None:
         """Release backend-held resources (worker pools, ...); idempotent.

@@ -359,6 +359,15 @@ class LoweredSchedule:
     clear_plan: Optional[ClearPlan] = None
     #: True once the schedule went through the optimizer pass
     optimized: bool = False
+    #: tile -> state-slot map (probe capture addresses into BatchState)
+    slots: Dict[TileCoordinate, int] = field(default_factory=dict)
+    #: static per-timestep NoC traffic of the *program*:
+    #: (src tile, direction, net) -> (packets, lanes); recorded before any
+    #: dead-op elimination so it matches the reference interpreter
+    link_traffic: Dict[Tuple[TileCoordinate, Direction, str], Tuple[int, int]] = \
+        field(default_factory=dict)
+    #: packets injected per instruction group per timestep (wave occupancy)
+    group_occupancy: Tuple[int, ...] = ()
 
     def allocate(self, batch: int) -> BatchState:
         arch = self.program.arch
@@ -426,6 +435,11 @@ class _Lowerer:
         self.acc_ops = 0
         self.interchip_spike_bits = 0
         self.interchip_ps_bits = 0
+        #: per-timestep (src, direction, net) -> [packets, lanes]
+        self.link_traffic: Dict[Tuple[TileCoordinate, Direction, str],
+                                List[int]] = {}
+        #: packets injected per lowered instruction group
+        self.group_occupancy: List[int] = []
 
     # -- helpers -------------------------------------------------------
     def slot(self, tile: TileCoordinate) -> int:
@@ -508,6 +522,10 @@ class _Lowerer:
             acc_ops_per_timestep=self.acc_ops,
             interchip_spike_bits_per_timestep=self.interchip_spike_bits,
             interchip_ps_bits_per_timestep=self.interchip_ps_bits,
+            slots=dict(self.slots),
+            link_traffic={key: (packets, lanes) for key, (packets, lanes)
+                          in self.link_traffic.items()},
+            group_occupancy=tuple(self.group_occupancy),
         )
 
     def _lower_group(self, group, weights, thresholds) -> None:
@@ -520,6 +538,7 @@ class _Lowerer:
                 self._lower_op(instruction.tile, instruction.op, weights, thresholds)
             )
         self._deliver(outgoing)
+        self.group_occupancy.append(len(outgoing))
         self.cycles += group.latency(self.arch.long_op_cycles)
 
     def _lower_op(self, tile: TileCoordinate, op: AtomicOp, weights, thresholds):
@@ -642,6 +661,9 @@ class _Lowerer:
                     "used twice in one group"
                 )
             pending[key] = (reg, lanes)
+            traffic = self.link_traffic.setdefault((src, direction, net), [0, 0])
+            traffic[0] += 1
+            traffic[1] += lanes.size
             if src.chip_index(self.arch) != dst.chip_index(self.arch):
                 if net == "ps":
                     self.interchip_ps_bits += lanes.size * self.arch.ps_bits

@@ -621,6 +621,11 @@ def optimize_schedule(schedule: LoweredSchedule) -> LoweredSchedule:
         interchip_spike_bits_per_timestep=schedule.interchip_spike_bits_per_timestep,
         interchip_ps_bits_per_timestep=schedule.interchip_ps_bits_per_timestep,
         optimized=True,
+        # probe/telemetry metadata describes the *program*, which dead-op
+        # elimination does not change — carry it through unmodified
+        slots=dict(schedule.slots),
+        link_traffic=dict(schedule.link_traffic),
+        group_occupancy=schedule.group_occupancy,
     )
     optimized.clear_plan = _build_clear_plan(optimized, ops)
     return optimized

@@ -49,7 +49,8 @@ class ParityReport:
 
 def run_backends(program: Program, spike_trains: np.ndarray,
                  backends: Sequence[str] = ("reference", "vectorized"),
-                 collect_stats: bool = True) -> Dict[str, SimulationResult]:
+                 collect_stats: bool = True,
+                 probes=None) -> Dict[str, SimulationResult]:
     """Run ``spike_trains`` through each named backend on fresh instances.
 
     Every instance is closed after its run, so backends owning persistent
@@ -61,23 +62,61 @@ def run_backends(program: Program, spike_trains: np.ndarray,
     for name in backends:
         backend = create_backend(name, program, collect_stats=collect_stats)
         try:
-            results[name] = backend.run(spike_trains)
+            results[name] = backend.run(spike_trains, probes=probes)
         finally:
             backend.close()
     return results
 
 
+def _compare_probes(name: str, baseline_name: str, result, baseline) -> None:
+    """Raise :class:`ParityError` unless two probe results are bit-identical."""
+    ours, theirs = result.probes, baseline.probes
+    if (ours is None) != (theirs is None):
+        raise ParityError(
+            f"backend {name!r} probe presence disagrees with {baseline_name!r}"
+        )
+    if ours is None:
+        return
+    for attr in ("spikes", "potentials", "acc_active"):
+        mine, base = getattr(ours, attr), getattr(theirs, attr)
+        if set(mine) != set(base):
+            raise ParityError(
+                f"backend {name!r} probed different {attr} layers than "
+                f"{baseline_name!r}"
+            )
+        for layer, array in mine.items():
+            if not np.array_equal(array, base[layer]):
+                raise ParityError(
+                    f"backend {name!r} probe {attr}[{layer!r}] disagrees "
+                    f"with {baseline_name!r}"
+                )
+    mine_t, base_t = ours.telemetry, theirs.telemetry
+    if (mine_t is None) != (base_t is None):
+        raise ParityError(
+            f"backend {name!r} telemetry presence disagrees with "
+            f"{baseline_name!r}"
+        )
+    if mine_t is not None and mine_t.as_dict() != base_t.as_dict():
+        raise ParityError(
+            f"backend {name!r} NoC telemetry disagrees with {baseline_name!r}"
+        )
+
+
 def assert_backend_parity(program: Program, spike_trains: np.ndarray,
                           backends: Sequence[str] = ("reference", "vectorized"),
-                          check_stats: bool = True) -> ParityReport:
+                          check_stats: bool = True,
+                          probes=None) -> ParityReport:
     """Assert bit-exact agreement between ``backends`` on ``spike_trains``.
 
     The first backend is the baseline.  Raises :class:`ParityError` on the
     first disagreement (spike counts, predictions or — when ``check_stats`` —
     the full statistics summary); returns a :class:`ParityReport` otherwise.
+    With ``probes`` (a :class:`repro.obs.ProbeSet`) every backend runs
+    probed and the captured :class:`repro.obs.ProbeResult`\\ s must also be
+    bit-identical — per-layer arrays and NoC telemetry alike.
     """
     results = run_backends(program, spike_trains, backends,
-                           collect_stats=check_stats)
+                           collect_stats=check_stats, probes=probes)
     baseline_name = backends[0]
     baseline = results[baseline_name]
     for name in backends[1:]:
@@ -101,4 +140,6 @@ def assert_backend_parity(program: Program, spike_trains: np.ndarray,
                     f"backend {name!r} stats disagree with {baseline_name!r} "
                     f"on {', '.join(keys)}"
                 )
+        if probes:
+            _compare_probes(name, baseline_name, result, baseline)
     return ParityReport(backends=tuple(backends), results=results)

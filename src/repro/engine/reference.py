@@ -12,7 +12,7 @@ import numpy as np
 
 from ..core.simulator import ShenjingSimulator, SimulationResult
 from ..mapping.program import Program
-from .base import ExecutionBackend
+from .base import ExecutionBackend, normalise_spike_trains
 from .registry import register_backend
 
 
@@ -26,5 +26,21 @@ class ReferenceBackend(ExecutionBackend):
         super().__init__(program, collect_stats=collect_stats)
         self.simulator = ShenjingSimulator(program, collect_stats=collect_stats)
 
-    def run(self, spike_trains: np.ndarray) -> SimulationResult:
-        return self.simulator.run(spike_trains)
+    def run(self, spike_trains: np.ndarray,
+            probes=None) -> SimulationResult:
+        if not probes:
+            return self.simulator.run(spike_trains)
+        from ..obs.probes import SimulatorProbeCollector
+
+        spike_trains = normalise_spike_trains(spike_trains,
+                                              self.program.input_size)
+        frames, timesteps, _ = spike_trains.shape
+        collector = SimulatorProbeCollector(probes.resolve(self.program),
+                                            frames, timesteps)
+        self.simulator.observer = collector
+        try:
+            result = self.simulator.run(spike_trains)
+        finally:
+            self.simulator.observer = None
+        result.probes = collector.result()
+        return result

@@ -94,6 +94,25 @@ def _worker_run(shard: np.ndarray):
     return counts, active_axons
 
 
+def _worker_run_probed(args):
+    """Probed variant: ``(shard, probe_set)`` -> counts, activity, probes.
+
+    The :class:`~repro.obs.ProbeSet` is a small frozen dataclass, so it
+    pickles with the task; each worker resolves it against the schedule's
+    program and returns its shard's :class:`~repro.obs.ProbeResult` for the
+    parent's deterministic frame-axis merge.
+    """
+    from ..obs.probes import ScheduleProbeRun
+
+    shard, probe_set = args
+    schedule = _WORKER_SCHEDULE
+    frames, timesteps, _ = shard.shape
+    collector = ScheduleProbeRun(probe_set.resolve(schedule.program),
+                                 schedule, frames, timesteps)
+    counts, active_axons = execute_schedule(schedule, shard, collector)
+    return counts, active_axons, collector.result()
+
+
 @register_backend
 class ShardedBackend(ExecutionBackend):
     """Splits the batch's frame axis across a persistent worker pool."""
@@ -161,27 +180,62 @@ class ShardedBackend(ExecutionBackend):
         """
         return max(1, min(self.workers, frames))
 
-    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+    def run(self, spike_trains: np.ndarray,
+            probes=None) -> SimulationResult:
         program = self.program
         spike_trains = normalise_spike_trains(spike_trains, program.input_size)
         frames, timesteps, _ = spike_trains.shape
         shards = self.shard_count(frames)
+        probe_result = None
         if shards <= 1:
-            counts, active_axons = execute_schedule(self.schedule, spike_trains)
+            collector = None
+            if probes:
+                from ..obs.probes import ScheduleProbeRun
+
+                collector = ScheduleProbeRun(probes.resolve(program),
+                                             self.schedule, frames, timesteps)
+            counts, active_axons = execute_schedule(self.schedule,
+                                                    spike_trains, collector)
+            if collector is not None:
+                probe_result = collector.result()
+        elif probes:
+            counts, active_axons, probe_result = \
+                self._run_sharded_probed(spike_trains, shards, probes)
         else:
             counts, active_axons = self._run_sharded(spike_trains, shards)
-        return build_result(self.schedule, counts, active_axons,
-                            frames, timesteps, self.collect_stats)
+        result = build_result(self.schedule, counts, active_axons,
+                              frames, timesteps, self.collect_stats)
+        result.probes = probe_result
+        return result
 
-    def _run_sharded(self, spike_trains: np.ndarray, shards: int):
-        """Run the shards on the persistent pool, merge deterministically."""
-        pieces: List[np.ndarray] = [
+    def _shard_pieces(self, spike_trains: np.ndarray,
+                      shards: int) -> List[np.ndarray]:
+        return [
             np.ascontiguousarray(piece)
             for piece in np.array_split(spike_trains, shards, axis=0)
         ]
+
+    def _run_sharded(self, spike_trains: np.ndarray, shards: int):
+        """Run the shards on the persistent pool, merge deterministically."""
+        pieces = self._shard_pieces(spike_trains, shards)
         # Pool.map preserves order and re-raises the first worker exception
         # in the parent with its original class; the pool remains usable.
         results = self._ensure_pool().map(_worker_run, pieces)
         counts = np.concatenate([counts for counts, _ in results], axis=0)
         active_axons = sum(active for _, active in results)
         return counts, active_axons
+
+    def _run_sharded_probed(self, spike_trains: np.ndarray, shards: int,
+                            probes):
+        """Probed sharded run: contiguous frame shards in order, so the
+        frame-axis probe merge is deterministic and bit-identical to an
+        unsharded run."""
+        from ..obs.probes import ProbeResult
+
+        pieces = self._shard_pieces(spike_trains, shards)
+        results = self._ensure_pool().map(
+            _worker_run_probed, [(piece, probes) for piece in pieces])
+        counts = np.concatenate([counts for counts, _, _ in results], axis=0)
+        active_axons = sum(active for _, active, _ in results)
+        probe_result = ProbeResult.concat([part for _, _, part in results])
+        return counts, active_axons, probe_result

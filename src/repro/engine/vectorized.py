@@ -67,13 +67,16 @@ def build_result(schedule: LoweredSchedule, counts: np.ndarray,
                             stats=stats)
 
 
-def execute_schedule(schedule: LoweredSchedule,
-                     spike_trains: np.ndarray) -> Tuple[np.ndarray, int]:
+def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
+                     collector=None) -> Tuple[np.ndarray, int]:
     """Run a batch of spike trains through a lowered schedule.
 
     The shared inner loop of the ``vectorized`` backend and the ``sharded``
     backend's workers.  Returns ``(spike_counts, active_axons)``; statistics
     are reconstructed by the caller via :meth:`LoweredSchedule.build_stats`.
+    ``collector`` is an optional :class:`repro.obs.ScheduleProbeRun` whose
+    ``capture`` runs once at the end of every timestep; with ``None`` the
+    hot loop is untouched beyond this one check.
     """
     program = schedule.program
     spike_trains = normalise_spike_trains(spike_trains, program.input_size)
@@ -94,6 +97,8 @@ def execute_schedule(schedule: LoweredSchedule,
             counts[:, gather.output_indices] += (
                 state.spike_reg[gather.slot][:, gather.lanes]
             )
+        if collector is not None:
+            collector.capture(state, step)
     return counts, state.active_axons
 
 
@@ -109,10 +114,21 @@ class VectorizedBackend(ExecutionBackend):
         self.optimize = optimize
         self.schedule: LoweredSchedule = prepare_schedule(program, optimize)
 
-    def run(self, spike_trains: np.ndarray) -> SimulationResult:
+    def run(self, spike_trains: np.ndarray,
+            probes=None) -> SimulationResult:
         spike_trains = normalise_spike_trains(spike_trains,
                                               self.program.input_size)
         frames, timesteps, _ = spike_trains.shape
-        counts, active_axons = execute_schedule(self.schedule, spike_trains)
-        return build_result(self.schedule, counts, active_axons,
-                            frames, timesteps, self.collect_stats)
+        collector = None
+        if probes:
+            from ..obs.probes import ScheduleProbeRun
+
+            collector = ScheduleProbeRun(probes.resolve(self.program),
+                                         self.schedule, frames, timesteps)
+        counts, active_axons = execute_schedule(self.schedule, spike_trains,
+                                                collector)
+        result = build_result(self.schedule, counts, active_axons,
+                              frames, timesteps, self.collect_stats)
+        if collector is not None:
+            result.probes = collector.result()
+        return result

@@ -18,10 +18,13 @@ Cycle estimates come in two flavours:
   ``ExecutionStats.cycles`` exactly;
 * **closed-form** — without a route plan (the
   ``examples/quickstart.py --list-networks`` path, where nothing has been
-  routed), every NoC phase is bounded with the classical
-  congestion/dilation bound ``max(most-loaded link, longest route) + 1``
-  over point-to-point transfers and the serial member-chain reduction —
-  a pre-compile approximation of the *default* pipeline's schedule.
+  routed), every NoC phase is priced with
+  :func:`repro.timing.serialization_lower_bound` — the classical
+  congestion/dilation bound ``max(most-loaded link, longest route) + 1`` —
+  over the layer's point-to-point transfers: one unpacked wave for spike
+  delivery, one wave per serial member-chain round for the partial-sum
+  reduction.  A pre-compile approximation of the *default* pipeline's
+  schedule, sharing one bound implementation with the timing model.
 """
 
 from __future__ import annotations
@@ -187,12 +190,13 @@ def estimate_mapping(snn, arch: ArchitectureConfig,
 def _estimate_layer(layer: LogicalLayer, logical: LogicalNetwork, placement: Placement,
                     arch: ArchitectureConfig,
                     locators: Dict[str, Dict[int, Tuple[int, int]]]) -> LayerEstimate:
+    # circular at module scope: repro.timing prices mapping programs
+    from ..timing import serialization_lower_bound
+
     estimate = LayerEstimate(name=layer.name, cores=layer.n_cores, groups=len(layer.groups))
 
     # --- spike delivery from the source layers -------------------------------
-    delivery_routes: List[Tuple[int, int]] = []  # (hops, lanes)
-    link_load: Counter = Counter()
-    longest = 0
+    delivery_transfers: List[Transfer] = []
     for core in layer.cores:
         if core.source == EXTERNAL_INPUT:
             continue
@@ -206,49 +210,44 @@ def _estimate_layer(layer: LogicalLayer, logical: LogicalNetwork, placement: Pla
             if hops > 1:
                 estimate.add_op("spike_bypass", lanes, count=hops - 1)
             estimate.add_op("spike_bypass", lanes)  # the RECV / ejection
-            longest = max(longest, hops)
             for hop in xy_route(src, dst):
-                link_load[(hop.tile, hop.direction)] += 1
                 nxt = hop.next_tile
                 if hop.tile.chip_index(arch) != nxt.chip_index(arch):
                     estimate.interchip_spike_bits += lanes
-            delivery_routes.append((hops, lanes))
-    delivery_cycles = 0
-    if delivery_routes:
-        congestion = max(link_load.values()) if link_load else 0
-        delivery_cycles = max(congestion, longest) + 1
+            delivery_transfers.append(Transfer(src=src, dst=dst, net="spike"))
+    # one unpacked wave of point-to-point transfers, priced by the shared
+    # congestion/dilation bound of the timing model
+    delivery_cycles = serialization_lower_bound(delivery_transfers)
 
     # --- weight accumulation --------------------------------------------------
     estimate.add_op("core_acc", arch.core_neurons, count=layer.n_cores)
     acc_cycles = arch.long_op_cycles
 
     # --- partial-sum reduction -------------------------------------------------
-    ps_link_load: Counter = Counter()
-    ps_longest = 0
-    max_members = 0
+    # the default pipeline drains each group's members serially (one member
+    # per round, all groups in parallel); price each round with the same
+    # serialization bound the delivery wave uses
+    reduction_rounds: List[List[Transfer]] = []
     for group in layer.groups:
         head_pos = placement.position(group.head)
         lanes = int(group.lanes.size)
-        max_members = max(max_members, len(group.members))
-        for member in group.members:
+        for position, member in enumerate(group.members):
             src = placement.position(member)
             hops = route_length(src, head_pos)
             estimate.add_op("ps_send", lanes)
             if hops > 1:
                 estimate.add_op("ps_bypass", lanes, count=hops - 1)
             estimate.add_op("ps_sum", lanes)
-            ps_longest = max(ps_longest, hops)
             for hop in xy_route(src, head_pos):
-                ps_link_load[(hop.tile, hop.direction)] += 1
                 nxt = hop.next_tile
                 if hop.tile.chip_index(arch) != nxt.chip_index(arch):
                     estimate.interchip_ps_bits += lanes * arch.ps_bits
-    reduce_cycles = 0
-    if max_members:
-        congestion = max(ps_link_load.values()) if ps_link_load else 0
-        # one round per member (a head consumes one packet per cycle), each
-        # round at least as long as its longest route
-        reduce_cycles = max(congestion, max_members * (ps_longest + 1))
+            while position >= len(reduction_rounds):
+                reduction_rounds.append([])
+            reduction_rounds[position].append(
+                Transfer(src=src, dst=head_pos, net="ps"))
+    reduce_cycles = sum(serialization_lower_bound(round_transfers)
+                        for round_transfers in reduction_rounds)
 
     # --- spike generation -------------------------------------------------------
     for group in layer.groups:

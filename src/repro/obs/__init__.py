@@ -1,0 +1,65 @@
+"""``repro.obs`` — observability: probes, NoC telemetry, unified traces.
+
+Three legs, one subsystem:
+
+* **Runtime probes** (:mod:`repro.obs.probes`): a declarative
+  :class:`ProbeSet` of per-layer observations — firing rates / spike
+  counts per timestep, membrane-potential snapshots, ``ACC`` switching
+  activity — honoured by *every* execution backend
+  (``backend.run(trains, probes=...)``) with bit-identical
+  :class:`ProbeResult`\\ s, and near-zero overhead when detached.
+* **NoC telemetry** (:mod:`repro.obs.telemetry`): observed per-link
+  spike/PS traffic and per-group wave occupancy, rendered as text
+  heatmaps and checked against the cost model's *predicted* congestion
+  (:func:`compare_link_traffic` vs
+  :func:`repro.opt.cost.predicted_link_traffic`).
+* **Unified traces** (:mod:`repro.obs.trace`): one :class:`Trace` from
+  compile passes through execution timesteps, exportable as Chrome
+  ``trace_event`` JSON and structured metrics.
+
+``python -m repro.obs <network>`` prints a full report; see
+``docs/observability.md``.
+"""
+
+from .probes import (
+    PROBE_KINDS,
+    LayerProbePoint,
+    ProbeError,
+    ProbeResult,
+    ProbeSet,
+    ProbeSpec,
+    ResolvedProbes,
+    ScheduleProbeRun,
+    SimulatorProbeCollector,
+    probe_points,
+)
+from .telemetry import (
+    LinkKey,
+    NocTelemetry,
+    compare_link_traffic,
+    link_key_str,
+    render_link_heatmap,
+    schedule_telemetry,
+)
+from .trace import Trace, validate_chrome_trace
+
+__all__ = [
+    "PROBE_KINDS",
+    "LayerProbePoint",
+    "LinkKey",
+    "NocTelemetry",
+    "ProbeError",
+    "ProbeResult",
+    "ProbeSet",
+    "ProbeSpec",
+    "ResolvedProbes",
+    "ScheduleProbeRun",
+    "SimulatorProbeCollector",
+    "Trace",
+    "compare_link_traffic",
+    "link_key_str",
+    "probe_points",
+    "render_link_heatmap",
+    "schedule_telemetry",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.obs <network>``.
+
+Compiles a benchmark builder (random weights, seeded), runs a small probed
+batch on the chosen backend and prints the full observability report:
+per-layer firing rates, the NoC link heatmap with the predicted-vs-observed
+drift check, compile pass timings and the execution-stats breakdown.  With
+``--chrome-trace PATH`` the unified compile+execution trace is written as
+Chrome ``trace_event`` JSON (open in chrome://tracing or Perfetto).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    from ..apps.networks import ALL_BUILDERS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Probe a compiled benchmark network and print the "
+                    "observability report (see repro.obs).",
+        epilog="example: python -m repro.obs --chrome-trace /tmp/trace.json "
+               "mnist-mlp-small",
+    )
+    parser.add_argument("network", choices=sorted(ALL_BUILDERS),
+                        help="benchmark builder to compile and probe")
+    parser.add_argument("--frames", type=int, default=2,
+                        help="frames to execute (default 2)")
+    parser.add_argument("--timesteps", type=int, default=4,
+                        help="SNN timesteps per frame (default 4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="weight/calibration/input seed (default 0)")
+    parser.add_argument("--backend", default="vectorized",
+                        help="execution backend (default vectorized)")
+    parser.add_argument("--optimized", action="store_true",
+                        help="compile through the repro.opt NoC passes")
+    parser.add_argument("--chrome-trace", metavar="PATH",
+                        help="write the unified trace as Chrome trace_event "
+                             "JSON to PATH")
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from ..bench import seeded_benchmark_graph
+    from ..core.config import DEFAULT_ARCH
+    from ..engine import create_backend
+    from ..ir.pipeline import compile as ir_compile
+    from ..opt.cost import predicted_link_traffic
+    from ..snn.encoding import deterministic_encode
+    from . import ProbeSet, Trace, compare_link_traffic, render_link_heatmap
+
+    graph, rng = seeded_benchmark_graph(args.network, args.timesteps,
+                                        seed=args.seed)
+    compiled = ir_compile(graph, DEFAULT_ARCH, optimize_noc=args.optimized)
+    program = compiled.program
+
+    trains = deterministic_encode(
+        rng.random((args.frames, graph.input_size)), graph.timesteps)
+    probes = ProbeSet.full()
+    backend = create_backend(args.backend, program)
+    try:
+        result = backend.run(trains, probes=probes)
+    finally:
+        backend.close()
+
+    print(f"=== {args.network} ({args.backend}"
+          f"{', optimized' if args.optimized else ''}) ===")
+    print()
+    print(result.probes.describe())
+    print()
+
+    telemetry = result.probes.telemetry
+    print(render_link_heatmap(telemetry.tile_loads(), program.rows,
+                              program.cols,
+                              title="NoC outgoing packets per tile"))
+    if compiled.routes is not None:
+        drift = compare_link_traffic(predicted_link_traffic(compiled.routes),
+                                     telemetry)
+        print(f"cost model drift: {len(drift['mismatches'])} mismatched "
+              f"link(s), max |predicted - observed| = "
+              f"{drift['max_abs_drift']:g}")
+    print()
+
+    trace = Trace.from_compiled(compiled, probes=result.probes,
+                                timesteps=args.timesteps)
+    print(trace.describe())
+    print()
+    print(result.stats.describe())
+    predictions = np.asarray(result.predictions).tolist()
+    print(f"\npredictions: {predictions}")
+
+    if args.chrome_trace:
+        trace.save(args.chrome_trace)
+        print(f"chrome trace written to {args.chrome_trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,478 @@
+"""Runtime probes: per-layer visibility into executing programs.
+
+A :class:`ProbeSet` names *what* to observe — per-layer spike counts (and
+thus firing rates), membrane-potential snapshots, ``ACC`` switching
+activity, NoC link traffic — and every execution backend knows how to
+honour one (``backend.run(trains, probes=...)``), returning a
+:class:`ProbeResult` on the :class:`~repro.core.simulator.SimulationResult`.
+
+Probe *points* are derived from the compiled program alone, via the
+``"<layer>/<stage>"`` phase-naming convention of program emission: the
+``fire`` phase's ``SPIKE`` operations locate each layer's group-head tiles
+and output lanes, the ``accumulate`` phase's ``ACC`` operations locate its
+core tiles.  Deriving the points from the bare
+:class:`~repro.mapping.program.Program` keeps the API backend-agnostic —
+the same :class:`ProbeSet` resolves identically for the ``reference``
+interpreter, the lowered ``vectorized`` schedule and ``sharded`` workers,
+which is what makes bit-identical probe results across backends possible
+(see :func:`repro.engine.parity.assert_backend_parity`).
+
+All captures are end-of-timestep reads of persistent state (spike
+registers, membrane potentials, axon buffers), so probing never perturbs
+execution; with no probes attached the backends skip the machinery behind
+a single ``None`` check (the near-zero-overhead guarantee gated by
+``python -m repro.bench --check``).
+
+This module deliberately imports nothing from :mod:`repro.engine` — the
+engine backends import *it*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.isa import CoreAccumulate, SpikeFire
+from ..core.ps_router import PsPacket, lane_indices
+from ..core.tile import TileCoordinate
+from ..mapping.program import Program
+from .telemetry import NocTelemetry
+
+#: the probe kinds a ProbeSpec may request
+PROBE_KINDS = ("spikes", "potential", "acc")
+
+
+class ProbeError(ValueError):
+    """Raised on invalid probe specifications (unknown kind/layer, ...)."""
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """One observation request: a probe ``kind`` on one layer (or all).
+
+    ``kind`` is one of :data:`PROBE_KINDS`: ``"spikes"`` records per-layer
+    spike counts per timestep (firing rates derive from them),
+    ``"potential"`` snapshots the layer's membrane potentials each
+    timestep, ``"acc"`` records the layer's ``ACC`` switching activity
+    (spiking axons seen by its accumulates).  ``layer=None`` probes every
+    layer of the program.
+    """
+
+    kind: str
+    layer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROBE_KINDS:
+            raise ProbeError(
+                f"unknown probe kind {self.kind!r} (one of {PROBE_KINDS})"
+            )
+
+
+@dataclass(frozen=True)
+class ProbeSet:
+    """An immutable, picklable collection of :class:`ProbeSpec`\\ s.
+
+    ``noc=True`` additionally records NoC telemetry (observed per-link
+    packet/lane traffic and per-group wave occupancy, see
+    :mod:`repro.obs.telemetry`).  An empty set is falsy and means "no
+    probes": backends treat it exactly like ``probes=None``.
+    """
+
+    specs: Tuple[ProbeSpec, ...] = ()
+    noc: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(self.specs) or self.noc
+
+    # -- convenience constructors --------------------------------------
+    @classmethod
+    def firing_rates(cls, *layers: str, noc: bool = False) -> "ProbeSet":
+        """Spike-count probes on ``layers`` (all layers when none named)."""
+        names: Sequence[Optional[str]] = layers or (None,)
+        return cls(specs=tuple(ProbeSpec("spikes", layer) for layer in names),
+                   noc=noc)
+
+    @classmethod
+    def full(cls) -> "ProbeSet":
+        """Everything: spikes, potentials and ACC activity of every layer,
+        plus NoC telemetry."""
+        return cls(specs=tuple(ProbeSpec(kind) for kind in PROBE_KINDS),
+                   noc=True)
+
+    # -- resolution ----------------------------------------------------
+    def layers_for(self, kind: str, names: Sequence[str]) -> List[str]:
+        """The probed layer names of one ``kind`` given the program's layers."""
+        selected: List[str] = []
+        for spec in self.specs:
+            if spec.kind != kind:
+                continue
+            if spec.layer is None:
+                return list(names)
+            if spec.layer not in names:
+                raise ProbeError(
+                    f"probe layer {spec.layer!r} not in program "
+                    f"(layers: {', '.join(names)})"
+                )
+            if spec.layer not in selected:
+                selected.append(spec.layer)
+        return selected
+
+    def resolve(self, program: Program) -> "ResolvedProbes":
+        """Bind this probe set to the layers/tiles of one compiled program."""
+        points = probe_points(program)
+        by_name = {point.name: point for point in points}
+        names = [point.name for point in points]
+        return ResolvedProbes(
+            points=points,
+            spikes=[by_name[n] for n in self.layers_for("spikes", names)],
+            potentials=[by_name[n] for n in self.layers_for("potential", names)],
+            acc=[by_name[n] for n in self.layers_for("acc", names)],
+            noc=self.noc,
+        )
+
+
+@dataclass
+class LayerProbePoint:
+    """Where one logical layer lives on the fabric, for probing purposes.
+
+    ``spike_sites`` lists ``(group-head tile, output lanes)`` pairs in
+    group order — the tiles whose spike registers hold the layer's fired
+    spikes at the end of a timestep; ``acc_tiles`` lists every tile whose
+    core runs the layer's ``ACC``.
+    """
+
+    name: str
+    spike_sites: List[Tuple[TileCoordinate, np.ndarray]] = field(default_factory=list)
+    acc_tiles: List[TileCoordinate] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of probed neurons (total lanes across the spike sites)."""
+        return int(sum(lanes.size for _, lanes in self.spike_sites))
+
+
+@dataclass
+class ResolvedProbes:
+    """A :class:`ProbeSet` bound to one program's probe points."""
+
+    points: List[LayerProbePoint]
+    spikes: List[LayerProbePoint]
+    potentials: List[LayerProbePoint]
+    acc: List[LayerProbePoint]
+    noc: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return not (self.spikes or self.potentials or self.acc or self.noc)
+
+
+def probe_points(program: Program) -> List[LayerProbePoint]:
+    """Derive every layer's probe points from a compiled program.
+
+    Walks the phases by the ``"<layer>/<stage>"`` naming convention:
+    ``SPIKE`` operations in a layer's ``fire`` phase mark its group-head
+    tiles (and the output lanes they fire), ``ACC`` operations in its
+    ``accumulate`` phase mark its core tiles.  Works on any program that
+    follows the convention — compiled or hand-built.
+    """
+    width = program.arch.core_neurons
+    order: List[str] = []
+    by_name: Dict[str, LayerProbePoint] = {}
+    for phase in program.phases:
+        layer, _, stage = phase.name.partition("/")
+        point = by_name.get(layer)
+        if point is None:
+            point = LayerProbePoint(name=layer)
+            by_name[layer] = point
+            order.append(layer)
+        if stage == "fire":
+            for group in phase.groups:
+                for instruction in group:
+                    if isinstance(instruction.op, SpikeFire):
+                        lanes = lane_indices(instruction.op.lanes, width)
+                        point.spike_sites.append((instruction.tile, lanes))
+        elif stage == "accumulate":
+            for group in phase.groups:
+                for instruction in group:
+                    if isinstance(instruction.op, CoreAccumulate):
+                        point.acc_tiles.append(instruction.tile)
+    return [by_name[name] for name in order]
+
+
+# ----------------------------------------------------------------------
+# Probe results
+# ----------------------------------------------------------------------
+@dataclass
+class ProbeResult:
+    """Everything a probed run observed, bit-identical across backends.
+
+    Array shapes: ``spikes[layer]`` and ``acc_active[layer]`` are
+    ``(frames, timesteps)`` int64; ``potentials[layer]`` is
+    ``(frames, timesteps, layer_size)`` int64 (end-of-timestep membrane
+    potentials in group order).  ``sizes`` maps each probed layer to its
+    neuron count so firing rates normalise correctly.
+    """
+
+    frames: int
+    timesteps: int
+    sizes: Dict[str, int] = field(default_factory=dict)
+    spikes: Dict[str, np.ndarray] = field(default_factory=dict)
+    potentials: Dict[str, np.ndarray] = field(default_factory=dict)
+    acc_active: Dict[str, np.ndarray] = field(default_factory=dict)
+    telemetry: Optional[NocTelemetry] = None
+
+    # -- derived quantities --------------------------------------------
+    def spike_totals(self) -> Dict[str, int]:
+        """Total spikes fired per probed layer over the whole run."""
+        return {name: int(array.sum()) for name, array in self.spikes.items()}
+
+    def firing_rates(self) -> Dict[str, float]:
+        """Mean spikes per neuron per timestep, per probed layer."""
+        rates: Dict[str, float] = {}
+        steps = self.frames * self.timesteps
+        for name, array in self.spikes.items():
+            neurons = self.sizes.get(name, 0)
+            denom = steps * neurons
+            rates[name] = float(array.sum() / denom) if denom else 0.0
+        return rates
+
+    def acc_activity(self) -> Dict[str, float]:
+        """Mean spiking axons per timestep seen by each layer's ``ACC``."""
+        steps = self.frames * self.timesteps
+        return {
+            name: float(array.sum() / steps) if steps else 0.0
+            for name, array in self.acc_active.items()
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """A JSON-able summary (experiment metadata, bench sections)."""
+        payload: Dict[str, object] = {
+            "frames": self.frames,
+            "timesteps": self.timesteps,
+            "firing_rates": self.firing_rates(),
+            "spike_totals": self.spike_totals(),
+        }
+        if self.acc_active:
+            payload["acc_activity"] = self.acc_activity()
+        if self.telemetry is not None:
+            payload["noc"] = self.telemetry.summary()
+        return payload
+
+    def describe(self) -> str:
+        """Per-layer firing-rate table as text."""
+        lines = [f"probes over {self.frames} frame(s) x {self.timesteps} "
+                 "timestep(s):"]
+        rates = self.firing_rates()
+        totals = self.spike_totals()
+        activity = self.acc_activity()
+        for name in self.spikes or self.acc_active:
+            parts = [f"  {name:<24}"]
+            if name in rates:
+                parts.append(f"rate {rates[name]:>8.4f}")
+                parts.append(f"spikes {totals[name]:>8}")
+            if name in activity:
+                parts.append(f"acc axons/step {activity[name]:>10.2f}")
+            lines.append("  ".join(parts))
+        return "\n".join(lines)
+
+    # -- merging (sharded backend) -------------------------------------
+    @staticmethod
+    def concat(parts: Sequence["ProbeResult"]) -> "ProbeResult":
+        """Deterministic frame-axis merge of per-shard results (in order)."""
+        if not parts:
+            raise ProbeError("cannot merge zero probe results")
+        first = parts[0]
+        merged = ProbeResult(
+            frames=sum(part.frames for part in parts),
+            timesteps=first.timesteps,
+            sizes=dict(first.sizes),
+        )
+        for attr in ("spikes", "potentials", "acc_active"):
+            layers = getattr(first, attr)
+            setattr(merged, attr, {
+                name: np.concatenate([getattr(part, attr)[name]
+                                      for part in parts], axis=0)
+                for name in layers
+            })
+        telemetries = [part.telemetry for part in parts]
+        if telemetries[0] is not None:
+            merged.telemetry = NocTelemetry.merge(telemetries)
+        return merged
+
+
+# ----------------------------------------------------------------------
+# Backend collectors
+# ----------------------------------------------------------------------
+class ScheduleProbeRun:
+    """Vectorized-backend collector: captures batched state per timestep.
+
+    Built per run from the resolved probes and the lowered schedule's
+    tile-to-slot map; :meth:`capture` is called by the executor once at the
+    end of every timestep (all frames at once).  The NoC leg needs no
+    runtime capture at all — the schedule's statically recorded per-link
+    traffic and group occupancy scale exactly by ``frames * timesteps``
+    (the control flow is data independent).
+    """
+
+    def __init__(self, resolved: ResolvedProbes, schedule, frames: int,
+                 timesteps: int):
+        self.resolved = resolved
+        self.schedule = schedule
+        self.frames = frames
+        self.timesteps = timesteps
+        slots = schedule.slots
+        if not slots and not resolved.empty:
+            raise ProbeError(
+                "lowered schedule carries no tile-slot map; re-lower the "
+                "program with the current repro.engine"
+            )
+
+        def sites(point: LayerProbePoint) -> List[Tuple[int, np.ndarray]]:
+            return [(slots[tile], lanes) for tile, lanes in point.spike_sites]
+
+        self._spike_sites = [(p.name, sites(p)) for p in resolved.spikes]
+        self._pot_sites = [(p.name, sites(p)) for p in resolved.potentials]
+        self._acc_slots = [(p.name, [slots[tile] for tile in p.acc_tiles])
+                           for p in resolved.acc]
+        self.spikes = {name: np.zeros((frames, timesteps), dtype=np.int64)
+                       for name, _ in self._spike_sites}
+        self.potentials = {
+            p.name: np.zeros((frames, timesteps, p.size), dtype=np.int64)
+            for p in resolved.potentials
+        }
+        self.acc_active = {name: np.zeros((frames, timesteps), dtype=np.int64)
+                           for name, _ in self._acc_slots}
+
+    def capture(self, state, step: int) -> None:
+        """Record end-of-timestep state for every frame of the batch."""
+        for name, sites in self._spike_sites:
+            column = self.spikes[name][:, step]
+            for slot, lanes in sites:
+                column += state.spike_reg[slot][:, lanes].sum(axis=1)
+        for name, sites in self._pot_sites:
+            target = self.potentials[name]
+            offset = 0
+            for slot, lanes in sites:
+                target[:, step, offset:offset + lanes.size] = \
+                    state.potential[slot][:, lanes]
+                offset += lanes.size
+        for name, slots in self._acc_slots:
+            column = self.acc_active[name][:, step]
+            for slot in slots:
+                column += state.axons[slot].sum(axis=1)
+
+    def result(self) -> ProbeResult:
+        telemetry = None
+        if self.resolved.noc:
+            from .telemetry import schedule_telemetry
+
+            telemetry = schedule_telemetry(self.schedule, self.frames,
+                                           self.timesteps)
+        return ProbeResult(
+            frames=self.frames,
+            timesteps=self.timesteps,
+            sizes={p.name: p.size for p in self.resolved.spikes},
+            spikes=self.spikes,
+            potentials=self.potentials,
+            acc_active=self.acc_active,
+            telemetry=telemetry,
+        )
+
+
+class SimulatorProbeCollector:
+    """Reference-backend collector: an observer on the cycle interpreter.
+
+    The :class:`~repro.core.simulator.ShenjingSimulator` calls
+    ``begin_timestep`` / ``record_group`` / ``end_timestep`` when (and only
+    when) an observer is attached; with none attached the hooks cost one
+    ``None`` check.  State reads use the same end-of-timestep semantics as
+    :class:`ScheduleProbeRun`, which is what makes the results bit-exact
+    across backends.
+    """
+
+    def __init__(self, resolved: ResolvedProbes, frames: int, timesteps: int):
+        self.resolved = resolved
+        self.frames = frames
+        self.timesteps = timesteps
+        self._frame = 0
+        self._step = 0
+        self._group = 0
+        self.spikes = {p.name: np.zeros((frames, timesteps), dtype=np.int64)
+                       for p in resolved.spikes}
+        self.potentials = {
+            p.name: np.zeros((frames, timesteps, p.size), dtype=np.int64)
+            for p in resolved.potentials
+        }
+        self.acc_active = {p.name: np.zeros((frames, timesteps), dtype=np.int64)
+                           for p in resolved.acc}
+        #: observed NoC traffic, accumulated over the whole run
+        self.link_packets: Dict[Tuple[TileCoordinate, object, str], int] = {}
+        self.link_lanes: Dict[Tuple[TileCoordinate, object, str], int] = {}
+        self.group_packets: List[int] = []
+
+    # -- simulator hooks -----------------------------------------------
+    def begin_timestep(self) -> None:
+        self._group = 0
+
+    def record_group(self, outgoing) -> None:
+        if not self.resolved.noc:
+            return
+        if self._group >= len(self.group_packets):
+            self.group_packets.append(0)
+        self.group_packets[self._group] += len(outgoing)
+        self._group += 1
+        for src, direction, packet in outgoing:
+            net = "ps" if isinstance(packet, PsPacket) else "spike"
+            key = (src, direction, net)
+            self.link_packets[key] = self.link_packets.get(key, 0) + 1
+            self.link_lanes[key] = \
+                self.link_lanes.get(key, 0) + int(packet.lanes.size)
+
+    def end_timestep(self, system) -> None:
+        frame, step = self._frame, self._step
+        for point in self.resolved.spikes:
+            total = 0
+            for tile, lanes in point.spike_sites:
+                register = system.tile(tile).spike_router.spike_register
+                total += int(register[lanes].sum())
+            self.spikes[point.name][frame, step] = total
+        for point in self.resolved.potentials:
+            target = self.potentials[point.name]
+            offset = 0
+            for tile, lanes in point.spike_sites:
+                potential = system.tile(tile).spike_router.potential
+                target[frame, step, offset:offset + lanes.size] = \
+                    potential[lanes]
+                offset += lanes.size
+        for point in self.resolved.acc:
+            total = 0
+            for tile in point.acc_tiles:
+                total += int(system.tile(tile).core.axon_buffer.sum())
+            self.acc_active[point.name][frame, step] = total
+        self._step += 1
+        if self._step >= self.timesteps:
+            self._step = 0
+            self._frame += 1
+
+    # -- result assembly -----------------------------------------------
+    def result(self) -> ProbeResult:
+        telemetry = None
+        if self.resolved.noc:
+            telemetry = NocTelemetry(
+                frames=self.frames,
+                timesteps=self.timesteps,
+                link_packets=dict(self.link_packets),
+                link_lanes=dict(self.link_lanes),
+                group_packets=tuple(self.group_packets),
+            )
+        return ProbeResult(
+            frames=self.frames,
+            timesteps=self.timesteps,
+            sizes={p.name: p.size for p in self.resolved.spikes},
+            spikes=self.spikes,
+            potentials=self.potentials,
+            acc_active=self.acc_active,
+            telemetry=telemetry,
+        )

@@ -56,6 +56,7 @@ from .cost import (
     link_congestion,
     placement_cost,
     plan_metrics,
+    predicted_link_traffic,
     wave_depth,
 )
 from .multicast import DEFAULT_MAX_TARGETS, MulticastDelivery
@@ -90,6 +91,7 @@ __all__ = [
     "optimized_pipeline",
     "placement_cost",
     "plan_metrics",
+    "predicted_link_traffic",
     "wave_depth",
 ]
 

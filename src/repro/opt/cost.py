@@ -139,6 +139,29 @@ def plan_metrics(plan) -> NocMetrics:
     return metrics
 
 
+def predicted_link_traffic(plan) -> Dict[LinkKey, int]:
+    """Per-timestep packets the cost model predicts on every directed link.
+
+    Walks every delivery and reduction wave of a packed
+    :class:`~repro.ir.pipeline.RoutePlan` and counts one packet per route
+    hop — the same accounting as :func:`link_congestion`, summed over the
+    whole plan.  Program emission issues exactly one NoC operation per
+    hop, so these loads should equal the *observed* per-timestep link
+    traffic of :class:`repro.obs.NocTelemetry`;
+    :func:`repro.obs.compare_link_traffic` checks that drift.
+    """
+    loads: Counter = Counter()
+    for layer in plan.layers:
+        waves = list(layer.delivery_waves)
+        for round_waves in layer.reduction_rounds:
+            waves.extend(round_waves)
+        for wave in waves:
+            for transfer in wave.transfers:
+                for hop in transfer.route:
+                    loads[(hop.tile, hop.direction, transfer.net)] += 1
+    return dict(loads)
+
+
 # ----------------------------------------------------------------------
 # Placement-independent traffic model (for the placement search)
 # ----------------------------------------------------------------------

@@ -24,7 +24,8 @@ FENCE_RE = re.compile(r"```[^\n]*\n(.*?)```", re.DOTALL)
 #: dotted repro.* references; underscores and digits allowed per segment
 SYMBOL_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
-EXPECTED_DOCS = ("architecture.md", "pipeline.md", "backends.md", "timing.md")
+EXPECTED_DOCS = ("architecture.md", "pipeline.md", "backends.md",
+                 "timing.md", "observability.md")
 
 
 def doc_files():

@@ -137,8 +137,8 @@ class TestErrorPaths:
 
         original = VectorizedBackend.run
 
-        def corrupted(self, spike_trains):
-            result = original(self, spike_trains)
+        def corrupted(self, spike_trains, probes=None):
+            result = original(self, spike_trains, probes=probes)
             result.spike_counts[0, 0] += 1
             return result
 

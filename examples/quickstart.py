@@ -68,7 +68,8 @@ def list_networks(names=None, calibration_samples: int = 4, seed: int = 0) -> No
 
 
 def main(backend: str = "auto", check_parity: bool = True,
-         optimize_noc: bool = False, show_trace: bool = False) -> None:
+         optimize_noc: bool = False, show_trace: bool = False,
+         inject_fault: str | None = None) -> None:
     rng = np.random.default_rng(0)
 
     # A 40-24-5 spiking MLP.  Each 16x16 core holds at most 16 inputs and 16
@@ -108,10 +109,29 @@ def main(backend: str = "auto", check_parity: bool = True,
         metrics = plan_metrics(compiled.routes)
         print(f"NoC-optimized: {metrics.wave_count} waves, per-timestep wave "
               f"depth {metrics.wave_depth}, {metrics.total_hops} hops")
-    engine = ExecutionEngine(compiled.program, backend=backend)
-    hardware = engine.run(spike_trains)
+    if inject_fault is not None:
+        # Chaos demo: inject a deterministic fault into shard 1 of a
+        # supervised sharded run and let repro.resilience recover it.
+        from repro.engine import create_backend
+        from repro.resilience import FaultPlan, RunPolicy
 
-    chosen = getattr(engine.backend(), "last_selection", None)
+        plan = getattr(FaultPlan, inject_fault)(shard=1)
+        policy = RunPolicy(shard_timeout=2.0, max_retries=2, backoff=0.05)
+        backend = "sharded"
+        sharded = create_backend("sharded", compiled.program, workers=2,
+                                 policy=policy, faults=plan)
+        try:
+            hardware = sharded.run(spike_trains)
+        finally:
+            sharded.close()
+        print(f"\ninjected fault: {plan.describe()}")
+        print(hardware.resilience.describe())
+        engine = None
+    else:
+        engine = ExecutionEngine(compiled.program, backend=backend)
+        hardware = engine.run(spike_trains)
+
+    chosen = getattr(engine.backend(), "last_selection", None) if engine else None
     selected = f"{backend} -> {chosen}" if chosen else backend
     print(f"\nexecution backend: {selected} (available: {', '.join(list_backends())})")
     print("abstract SNN spike counts:")
@@ -146,6 +166,14 @@ if __name__ == "__main__":
                              "delivery, reduction trees)")
     parser.add_argument("--trace", action="store_true",
                         help="print the per-pass compile trace")
+    parser.add_argument("--inject-fault", metavar="KIND", default=None,
+                        choices=("crash", "hang", "exception", "slow",
+                                 "corrupt"),
+                        help="chaos demo: inject a deterministic fault "
+                             "(crash | hang | exception | slow | corrupt) "
+                             "into one shard of a supervised sharded run "
+                             "and print the repro.resilience recovery "
+                             "summary")
     parser.add_argument("--list-networks", nargs="*", metavar="NAME",
                         default=None,
                         help="list benchmark network builders with core/chip "
@@ -155,4 +183,5 @@ if __name__ == "__main__":
         list_networks(args.list_networks or None)
     else:
         main(backend=args.backend, check_parity=not args.no_parity,
-             optimize_noc=args.optimize_noc, show_trace=args.trace)
+             optimize_noc=args.optimize_noc, show_trace=args.trace,
+             inject_fault=args.inject_fault)

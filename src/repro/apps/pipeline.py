@@ -90,6 +90,11 @@ class ExperimentConfig:
     #: telemetry) to the hardware run; the probe summary lands in the
     #: result metadata.  Needs ``hardware_frames != 0`` to observe anything
     probes: bool = False
+    #: supervised execution policy (a :class:`repro.resilience.RunPolicy`)
+    #: forwarded to the ``sharded``/``auto`` hardware backends; shard
+    #: failures then retry/degrade instead of failing the experiment, and
+    #: the recovery record lands in ``metadata["resilience"]``
+    run_policy: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("mnist", "cifar"):
@@ -98,6 +103,17 @@ class ExperimentConfig:
             raise PipelineError("timesteps and target_fps must be positive")
         if self.train_epochs < 0 or self.train_size <= 0 or self.test_size <= 0:
             raise PipelineError("invalid training sizes")
+        if self.run_policy is not None:
+            from ..resilience import RunPolicy
+
+            if not isinstance(self.run_policy, RunPolicy):
+                raise PipelineError(
+                    f"run_policy must be a repro.resilience.RunPolicy, "
+                    f"got {type(self.run_policy).__name__}")
+            if self.backend not in ("sharded", "auto"):
+                raise PipelineError(
+                    f"run_policy requires the 'sharded' or 'auto' backend, "
+                    f"not {self.backend!r}")
         get_backend(self.backend)  # fail fast on unknown backends
 
 
@@ -241,6 +257,7 @@ def run_experiment(config: ExperimentConfig,
     hardware_matches: Optional[bool] = None
     execution_backend: Optional[str] = None
     probe_summary: Optional[Dict[str, object]] = None
+    resilience_summary: Optional[Dict[str, object]] = None
     if compiled is not None:
         if config.hardware_frames < 0:
             frames = dataset.test_size
@@ -251,7 +268,11 @@ def run_experiment(config: ExperimentConfig,
             from ..obs import ProbeSet
 
             probe_set = ProbeSet.firing_rates(noc=True)
-        backend_instance = create_backend(config.backend, compiled.program)
+        backend_options: Dict[str, object] = {}
+        if config.run_policy is not None:
+            backend_options["policy"] = config.run_policy
+        backend_instance = create_backend(config.backend, compiled.program,
+                                          **backend_options)
         try:
             hw_result = backend_instance.run(test_trains[:frames],
                                              probes=probe_set)
@@ -265,6 +286,8 @@ def run_experiment(config: ExperimentConfig,
             hw_result.spike_counts, snn_result.spike_counts[:frames]))
         if hw_result.probes is not None:
             probe_summary = hw_result.probes.summary()
+        if hw_result.resilience is not None:
+            resilience_summary = hw_result.resilience.as_dict()
     else:
         # Mapping is lossless (verified by the test-suite for every layer
         # type), so the mapped accuracy equals the abstract SNN accuracy.
@@ -315,6 +338,7 @@ def run_experiment(config: ExperimentConfig,
             "optimize_noc": config.optimize_noc,
             "noc": noc_metrics,
             "probes": probe_summary,
+            "resilience": resilience_summary,
         },
     )
 

@@ -530,6 +530,113 @@ def check_obs_regression(current: Dict[str, object],
     return failures
 
 
+#: throughput the supervised sharded path may lose vs the committed
+#: unsupervised numbers — the ISSUE 7 acceptance band (5 %): supervision
+#: must stay an async-submission bookkeeping cost, never a serialization
+RESILIENCE_MAX_OVERHEAD = 0.05
+#: worker-pool size every resilience measurement pins (machine-independent)
+RESILIENCE_WORKERS = 2
+
+
+def measure_resilience(frames: int = DEFAULT_FRAMES,
+                       timesteps: int = DEFAULT_TIMESTEPS,
+                       repeats: int = 5) -> Dict[str, object]:
+    """The :mod:`repro.resilience` section of the perf trajectory.
+
+    Three sub-records:
+
+    * ``unsupervised`` — sharded frames/sec with no :class:`RunPolicy`
+      (the plain fire-and-forget numbers the other sections already track);
+    * ``supervised`` — the same run under the default
+      :class:`~repro.resilience.RunPolicy` (async per-shard submission,
+      timeout bookkeeping, result validation).  ``--check`` gates this
+      within ``max_overhead`` (5 %) of the committed *unsupervised*
+      baseline, same shape as the probe-overhead gate;
+    * ``recovery`` — wall-clock of one run surviving an injected worker
+      crash (pool re-fork + failed-shard re-run included) plus whether the
+      recovered run stayed bit-exact vs the vectorized baseline.  The
+      bit-exactness flag is gated; the seconds are informational.
+    """
+    from ..resilience import FaultPlan, RunPolicy
+
+    program, trains = mlp_bench_case(frames=frames, timesteps=timesteps)
+    policy = RunPolicy()
+    # workers is pinned so the measurement exercises the real worker pool
+    # even on single-core machines (the default would collapse to the
+    # in-process shards<=1 path and supervision would never engage).
+    workers = RESILIENCE_WORKERS
+    unsupervised = time_backend("sharded", program, trains, repeats=repeats,
+                                workers=workers)
+    supervised = time_backend("sharded", program, trains, repeats=repeats,
+                              workers=workers, policy=policy)
+
+    with create_backend("vectorized", program) as backend:
+        baseline = backend.run(trains)
+    recovery_policy = RunPolicy(shard_timeout=60.0, max_retries=2, backoff=0.0)
+    with create_backend("sharded", program, workers=workers,
+                        policy=recovery_policy,
+                        faults=FaultPlan.crash(shard=0)) as backend:
+        start = time.perf_counter()
+        result = backend.run(trains)
+        recovery_seconds = time.perf_counter() - start
+    recovered = bool(
+        np.array_equal(result.spike_counts, baseline.spike_counts)
+        and result.stats.summary() == baseline.stats.summary())
+    return {
+        "frames": frames,
+        "timesteps": timesteps,
+        "max_overhead": RESILIENCE_MAX_OVERHEAD,
+        "workers": workers,
+        "policy": policy.as_dict(),
+        "unsupervised": {"seconds": unsupervised,
+                         "frames_per_sec": frames / unsupervised},
+        "supervised": {"seconds": supervised,
+                       "frames_per_sec": frames / supervised,
+                       "overhead_ratio":
+                           (supervised - unsupervised) / unsupervised},
+        "recovery": {
+            "fault": "crash",
+            "seconds": recovery_seconds,
+            "recovered_bit_exact": recovered,
+            "events": result.resilience.counts(),
+        },
+    }
+
+
+def check_resilience_regression(current: Dict[str, object],
+                                committed: Dict[str, object]) -> List[str]:
+    """Gate fresh resilience measurements against the committed section.
+
+    Two gates: supervised fault-free throughput must stay within the
+    committed ``max_overhead`` (5 %) of the committed *unsupervised*
+    frames/sec — supervision is only acceptable while its fault-free cost
+    rounds to zero — and the injected-crash run must have recovered
+    bit-exactly (a boolean, so any regression is functional, not noise).
+    """
+    failures: List[str] = []
+    max_overhead = float(committed.get("max_overhead",
+                                       RESILIENCE_MAX_OVERHEAD))
+    fresh = current.get("supervised", {})
+    baseline = committed.get("unsupervised", {})
+    if fresh and baseline:
+        measured = float(fresh["frames_per_sec"])
+        committed_fps = float(baseline["frames_per_sec"])
+        floor = committed_fps * (1.0 - max_overhead)
+        if measured < floor:
+            failures.append(
+                f"supervised throughput {measured:.1f} frames/s < "
+                f"{floor:.1f} (committed unsupervised {committed_fps:.1f}, "
+                f"max supervision overhead {max_overhead:.0%})"
+            )
+    recovery = current.get("recovery", {})
+    if recovery and not recovery.get("recovered_bit_exact", True):
+        failures.append(
+            "injected worker crash did not recover bit-exactly "
+            f"(events: {recovery.get('events')})"
+        )
+    return failures
+
+
 #: default allowed frames/sec regression before --check fails (25 %)
 DEFAULT_CHECK_TOLERANCE = 0.25
 

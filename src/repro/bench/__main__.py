@@ -25,10 +25,12 @@ from . import (
     check_noc_regression,
     check_obs_regression,
     check_regression,
+    check_resilience_regression,
     check_timing_regression,
     load_bench_report,
     measure_noc,
     measure_obs,
+    measure_resilience,
     measure_sharded_scaling,
     measure_throughput,
     measure_timing,
@@ -95,6 +97,22 @@ def _print_obs(obs) -> None:
         for record in compile_row["passes"]:
             print(f"  {record['name']:<24} "
                   f"{record['seconds'] * 1e3:>9.3f} ms  {record['summary']}")
+
+
+def _print_resilience(resilience) -> None:
+    print(f"supervision overhead (sharded, gate "
+          f"{resilience['max_overhead']:.0%} on the supervised path):")
+    print(f"  unsupervised {resilience['unsupervised']['frames_per_sec']:>10.1f}"
+          " frames/s")
+    print(f"  supervised   {resilience['supervised']['frames_per_sec']:>10.1f}"
+          f" frames/s (default RunPolicy, "
+          f"{resilience['supervised']['overhead_ratio']:+.1%} run time)")
+    recovery = resilience.get("recovery") or {}
+    if recovery:
+        state = "bit-exact" if recovery.get("recovered_bit_exact") \
+            else "NOT bit-exact"
+        print(f"  crash recovery: {recovery['seconds'] * 1e3:.1f} ms "
+              f"({state}; events: {recovery.get('events')})")
 
 
 def run_check(args) -> int:
@@ -173,6 +191,20 @@ def run_check(args) -> int:
             committed_obs.get("max_overhead", obs["max_overhead"]))
         _print_obs(obs)
         failures += check_obs_regression(obs, committed_obs)
+    committed_resilience = committed.get("resilience")
+    if isinstance(committed_resilience, dict) and not args.skip_resilience:
+        resilience = measure_resilience(
+            frames=int(committed_resilience.get("frames", frames)),
+            timesteps=int(committed_resilience.get("timesteps", timesteps)),
+            repeats=args.repeats,
+        )
+        # the gate enforces the *committed* overhead ceiling; print that one
+        resilience["max_overhead"] = float(
+            committed_resilience.get("max_overhead",
+                                     resilience["max_overhead"]))
+        _print_resilience(resilience)
+        failures += check_resilience_regression(resilience,
+                                                committed_resilience)
     if failures:
         print(f"\nbench check FAILED ({len(failures)} regression(s) vs "
               f"committed rev {committed.get('git_rev', '?')}):")
@@ -215,6 +247,10 @@ def main(argv=None) -> int:
                         help="skip the observability section (probe "
                              "overhead, per-layer firing rates and compile "
                              "pass timings, repro.obs)")
+    parser.add_argument("--skip-resilience", action="store_true",
+                        help="skip the resilience section (supervised "
+                             "sharded overhead and crash-recovery time, "
+                             "repro.resilience)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed trajectory and "
                              "exit 1 on >tolerance frames/sec regression "
@@ -265,6 +301,12 @@ def main(argv=None) -> int:
                           repeats=args.repeats)
         sections["obs"] = obs
         _print_obs(obs)
+
+    if not args.skip_resilience:
+        resilience = measure_resilience(frames=frames, timesteps=timesteps,
+                                        repeats=args.repeats)
+        sections["resilience"] = resilience
+        _print_resilience(resilience)
 
     path = write_bench_report(sections, path=args.output)
     print(f"wrote {path}")

@@ -76,6 +76,11 @@ class SimulationResult:
     #: probe captures of the run (a :class:`repro.obs.ProbeResult`) when the
     #: backend was asked to observe; ``None`` otherwise
     probes: Optional[object] = None
+    #: recovery record of the run (a
+    #: :class:`repro.resilience.ResilienceReport`) when the backend ran
+    #: under a :class:`~repro.resilience.RunPolicy` or degraded to a
+    #: fallback backend; ``None`` otherwise
+    resilience: Optional[object] = None
 
     def accuracy(self, labels: np.ndarray) -> float:
         labels = np.asarray(labels).ravel()

@@ -55,7 +55,7 @@ from .registry import (
 from .reference import ReferenceBackend
 from .vectorized import VectorizedBackend, execute_schedule
 from .sharded import ShardedBackend, resolve_worker_count
-from .auto import AutoBackend, select_backend_name
+from .auto import AutoBackend, DEGRADATION_CHAIN, next_fallback, select_backend_name
 
 
 class ExecutionEngine:
@@ -145,6 +145,7 @@ __all__ = [
     "BatchState",
     "ClearPlan",
     "DEFAULT_BACKEND",
+    "DEGRADATION_CHAIN",
     "EngineError",
     "ExecutionBackend",
     "ExecutionEngine",
@@ -161,6 +162,7 @@ __all__ = [
     "get_backend",
     "list_backends",
     "lower_program",
+    "next_fallback",
     "optimize_schedule",
     "register_backend",
     "resolve_worker_count",

@@ -408,6 +408,37 @@ class LoweredSchedule:
         stats.interchip_ps_bits = self.interchip_ps_bits_per_timestep * scale
         return stats
 
+    def check_shard_result(self, counts, active_axons,
+                           frames: int) -> List[str]:
+        """Structural validation of one executor result payload.
+
+        The supervised sharded backend runs this over every worker-returned
+        shard so a corrupted payload — truncated array, wrong dtype,
+        impossible values — is caught (and the shard retried) before the
+        deterministic frame-axis merge.  Returns a list of problem
+        descriptions; empty means the payload is structurally sound.
+        """
+        problems: List[str] = []
+        expected = (frames, self.program.output_size)
+        if not isinstance(counts, np.ndarray):
+            problems.append(
+                f"spike counts are {type(counts).__name__}, not ndarray")
+        else:
+            if counts.shape != expected:
+                problems.append(
+                    f"spike counts shape {counts.shape} != expected {expected}")
+            if counts.dtype != np.int64:
+                problems.append(
+                    f"spike counts dtype {counts.dtype} != expected int64")
+            if counts.size and counts.min() < 0:
+                problems.append("negative spike counts")
+        if not isinstance(active_axons, (int, np.integer)):
+            problems.append(
+                f"active_axons is {type(active_axons).__name__}, not an int")
+        elif active_axons < 0:
+            problems.append(f"negative active_axons ({active_axons})")
+        return problems
+
 
 # ----------------------------------------------------------------------
 # The lowering pass

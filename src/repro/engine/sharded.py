@@ -1,4 +1,4 @@
-"""The ``sharded`` backend: multiprocess execution, batch split across workers.
+"""The ``sharded`` backend: supervised multiprocess execution across workers.
 
 One Python process caps sweep throughput no matter how well the inner loop
 vectorizes.  The lowered (and optimized) schedule is *static picklable
@@ -18,19 +18,37 @@ collection.  Runs whose batch is smaller than two frames per shard fall
 back to in-process execution, so 1-worker and tiny-batch runs never pay
 process overhead (and never fork a pool at all).
 
+Execution is **supervised**, not fire-and-forget: shards are submitted
+individually to a :class:`concurrent.futures.ProcessPoolExecutor` and
+harvested asynchronously, so a worker process that dies (OOM-kill,
+segfault) surfaces promptly as
+:class:`~repro.resilience.WorkerCrashError` instead of blocking forever.
+Passing a :class:`~repro.resilience.RunPolicy` upgrades detection to
+recovery: hung workers are timed out
+(:class:`~repro.resilience.ShardTimeoutError` when exhausted), the pool is
+torn down and re-forked, failed shards are re-run with bounded
+deterministic backoff, a whole-run deadline is enforced
+(:class:`~repro.resilience.RunDeadlineExceeded`), and every observation
+lands in a :class:`~repro.resilience.ResilienceReport` attached to the
+result.  A :class:`~repro.resilience.FaultPlan` (tests only) injects
+deterministic faults into workers through the same initializer payload that
+carries the schedule.
+
 Merging is deterministic: shards are contiguous frame ranges in order, spike
 counts concatenate along the frame axis, predictions are recomputed from the
 merged counts, and the data-dependent ``ACC`` activity sums linearly over
 frames, so the analytically reconstructed
 :class:`~repro.core.stats.ExecutionStats` is *identical* to a single-process
 run — the sharded backend is bit-exact with ``vectorized`` and ``reference``
-including statistics.
+including statistics, **and recovered runs are bit-identical to unfaulted
+ones** because retried shards recompute exactly the same frame range.
 
 Worker-side errors (the one data-dependent error class: partial-sum
 overflow) re-raise in the parent with the same exception classes the other
 backends use (:class:`~repro.core.neuron_core.NeuronCoreError`,
-:class:`~repro.core.ps_router.PsRouterError`), and the pool stays usable
-afterwards.
+:class:`~repro.core.ps_router.PsRouterError`), are **never retried** (they
+are deterministic program errors, not infrastructure failures), and the
+pool stays usable afterwards.
 
 Worker count resolves from, in order: the ``workers`` constructor argument,
 the ``REPRO_SHARDED_WORKERS`` environment variable, ``os.cpu_count()``
@@ -42,12 +60,26 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from typing import List, Optional
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.simulator import SimulationResult
 from ..mapping.program import Program
+from ..resilience import (
+    FaultInjector,
+    FaultPlan,
+    ResilienceReport,
+    ResultIntegrityError,
+    RunDeadlineExceeded,
+    RunPolicy,
+    ShardTimeoutError,
+    TransientWorkerError,
+    WorkerCrashError,
+)
 from .base import EngineError, ExecutionBackend, normalise_spike_trains
 from .lowering import LoweredSchedule
 from .registry import register_backend
@@ -61,20 +93,30 @@ MAX_DEFAULT_WORKERS = 8
 
 
 def resolve_worker_count(workers: Optional[int] = None) -> int:
-    """The worker count to use: explicit argument, env var, or cpu count."""
+    """The worker count to use: explicit argument, env var, or cpu count.
+
+    Errors name the offending source — the ``workers=`` argument vs the
+    ``REPRO_SHARDED_WORKERS`` environment variable — so misconfiguration in
+    a service environment is diagnosable from the exception alone.
+    """
+    source = "the workers= argument"
     if workers is None:
         env = os.environ.get(WORKERS_ENV_VAR)
         if env is not None:
+            source = f"the environment ({WORKERS_ENV_VAR}={env})"
             try:
                 workers = int(env)
             except ValueError:
                 raise EngineError(
-                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                    f"{WORKERS_ENV_VAR}={env!r} (environment) must be an "
+                    f"integer"
                 ) from None
         else:
+            source = "the machine default"
             workers = min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS)
     if workers < 1:
-        raise EngineError(f"worker count must be >= 1, got {workers}")
+        raise EngineError(
+            f"worker count must be >= 1, got {workers} from {source}")
     return workers
 
 
@@ -82,35 +124,47 @@ def resolve_worker_count(workers: Optional[int] = None) -> int:
 # Worker-side state and entry points (module level: picklable by name)
 # ----------------------------------------------------------------------
 _WORKER_SCHEDULE: Optional[LoweredSchedule] = None
+_WORKER_FAULTS: Optional[FaultPlan] = None
 
 
-def _worker_init(payload: bytes) -> None:
-    global _WORKER_SCHEDULE
+def _worker_init(payload: bytes, fault_payload: Optional[bytes] = None) -> None:
+    global _WORKER_SCHEDULE, _WORKER_FAULTS
     _WORKER_SCHEDULE = pickle.loads(payload)
+    _WORKER_FAULTS = (pickle.loads(fault_payload)
+                      if fault_payload is not None else None)
 
 
-def _worker_run(shard: np.ndarray):
-    counts, active_axons = execute_schedule(_WORKER_SCHEDULE, shard)
-    return counts, active_axons
+def _worker_run(task):
+    """Run one shard: ``(index, attempt, shard, probe_set)`` ->
+    ``(index, counts, active_axons, probe_result)``.
 
-
-def _worker_run_probed(args):
-    """Probed variant: ``(shard, probe_set)`` -> counts, activity, probes.
-
-    The :class:`~repro.obs.ProbeSet` is a small frozen dataclass, so it
-    pickles with the task; each worker resolves it against the schedule's
-    program and returns its shard's :class:`~repro.obs.ProbeResult` for the
-    parent's deterministic frame-axis merge.
+    ``attempt`` gates fault injection (a fault listed for attempt 0 does not
+    refire on the supervised retry), and the optional
+    :class:`~repro.obs.ProbeSet` — a small frozen dataclass, picklable with
+    the task — is resolved worker-side so each shard returns its own
+    :class:`~repro.obs.ProbeResult` for the parent's deterministic
+    frame-axis merge.
     """
-    from ..obs.probes import ScheduleProbeRun
-
-    shard, probe_set = args
+    index, attempt, shard, probe_set = task
     schedule = _WORKER_SCHEDULE
-    frames, timesteps, _ = shard.shape
-    collector = ScheduleProbeRun(probe_set.resolve(schedule.program),
-                                 schedule, frames, timesteps)
-    counts, active_axons = execute_schedule(schedule, shard, collector)
-    return counts, active_axons, collector.result()
+    injector = None
+    if _WORKER_FAULTS is not None:
+        specs = _WORKER_FAULTS.for_shard(index, attempt)
+        if specs:
+            injector = FaultInjector(specs)
+    collector = None
+    if probe_set is not None:
+        from ..obs.probes import ScheduleProbeRun
+
+        frames, timesteps, _ = shard.shape
+        collector = ScheduleProbeRun(probe_set.resolve(schedule.program),
+                                     schedule, frames, timesteps)
+    counts, active_axons = execute_schedule(schedule, shard, collector,
+                                            fault=injector)
+    probe_result = collector.result() if collector is not None else None
+    if injector is not None:
+        counts = injector.corrupt_result(counts)
+    return index, counts, active_axons, probe_result
 
 
 @register_backend
@@ -121,16 +175,23 @@ class ShardedBackend(ExecutionBackend):
 
     def __init__(self, program: Program, collect_stats: bool = True,
                  workers: Optional[int] = None, optimize: bool = True,
-                 start_method: Optional[str] = None):
+                 start_method: Optional[str] = None,
+                 policy: Optional[RunPolicy] = None,
+                 faults: Optional[FaultPlan] = None):
         super().__init__(program, collect_stats=collect_stats)
         self.workers = resolve_worker_count(workers)
+        if policy is not None and not isinstance(policy, RunPolicy):
+            raise EngineError(
+                f"policy must be a repro.resilience.RunPolicy, "
+                f"got {type(policy).__name__}")
+        self.policy = policy
         schedule = prepare_schedule(program, optimize)
         self.schedule: LoweredSchedule = schedule
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
-        self._pool = None
+        self._pool: Optional[ProcessPoolExecutor] = None
         try:
             #: the schedule, serialized once; the pool ships it at fork time
             self._payload = pickle.dumps(schedule,
@@ -139,6 +200,26 @@ class ShardedBackend(ExecutionBackend):
             raise EngineError(
                 f"lowered schedule is not picklable, cannot shard: {exc}"
             ) from exc
+        self.faults: Optional[FaultPlan] = None
+        self._fault_payload: Optional[bytes] = None
+        if faults:
+            self.set_faults(faults)
+
+    def set_faults(self, faults: Optional[FaultPlan]) -> None:
+        """Replace the injected fault plan (tests only).
+
+        The plan ships inside the pool initializer payload, so any live
+        pool is torn down and the next run's re-fork picks the plan up.
+        """
+        if faults and not isinstance(faults, FaultPlan):
+            raise EngineError(
+                f"faults must be a repro.resilience.FaultPlan, "
+                f"got {type(faults).__name__}")
+        self.faults = faults or None
+        self._fault_payload = (
+            pickle.dumps(faults, protocol=pickle.HIGHEST_PROTOCOL)
+            if faults else None)
+        self._terminate_pool()
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -148,22 +229,36 @@ class ShardedBackend(ExecutionBackend):
         """True while a worker pool is forked and usable."""
         return self._pool is not None
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         """Fork the persistent pool on first use (``workers`` processes)."""
         if self._pool is None:
             ctx = multiprocessing.get_context(self.start_method)
-            self._pool = ctx.Pool(processes=self.workers,
-                                  initializer=_worker_init,
-                                  initargs=(self._payload,))
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(self._payload, self._fault_payload))
         return self._pool
+
+    def _terminate_pool(self) -> None:
+        """Kill the pool outright (idempotent; a later run re-forks it).
+
+        SIGKILL the workers before ``shutdown``: a polite shutdown would
+        block behind a hung worker, and a crashed pool cannot be drained.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for process in processes:
+            process.kill()
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.join()
 
     def close(self) -> None:
         """Terminate the worker pool (idempotent; a later run re-forks it)."""
-        pool = self._pool
-        self._pool = None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        self._terminate_pool()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
@@ -176,7 +271,10 @@ class ShardedBackend(ExecutionBackend):
         """How many shards a ``frames``-sized batch actually splits into.
 
         Never more shards than frames (a worker with an empty shard is pure
-        overhead), and a single shard runs in-process.
+        overhead), and a single shard runs in-process.  Because shards never
+        outnumber workers either, every submitted shard starts executing
+        immediately — which is what makes the policy's ``shard_timeout``
+        (measured from submission) a fair per-shard bound.
         """
         return max(1, min(self.workers, frames))
 
@@ -187,7 +285,10 @@ class ShardedBackend(ExecutionBackend):
         frames, timesteps, _ = spike_trains.shape
         shards = self.shard_count(frames)
         probe_result = None
+        report: Optional[ResilienceReport] = None
         if shards <= 1:
+            # in-process fallback: no pool, hence no faults and nothing to
+            # supervise — a policy holder still gets a (clean) report
             collector = None
             if probes:
                 from ..obs.probes import ScheduleProbeRun
@@ -198,14 +299,17 @@ class ShardedBackend(ExecutionBackend):
                                                     spike_trains, collector)
             if collector is not None:
                 probe_result = collector.result()
-        elif probes:
-            counts, active_axons, probe_result = \
-                self._run_sharded_probed(spike_trains, shards, probes)
+            if self.policy is not None:
+                report = ResilienceReport(self.policy)
         else:
-            counts, active_axons = self._run_sharded(spike_trains, shards)
+            counts, active_axons, probe_result, report = self._run_sharded(
+                spike_trains, shards, probes if probes else None)
+            if self.policy is None:
+                report = None
         result = build_result(self.schedule, counts, active_axons,
                               frames, timesteps, self.collect_stats)
         result.probes = probe_result
+        result.resilience = report
         return result
 
     def _shard_pieces(self, spike_trains: np.ndarray,
@@ -215,27 +319,184 @@ class ShardedBackend(ExecutionBackend):
             for piece in np.array_split(spike_trains, shards, axis=0)
         ]
 
-    def _run_sharded(self, spike_trains: np.ndarray, shards: int):
-        """Run the shards on the persistent pool, merge deterministically."""
-        pieces = self._shard_pieces(spike_trains, shards)
-        # Pool.map preserves order and re-raises the first worker exception
-        # in the parent with its original class; the pool remains usable.
-        results = self._ensure_pool().map(_worker_run, pieces)
-        counts = np.concatenate([counts for counts, _ in results], axis=0)
-        active_axons = sum(active for _, active in results)
-        return counts, active_axons
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+    def _run_sharded(self, spike_trains: np.ndarray, shards: int, probes):
+        """Submit shards asynchronously, harvest under the policy, merge.
 
-    def _run_sharded_probed(self, spike_trains: np.ndarray, shards: int,
-                            probes):
-        """Probed sharded run: contiguous frame shards in order, so the
-        frame-axis probe merge is deterministic and bit-identical to an
-        unsharded run."""
-        from ..obs.probes import ProbeResult
-
+        Without a policy this still fails fast on a dead worker (the
+        executor marks itself broken promptly) — it just never retries.
+        The merge is deterministic regardless of completion order: results
+        key on the shard index, and shard ``i`` always recomputes the same
+        contiguous frame range, so recovered runs are bit-identical.
+        """
         pieces = self._shard_pieces(spike_trains, shards)
-        results = self._ensure_pool().map(
-            _worker_run_probed, [(piece, probes) for piece in pieces])
-        counts = np.concatenate([counts for counts, _, _ in results], axis=0)
-        active_axons = sum(active for _, active, _ in results)
-        probe_result = ProbeResult.concat([part for _, _, part in results])
-        return counts, active_axons, probe_result
+        policy = self.policy
+        report = ResilienceReport(policy)
+        timeout = policy.shard_timeout if policy is not None else None
+        max_retries = policy.max_retries if policy is not None else 0
+        deadline = None
+        if policy is not None and policy.run_deadline is not None:
+            deadline = time.monotonic() + policy.run_deadline
+
+        total = len(pieces)
+        results: Dict[int, Tuple] = {}
+        attempts = {index: 0 for index in range(total)}
+        to_submit = list(range(total))
+        retry_round = 0
+
+        while len(results) < total:
+            pool = self._ensure_pool()
+            pending: Dict[object, int] = {}
+            submitted: Dict[int, float] = {}
+            failures: Dict[int, Tuple[str, str]] = {}
+            broken = False
+            try:
+                for index in to_submit:
+                    task = (index, attempts[index], pieces[index], probes)
+                    pending[pool.submit(_worker_run, task)] = index
+                    submitted[index] = time.monotonic()
+            except BrokenProcessPool:
+                for index in to_submit:
+                    if index not in submitted:
+                        failures[index] = (
+                            "crash", "worker pool broke during submission")
+                broken = True
+            to_submit = []
+
+            while pending and not broken:
+                now = time.monotonic()
+                tick = None
+                if timeout is not None:
+                    earliest = min(submitted[i] for i in pending.values())
+                    tick = max(0.0, earliest + timeout - now)
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        self._deadline_exceeded(report, pending)
+                    tick = remaining if tick is None else min(tick, remaining)
+                done, _ = wait(set(pending), timeout=tick,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        self._deadline_exceeded(report, pending)
+                    overdue = {
+                        index for index in pending.values()
+                        if now - submitted[index] >= timeout
+                    }
+                    if not overdue:
+                        continue
+                    # A hung worker can only be reclaimed by tearing the
+                    # whole pool down; shards still in flight elsewhere are
+                    # preempted and re-run at the *same* attempt number —
+                    # they never failed, so they keep their retry budget
+                    # (and their attempt-gated faults).
+                    for future, index in pending.items():
+                        if index in overdue:
+                            failures[index] = (
+                                "timeout",
+                                f"no result within shard_timeout={timeout}s")
+                        else:
+                            failures[index] = (
+                                "preempted",
+                                "pool torn down to reclaim a hung worker")
+                    pending = {}
+                    self._terminate_pool()
+                    break
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        _, counts, active, probe_part = future.result()
+                    except BrokenProcessPool:
+                        # the executor cannot say *which* worker died, so
+                        # every in-flight shard fails as a crash this round
+                        failures[index] = ("crash", "worker process died")
+                        broken = True
+                    except TransientWorkerError as exc:
+                        failures[index] = ("transient", str(exc), exc)
+                    # any other exception (NeuronCoreError, PsRouterError,
+                    # ...) is a deterministic program error: it re-raises
+                    # unmasked with its original class, and the pool stays
+                    # usable
+                    else:
+                        problems = self.schedule.check_shard_result(
+                            counts, active, pieces[index].shape[0])
+                        if problems:
+                            failures[index] = ("corrupt", "; ".join(problems))
+                        else:
+                            results[index] = (counts, active, probe_part)
+
+            if broken:
+                for future, index in pending.items():
+                    failures.setdefault(index, ("crash",
+                                                "worker process died"))
+                pending = {}
+                self._terminate_pool()
+
+            if failures:
+                for index in sorted(failures):
+                    kind, message = failures[index][:2]
+                    cause = failures[index][2] if len(failures[index]) > 2 \
+                        else None
+                    report.record(kind, message, shard=index,
+                                  attempt=attempts[index])
+                    if kind == "preempted":
+                        to_submit.append(index)
+                        continue
+                    attempts[index] += 1
+                    if attempts[index] > max_retries:
+                        raise self._exhausted(kind, message, index,
+                                              attempts[index], report, cause)
+                    report.record("retry", f"resubmitting after {kind}",
+                                  shard=index, attempt=attempts[index])
+                    to_submit.append(index)
+                retry_round += 1
+                if policy is not None:
+                    pause = policy.backoff_for(retry_round)
+                    if pause:
+                        time.sleep(pause)
+
+        counts = np.concatenate([results[i][0] for i in range(total)], axis=0)
+        active_axons = sum(results[i][1] for i in range(total))
+        probe_result = None
+        if probes is not None:
+            from ..obs.probes import ProbeResult
+
+            probe_result = ProbeResult.concat(
+                [results[i][2] for i in range(total)])
+        return counts, active_axons, probe_result, report
+
+    def _deadline_exceeded(self, report: ResilienceReport, pending) -> None:
+        policy = self.policy
+        unfinished = len(pending)
+        report.record(
+            "deadline",
+            f"run_deadline={policy.run_deadline}s exceeded with "
+            f"{unfinished} shard(s) unfinished")
+        self._terminate_pool()
+        raise RunDeadlineExceeded(
+            f"supervised sharded run exceeded run_deadline="
+            f"{policy.run_deadline}s with {unfinished} shard(s) unfinished",
+            report=report)
+
+    def _exhausted(self, kind: str, message: str, shard: int,
+                   attempt_count: int, report: ResilienceReport,
+                   cause=None):
+        if self.policy is None:
+            suffix = "no RunPolicy set: supervised retry is disabled"
+        else:
+            suffix = f"RunPolicy exhausted after {attempt_count} attempt(s)"
+        text = f"shard {shard}: {message} ({suffix})"
+        if kind == "crash":
+            return WorkerCrashError(text, report=report)
+        if kind == "timeout":
+            return ShardTimeoutError(text, report=report)
+        if kind == "corrupt":
+            return ResultIntegrityError(text, report=report)
+        # transient: re-raise with the worker exception's own class (e.g.
+        # InjectedFaultError), keeping the report attached
+        error = type(cause)(text, report=report) if cause is not None \
+            else TransientWorkerError(text, report=report)
+        return error

@@ -68,7 +68,7 @@ def build_result(schedule: LoweredSchedule, counts: np.ndarray,
 
 
 def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
-                     collector=None) -> Tuple[np.ndarray, int]:
+                     collector=None, fault=None) -> Tuple[np.ndarray, int]:
     """Run a batch of spike trains through a lowered schedule.
 
     The shared inner loop of the ``vectorized`` backend and the ``sharded``
@@ -76,7 +76,10 @@ def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
     are reconstructed by the caller via :meth:`LoweredSchedule.build_stats`.
     ``collector`` is an optional :class:`repro.obs.ScheduleProbeRun` whose
     ``capture`` runs once at the end of every timestep; with ``None`` the
-    hot loop is untouched beyond this one check.
+    hot loop is untouched beyond this one check.  ``fault`` is a test-only
+    :class:`repro.resilience.FaultInjector` whose ``before_timestep`` fires
+    at the top of each timestep — the same zero-cost single-``None``-check
+    pattern as the probe collector; production runs never set it.
     """
     program = schedule.program
     spike_trains = normalise_spike_trains(spike_trains, program.input_size)
@@ -88,6 +91,8 @@ def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
     outputs = schedule.outputs
     plan = schedule.clear_plan
     for step in range(timesteps):
+        if fault is not None:
+            fault.before_timestep(step)
         state.begin_timestep(spike_trains[:, step, :], plan)
         for op in inject_ops:
             op.run(state)

@@ -27,9 +27,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-#: trace_event process ids of the two tracks
+#: trace_event process ids of the three tracks
 COMPILE_PID = 1
 EXECUTION_PID = 2
+RESILIENCE_PID = 3
 
 
 @dataclass
@@ -40,7 +41,10 @@ class Trace:
     ``seconds`` / ``summary`` attributes — duck-typed so hand-built
     records work too); ``timing`` the execution-side
     :class:`~repro.timing.TimingEstimate`; ``probes`` an optional
-    :class:`~repro.obs.ProbeResult` from an actual probed run.
+    :class:`~repro.obs.ProbeResult` from an actual probed run;
+    ``resilience`` an optional :class:`~repro.resilience.ResilienceReport`
+    whose events (retries, crashes, degradations) render as instant
+    markers on a third track.
     """
 
     name: str = ""
@@ -49,10 +53,13 @@ class Trace:
     probes: Optional[object] = None
     #: timesteps rendered on the execution track
     timesteps: int = 1
+    #: resilience report of the run (third trace track), if any
+    resilience: Optional[object] = None
 
     @classmethod
     def from_compiled(cls, compiled, probes: Optional[object] = None,
-                      timesteps: Optional[int] = None) -> "Trace":
+                      timesteps: Optional[int] = None,
+                      resilience: Optional[object] = None) -> "Trace":
         """Build the trace of one :class:`CompiledNetwork` compile.
 
         Pulls the pass records the :class:`~repro.ir.passes.PassManager`
@@ -73,6 +80,7 @@ class Trace:
             timing=timing,
             probes=probes,
             timesteps=timesteps,
+            resilience=resilience,
         )
 
     # -- chrome trace_event export -------------------------------------
@@ -125,6 +133,22 @@ class Trace:
                             "args": {"timestep": step, "cycles": int(cycles)},
                         })
                         cursor += cycles
+        resilience_events = getattr(self.resilience, "events", None)
+        if resilience_events:
+            events.append(_metadata(RESILIENCE_PID, "resilience"))
+            for event in resilience_events:
+                # instant ("i") markers on real wall-clock offsets from
+                # run start; "s": "p" scopes the marker to its process
+                events.append({
+                    "name": f"resilience/{event.kind}",
+                    "cat": "resilience",
+                    "ph": "i",
+                    "ts": float(event.elapsed) * 1e6,
+                    "pid": RESILIENCE_PID,
+                    "tid": 1,
+                    "s": "p",
+                    "args": event.as_dict(),
+                })
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
@@ -156,6 +180,8 @@ class Trace:
             payload["execution"] = self.timing.as_dict()
         if self.probes is not None:
             payload["probes"] = self.probes.summary()
+        if self.resilience is not None:
+            payload["resilience"] = self.resilience.as_dict()
         return payload
 
     def describe(self) -> str:
@@ -166,6 +192,10 @@ class Trace:
                          f"  {getattr(record, 'summary', '')}")
         if self.timing is not None:
             lines.append(self.timing.describe())
+        resilience_events = getattr(self.resilience, "events", None)
+        if resilience_events:
+            lines.append(f"resilience events ({len(resilience_events)}):")
+            lines.append(self.resilience.describe())
         return "\n".join(lines)
 
 

@@ -1,0 +1,54 @@
+"""repro.resilience — fault injection, supervision policy, failure reports.
+
+The resilience substrate under the execution engine's supervised sharded
+path (see :mod:`repro.engine.sharded`) and the ``auto`` backend's graceful
+degradation chain (:mod:`repro.engine.auto`):
+
+* :class:`FaultSpec` / :class:`FaultPlan` / :class:`FaultInjector` —
+  deterministic, picklable fault injection (worker crash, hang, raised
+  exception, slow-down, corrupted result payload) gated on
+  ``(shard, attempt)`` so supervised retries recover bit-exactly;
+* :class:`RunPolicy` — shard timeouts, bounded retries with deterministic
+  backoff, and a whole-run deadline;
+* :class:`ResilienceReport` / :class:`ResilienceEvent` — what the
+  supervisor saw and did, attached to results, metadata, and traces;
+* the :class:`ResilienceError` family — typed supervision-level failures
+  that the degradation chain may catch, kept strictly apart from
+  deterministic program errors which always re-raise.
+
+This package deliberately imports nothing from :mod:`repro.engine`, so the
+engine (and its worker processes) can depend on it freely.
+"""
+
+from .errors import (
+    InjectedFaultError,
+    ResilienceError,
+    ResultIntegrityError,
+    RunDeadlineExceeded,
+    ShardTimeoutError,
+    TransientWorkerError,
+    WorkerCrashError,
+)
+from .faults import CRASH_EXIT_CODE, FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from .policy import DEFAULT_POLICY, RunPolicy
+from .report import EVENT_KINDS, ResilienceEvent, ResilienceReport
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "DEFAULT_POLICY",
+    "EVENT_KINDS",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "ResilienceError",
+    "ResilienceEvent",
+    "ResilienceReport",
+    "ResultIntegrityError",
+    "RunDeadlineExceeded",
+    "RunPolicy",
+    "ShardTimeoutError",
+    "TransientWorkerError",
+    "WorkerCrashError",
+]

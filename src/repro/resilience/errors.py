@@ -1,0 +1,73 @@
+"""Typed failure taxonomy of the resilience subsystem.
+
+Every recoverable execution failure raises a subclass of
+:class:`ResilienceError`, so callers (and the ``auto`` backend's graceful
+degradation chain) can tell *supervision-level* failures — a worker process
+that died, a shard that exceeded its timeout, a run past its deadline, a
+corrupted result payload — apart from *program-level* errors such as
+partial-sum overflow (:class:`~repro.core.neuron_core.NeuronCoreError`),
+which are deterministic, would fail identically on any backend, and must
+therefore never be retried or masked by a fallback.
+
+Errors raised by the supervised sharded backend carry the run's
+:class:`~repro.resilience.ResilienceReport` in :attr:`ResilienceError.report`
+so the retry/fault history that led to the failure stays inspectable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "InjectedFaultError",
+    "ResilienceError",
+    "ResultIntegrityError",
+    "RunDeadlineExceeded",
+    "ShardTimeoutError",
+    "TransientWorkerError",
+    "WorkerCrashError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class of supervision-level execution failures.
+
+    ``report`` (when present) is the :class:`ResilienceReport` of the run
+    that failed — retries attempted, faults observed, elapsed offsets.
+    """
+
+    def __init__(self, message: str, report: Optional[object] = None):
+        super().__init__(message)
+        #: the failing run's ResilienceReport (parent-side only; the
+        #: attribute does not survive cross-process pickling, which is fine
+        #: because reports are always attached in the parent)
+        self.report = report
+
+
+class WorkerCrashError(ResilienceError):
+    """A sharded worker process died (OOM-kill, segfault, ``os._exit``)."""
+
+
+class ShardTimeoutError(ResilienceError):
+    """A shard exceeded the policy's ``shard_timeout`` (hung worker)."""
+
+
+class RunDeadlineExceeded(ResilienceError):
+    """The whole supervised run exceeded the policy's ``run_deadline``."""
+
+
+class ResultIntegrityError(ResilienceError):
+    """A worker returned a structurally invalid result payload."""
+
+
+class TransientWorkerError(ResilienceError):
+    """Worker-side errors declared transient: a retry may succeed.
+
+    The supervised backend retries these under the
+    :class:`~repro.resilience.RunPolicy`; every other worker exception
+    re-raises immediately with its original class.
+    """
+
+
+class InjectedFaultError(TransientWorkerError):
+    """The error the ``exception`` fault kind raises inside a worker."""

@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the sharded execution path.
+
+A :class:`FaultPlan` is a picklable, immutable description of which faults
+fire where: each :class:`FaultSpec` names a fault *kind*, the shard index it
+targets, and the attempt numbers on which it fires.  The plan travels to
+worker processes inside the pool initializer payload (next to the pickled
+schedule), and the worker materialises a :class:`FaultInjector` for its
+shard which :func:`repro.engine.vectorized.execute_schedule` consults via a
+test-only hook — a single ``None`` check per timestep, the same zero-cost
+pattern the probe collector uses.
+
+Determinism is the point: because faults are gated on ``(shard, attempt)``,
+a fault that fires on attempt 0 will *not* fire on the supervised retry, so
+chaos tests can assert that a recovered run is bit-identical to an
+unfaulted one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import InjectedFaultError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+]
+
+#: the fault kinds the injector understands
+FAULT_KINDS = ("crash", "hang", "exception", "slow", "corrupt")
+
+#: exit status used by the ``crash`` kind (distinctive in worker logs)
+CRASH_EXIT_CODE = 57
+
+#: how long a ``hang`` sleeps — effectively forever next to any sane
+#: ``shard_timeout``, but bounded so an unsupervised test run that loses
+#: its watchdog still terminates eventually
+HANG_SECONDS = 3600.0
+
+#: default extra latency of the ``slow`` kind
+SLOW_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: *kind* on *shard*, firing on listed *attempts*.
+
+    ``timestep`` positions crash/hang/exception/slow inside the execution
+    loop (the fault fires just before that timestep executes); ``corrupt``
+    instead mangles the finished result payload.  ``seconds`` is the sleep
+    length for ``slow``/``hang`` (``hang`` defaults to an hour).
+    """
+
+    kind: str
+    shard: int = 0
+    attempts: Tuple[int, ...] = (0,)
+    timestep: int = 0
+    seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.shard < 0:
+            raise ValueError(f"fault shard must be >= 0, got {self.shard}")
+        if self.timestep < 0:
+            raise ValueError(f"fault timestep must be >= 0, got {self.timestep}")
+        if not self.attempts or any(a < 0 for a in self.attempts):
+            raise ValueError(
+                f"fault attempts must be a non-empty tuple of >= 0, got {self.attempts!r}"
+            )
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError(f"fault seconds must be >= 0, got {self.seconds}")
+
+    @property
+    def sleep_seconds(self) -> float:
+        if self.seconds is not None:
+            return self.seconds
+        return HANG_SECONDS if self.kind == "hang" else SLOW_SECONDS
+
+    def matches(self, shard: int, attempt: int) -> bool:
+        return self.shard == shard and attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable collection of :class:`FaultSpec`."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def for_shard(self, shard: int, attempt: int) -> Tuple[FaultSpec, ...]:
+        """The specs that fire for this (shard, attempt) execution."""
+        return tuple(s for s in self.specs if s.matches(shard, attempt))
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "FaultPlan(empty)"
+        parts = [
+            f"{s.kind}@shard{s.shard}:attempts{list(s.attempts)}" for s in self.specs
+        ]
+        return "FaultPlan(" + ", ".join(parts) + ")"
+
+    # -- conveniences: one-fault plans, one per kind --------------------
+
+    @classmethod
+    def crash(cls, shard: int = 0, attempts: Tuple[int, ...] = (0,),
+              timestep: int = 0) -> "FaultPlan":
+        return cls((FaultSpec("crash", shard, attempts, timestep),))
+
+    @classmethod
+    def hang(cls, shard: int = 0, attempts: Tuple[int, ...] = (0,),
+             timestep: int = 0, seconds: Optional[float] = None) -> "FaultPlan":
+        return cls((FaultSpec("hang", shard, attempts, timestep, seconds),))
+
+    @classmethod
+    def exception(cls, shard: int = 0, attempts: Tuple[int, ...] = (0,),
+                  timestep: int = 0) -> "FaultPlan":
+        return cls((FaultSpec("exception", shard, attempts, timestep),))
+
+    @classmethod
+    def slow(cls, shard: int = 0, attempts: Tuple[int, ...] = (0,),
+             timestep: int = 0, seconds: float = SLOW_SECONDS) -> "FaultPlan":
+        return cls((FaultSpec("slow", shard, attempts, timestep, seconds),))
+
+    @classmethod
+    def corrupt(cls, shard: int = 0,
+                attempts: Tuple[int, ...] = (0,)) -> "FaultPlan":
+        return cls((FaultSpec("corrupt", shard, attempts),))
+
+
+class FaultInjector:
+    """Worker-side trigger for the specs targeting one (shard, attempt).
+
+    ``before_timestep`` is the hook :func:`execute_schedule` calls at the
+    top of each timestep; ``corrupt_result`` is applied to the finished
+    spike-count payload before it is returned to the parent.
+    """
+
+    def __init__(self, specs: Tuple[FaultSpec, ...]):
+        self._by_timestep: Dict[int, List[FaultSpec]] = {}
+        self._corrupt = False
+        for spec in specs:
+            if spec.kind == "corrupt":
+                self._corrupt = True
+            else:
+                self._by_timestep.setdefault(spec.timestep, []).append(spec)
+
+    def before_timestep(self, step: int) -> None:
+        for spec in self._by_timestep.get(step, ()):
+            self._fire(spec)
+
+    @staticmethod
+    def _fire(spec: FaultSpec) -> None:
+        if spec.kind == "crash":
+            # simulate an abrupt worker death (segfault / OOM-kill): no
+            # exception propagation, no cleanup, the process just vanishes
+            os._exit(CRASH_EXIT_CODE)
+        elif spec.kind in ("hang", "slow"):
+            time.sleep(spec.sleep_seconds)
+        elif spec.kind == "exception":
+            raise InjectedFaultError(
+                f"injected worker exception on shard {spec.shard} "
+                f"at timestep {spec.timestep}"
+            )
+
+    def corrupt_result(self, counts):
+        """Mangle the spike-count payload (drops the last output column)."""
+        if not self._corrupt:
+            return counts
+        return counts[:, :-1]

@@ -1,0 +1,76 @@
+"""Supervision policy for sharded execution.
+
+A :class:`RunPolicy` turns the sharded backend's fire-and-forget pool into
+a supervised run: per-shard timeouts detect hung workers, crashed or
+failed shards are re-submitted up to ``max_retries`` times with bounded
+deterministic exponential backoff, and an optional whole-run deadline
+bounds total wall-clock.  The policy is a frozen, picklable value object
+so it can ride along in :class:`~repro.apps.pipeline.ExperimentConfig`
+and be recorded verbatim in experiment metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+__all__ = ["DEFAULT_POLICY", "RunPolicy"]
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """How the sharded backend supervises one run.
+
+    ``shard_timeout``
+        Seconds a single shard may run (measured from submission; every
+        shard starts immediately because the backend never creates more
+        shards than workers).  ``None`` disables hang detection — crashes
+        are still caught promptly.
+    ``max_retries``
+        How many times a *failed* shard is re-submitted before the run
+        raises the typed error of its last failure.  ``0`` means fail on
+        first error (but still fail fast, never hang).
+    ``backoff`` / ``backoff_cap``
+        Deterministic exponential backoff between retry rounds:
+        ``min(backoff * 2**(round-1), backoff_cap)`` seconds.  There is no
+        jitter on purpose — recovery must be reproducible.
+    ``run_deadline``
+        Optional bound on the whole run's wall-clock; exceeding it raises
+        :class:`~repro.resilience.RunDeadlineExceeded` regardless of
+        remaining retry budget.
+    """
+
+    shard_timeout: Optional[float] = 60.0
+    max_retries: int = 2
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    run_deadline: Optional[float] = None
+
+    def __post_init__(self):
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive or None, got {self.shard_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+        if self.run_deadline is not None and self.run_deadline <= 0:
+            raise ValueError(
+                f"run_deadline must be positive or None, got {self.run_deadline}"
+            )
+
+    def backoff_for(self, retry_round: int) -> float:
+        """Seconds to pause before retry round ``retry_round`` (1-based)."""
+        if retry_round <= 0 or self.backoff <= 0:
+            return 0.0
+        return min(self.backoff * (2.0 ** (retry_round - 1)), self.backoff_cap)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+#: sensible service defaults: catch hangs within a minute, retry twice
+DEFAULT_POLICY = RunPolicy()

@@ -1,0 +1,113 @@
+"""Failure observability: what the supervisor saw and did during a run.
+
+Every supervised sharded run builds a :class:`ResilienceReport` — an
+append-only log of :class:`ResilienceEvent` rows (crashes, timeouts,
+transient worker errors, corrupt payloads, retries, degradations) with
+elapsed offsets from run start.  The report is attached to
+:attr:`SimulationResult.resilience`, serialised into experiment metadata,
+and exported as instant events on the resilience track of the
+:class:`repro.obs.Trace` Chrome export.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["EVENT_KINDS", "ResilienceEvent", "ResilienceReport"]
+
+#: event kinds a report may record
+EVENT_KINDS = ("crash", "timeout", "transient", "corrupt", "preempted",
+               "retry", "deadline", "degrade")
+
+
+@dataclass
+class ResilienceEvent:
+    """One supervision observation, timestamped relative to run start."""
+
+    kind: str
+    detail: str = ""
+    shard: Optional[int] = None
+    attempt: Optional[int] = None
+    #: seconds since the supervised run started
+    elapsed: float = 0.0
+
+    def as_dict(self) -> dict:
+        payload = {"kind": self.kind, "elapsed": round(self.elapsed, 6)}
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        if self.attempt is not None:
+            payload["attempt"] = self.attempt
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    def describe(self) -> str:
+        where = "" if self.shard is None else f" shard={self.shard}"
+        nth = "" if self.attempt is None else f" attempt={self.attempt}"
+        tail = f": {self.detail}" if self.detail else ""
+        return f"[{self.elapsed:8.3f}s] {self.kind}{where}{nth}{tail}"
+
+
+class ResilienceReport:
+    """Append-only event log of one supervised (or degraded) run."""
+
+    def __init__(self, policy: Optional[object] = None):
+        self.policy = policy
+        self.events: List[ResilienceEvent] = []
+        self._start = time.monotonic()
+
+    def record(self, kind: str, detail: str = "", shard: Optional[int] = None,
+               attempt: Optional[int] = None) -> ResilienceEvent:
+        event = ResilienceEvent(
+            kind=kind,
+            detail=detail,
+            shard=shard,
+            attempt=attempt,
+            elapsed=time.monotonic() - self._start,
+        )
+        self.events.append(event)
+        return event
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.kind] = totals.get(event.kind, 0) + 1
+        return totals
+
+    @property
+    def retries(self) -> int:
+        return self.count("retry")
+
+    @property
+    def degradations(self) -> Tuple[str, ...]:
+        """The degradation trail, e.g. ``("sharded -> vectorized",)``."""
+        return tuple(e.detail.split(":", 1)[0].strip()
+                     for e in self.events if e.kind == "degrade")
+
+    def as_dict(self) -> dict:
+        policy = None
+        if self.policy is not None:
+            policy = (self.policy.as_dict()
+                      if hasattr(self.policy, "as_dict") else repr(self.policy))
+        return {
+            "policy": policy,
+            "events": [event.as_dict() for event in self.events],
+            "counts": self.counts(),
+            "retries": self.retries,
+            "degradations": list(self.degradations),
+        }
+
+    def describe(self) -> str:
+        lines = []
+        if self.policy is not None:
+            lines.append(f"policy: {self.policy}")
+        if not self.events:
+            lines.append("no resilience events (clean run)")
+        for event in self.events:
+            lines.append(event.describe())
+        return "\n".join(lines)

@@ -7,7 +7,7 @@ import pytest
 import repro.bench as bench
 import repro.bench.__main__ as bench_main
 from repro.bench import check_noc_regression, check_regression, \
-    check_timing_regression, load_bench_report
+    check_resilience_regression, check_timing_regression, load_bench_report
 
 
 def _throughput(**fps):
@@ -304,6 +304,94 @@ class TestCheckTimingRegression:
                                 "--skip-timing"]) == 0
 
 
+def _resilience_section(unsupervised=1000.0, supervised=980.0,
+                        recovered=True, max_overhead=0.05):
+    return {
+        "frames": 32,
+        "timesteps": 4,
+        "max_overhead": max_overhead,
+        "workers": 2,
+        "policy": {"shard_timeout": 60.0, "max_retries": 2, "backoff": 0.05,
+                   "backoff_cap": 2.0, "run_deadline": None},
+        "unsupervised": {"seconds": 32.0 / unsupervised,
+                         "frames_per_sec": unsupervised},
+        "supervised": {"seconds": 32.0 / supervised,
+                       "frames_per_sec": supervised,
+                       "overhead_ratio": unsupervised / supervised - 1.0},
+        "recovery": {"fault": "crash", "seconds": 0.05,
+                     "recovered_bit_exact": recovered,
+                     "events": {"crash": 1, "retry": 1}},
+    }
+
+
+class TestCheckResilienceRegression:
+    def test_identical_sections_pass(self):
+        assert check_resilience_regression(_resilience_section(),
+                                           _resilience_section()) == []
+
+    def test_supervision_overhead_beyond_ceiling_flagged(self):
+        failures = check_resilience_regression(
+            _resilience_section(supervised=900.0),
+            _resilience_section(unsupervised=1000.0))
+        assert len(failures) == 1
+        assert "supervised throughput" in failures[0]
+
+    def test_supervision_overhead_at_ceiling_passes(self):
+        assert check_resilience_regression(
+            _resilience_section(supervised=950.0),
+            _resilience_section(unsupervised=1000.0, max_overhead=0.05)) == []
+
+    def test_improvements_never_fail(self):
+        assert check_resilience_regression(
+            _resilience_section(supervised=2000.0),
+            _resilience_section(unsupervised=1000.0)) == []
+
+    def test_committed_ceiling_wins(self):
+        # the gate reads max_overhead from the committed section
+        current = _resilience_section(supervised=850.0, max_overhead=0.50)
+        assert check_resilience_regression(
+            current, _resilience_section(unsupervised=1000.0,
+                                         max_overhead=0.05)) != []
+        assert check_resilience_regression(
+            current, _resilience_section(unsupervised=1000.0,
+                                         max_overhead=0.20)) == []
+
+    def test_failed_recovery_flagged(self):
+        failures = check_resilience_regression(
+            _resilience_section(recovered=False), _resilience_section())
+        assert any("did not recover bit-exactly" in line for line in failures)
+
+    def test_cli_gates_on_resilience_section(self, tmp_path, monkeypatch,
+                                             capsys):
+        """A committed resilience section pulls the gate into --check."""
+        seen = {}
+
+        def fake_throughput(frames=64, timesteps=16, repeats=5,
+                            check_parity=True):
+            return _throughput(reference=100.0)
+
+        def fake_resilience(frames=64, timesteps=16, repeats=5):
+            seen["frames"], seen["timesteps"] = frames, timesteps
+            return _resilience_section(supervised=500.0)
+
+        monkeypatch.setattr(bench_main, "measure_throughput", fake_throughput)
+        monkeypatch.setattr(bench_main, "measure_resilience", fake_resilience)
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "throughput": _throughput(reference=100.0),
+            "resilience": _resilience_section(unsupervised=1000.0),
+        }))
+        code = bench_main.main(["--check", "--baseline", str(path)])
+        assert code == 1
+        assert "supervised throughput" in capsys.readouterr().out
+        # the fresh measurement reuses the committed geometry
+        assert seen == {"frames": 32, "timesteps": 4}
+        # --skip-resilience drops the gate
+        assert bench_main.main(["--check", "--baseline", str(path),
+                                "--skip-resilience"]) == 0
+
+
 def test_committed_trajectory_is_checkable():
     """The repo's committed BENCH_engine.json loads and has the sections
     the gate compares against (throughput frames/sec, NoC metrics and
@@ -326,3 +414,8 @@ def test_committed_trajectory_is_checkable():
         for pipeline in ("default", "optimized"):
             assert row[pipeline]["relative_error"] <= \
                 committed["timing"]["tolerance"]
+    assert "resilience" in committed
+    resilience = committed["resilience"]
+    assert resilience["recovery"]["recovered_bit_exact"] is True
+    # the committed section must gate cleanly against itself
+    assert check_resilience_regression(resilience, resilience) == []

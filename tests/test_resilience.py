@@ -1,0 +1,560 @@
+"""Chaos tests for :mod:`repro.resilience` — supervised sharded execution.
+
+The load-bearing contract: a supervised sharded run that survives an
+injected fault (worker crash, hang, exception, slow worker, corrupted
+result) is **bit-identical** to an unfaulted vectorized run — spike
+counts, predictions, :class:`ExecutionStats` and probe captures alike —
+for every small benchmark builder, both on the ``sharded`` backend
+directly and through ``auto``'s degradation chain.  Policy exhaustion
+raises the typed :class:`~repro.resilience.ResilienceError` hierarchy
+(with the :class:`~repro.resilience.ResilienceReport` attached), a dead
+worker is detected even without a policy, and a torn-down pool self-heals
+on the next run.
+
+Every test runs under a SIGALRM watchdog: a hang in the supervision logic
+fails the test instead of hanging the suite.
+"""
+
+import pickle
+import signal
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.apps.networks import ALL_BUILDERS
+from repro.apps.pipeline import ExperimentConfig, PipelineError
+from repro.bench import mlp_bench_case
+from repro.core.config import DEFAULT_ARCH
+from repro.engine import DEGRADATION_CHAIN, EngineError, create_backend, next_fallback
+from repro.engine.auto import AutoBackend
+from repro.engine.sharded import (
+    WORKERS_ENV_VAR,
+    ShardedBackend,
+    resolve_worker_count,
+)
+from repro.ir import compile as ir_compile
+from repro.obs import ProbeSet, Trace, validate_chrome_trace
+from repro.resilience import (
+    DEFAULT_POLICY,
+    EVENT_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    ResilienceError,
+    ResilienceReport,
+    ResultIntegrityError,
+    RunDeadlineExceeded,
+    RunPolicy,
+    ShardTimeoutError,
+    TransientWorkerError,
+    WorkerCrashError,
+)
+from repro.snn.conversion import ConversionConfig, convert_ann_to_graph
+from repro.snn.encoding import deterministic_encode
+
+pytestmark = pytest.mark.chaos
+
+#: pinned pool size — machine-independent, and >1 so runs actually shard
+WORKERS = 2
+FRAMES = 4
+TIMESTEPS = 4
+
+#: hang tests use a short timeout so recovery happens in seconds; it still
+#: has to clear the *legitimate* shard runtime (pool fork + schedule
+#: unpickle + execution) of the biggest small builder on a busy 1-CPU box
+HANG_POLICY = RunPolicy(shard_timeout=3.0, max_retries=2, backoff=0.0)
+#: crash/exception/corrupt recovery never waits on a timeout
+FAST_POLICY = RunPolicy(shard_timeout=60.0, max_retries=2, backoff=0.0)
+
+SMALL_BUILDERS = sorted(name for name in ALL_BUILDERS
+                        if name.endswith("-small"))
+
+
+# ----------------------------------------------------------------------
+# Watchdog: no chaos test may hang
+# ----------------------------------------------------------------------
+@contextmanager
+def watchdog(seconds):
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded the {seconds}s watchdog")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _bounded():
+    """Every test in this module is watchdog-bounded."""
+    with watchdog(120):
+        yield
+
+
+# ----------------------------------------------------------------------
+# Cases: compiled builders (cached per module) + the cheap bench MLP
+# ----------------------------------------------------------------------
+_CASES = {}
+
+
+def case_for(name):
+    """``(compiled, trains, probed vectorized baseline)`` for one builder."""
+    if name not in _CASES:
+        rng = np.random.default_rng(7)
+        model = ALL_BUILDERS[name]()
+        calibration = rng.random((4,) + model.input_shape)
+        config = ConversionConfig(timesteps=TIMESTEPS,
+                                  max_calibration_samples=4)
+        graph = convert_ann_to_graph(model, calibration, config)
+        compiled = ir_compile(graph, DEFAULT_ARCH)
+        trains = deterministic_encode(
+            rng.random((FRAMES, graph.input_size)), graph.timesteps)
+        with create_backend("vectorized", compiled.program) as backend:
+            baseline = backend.run(trains, probes=ProbeSet.full())
+        _CASES[name] = (compiled, trains, baseline)
+    return _CASES[name]
+
+
+@pytest.fixture(scope="module")
+def bench_case():
+    """``(program, trains, unprobed vectorized baseline)`` — the cheap MLP."""
+    program, trains = mlp_bench_case(frames=FRAMES, timesteps=TIMESTEPS)
+    with create_backend("vectorized", program) as backend:
+        baseline = backend.run(trains)
+    return program, trains, baseline
+
+
+def assert_bit_exact(result, baseline):
+    """The recovered run is indistinguishable from the unfaulted one."""
+    assert np.array_equal(result.spike_counts, baseline.spike_counts)
+    assert np.array_equal(result.predictions, baseline.predictions)
+    assert result.stats.summary() == baseline.stats.summary()
+    ours, theirs = result.probes, baseline.probes
+    assert (ours is None) == (theirs is None)
+    if ours is None:
+        return
+    for attr in ("spikes", "potentials", "acc_active"):
+        mine, base = getattr(ours, attr), getattr(theirs, attr)
+        assert set(mine) == set(base)
+        for layer in mine:
+            assert np.array_equal(mine[layer], base[layer])
+    assert (ours.telemetry is None) == (theirs.telemetry is None)
+    if ours.telemetry is not None:
+        assert ours.telemetry.as_dict() == theirs.telemetry.as_dict()
+
+
+# ----------------------------------------------------------------------
+# The tentpole contract: bit-exact recovery for every small builder
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", SMALL_BUILDERS)
+def test_crash_recovery_bit_exact(name):
+    """A worker killed mid-run is re-forked and re-run bit-identically."""
+    compiled, trains, baseline = case_for(name)
+    with ShardedBackend(compiled.program, workers=WORKERS,
+                        policy=FAST_POLICY,
+                        faults=FaultPlan.crash(shard=0)) as backend:
+        result = backend.run(trains, probes=ProbeSet.full())
+    assert_bit_exact(result, baseline)
+    report = result.resilience
+    assert report.count("crash") >= 1
+    assert report.retries >= 1
+
+
+@pytest.mark.parametrize("name", SMALL_BUILDERS)
+def test_hang_recovery_bit_exact(name):
+    """A hung worker is timed out, the pool re-forked, the shard re-run."""
+    compiled, trains, baseline = case_for(name)
+    with ShardedBackend(compiled.program, workers=WORKERS,
+                        policy=HANG_POLICY,
+                        faults=FaultPlan.hang(shard=1)) as backend:
+        result = backend.run(trains, probes=ProbeSet.full())
+    assert_bit_exact(result, baseline)
+    report = result.resilience
+    assert report.count("timeout") >= 1
+    assert report.retries >= 1
+
+
+@pytest.mark.parametrize("name", SMALL_BUILDERS)
+def test_auto_degradation_bit_exact(name):
+    """Exhausted sharded supervision degrades to vectorized, bit-exactly."""
+    compiled, trains, baseline = case_for(name)
+    policy = RunPolicy(shard_timeout=60.0, max_retries=0, backoff=0.0)
+    with AutoBackend(compiled.program, workers=WORKERS, sharded_min_frames=2,
+                     policy=policy,
+                     faults=FaultPlan.crash(shard=0)) as backend:
+        assert backend.select(FRAMES) == "sharded"
+        result = backend.run(trains, probes=ProbeSet.full())
+        assert backend.last_selection == "vectorized"
+        assert backend.last_degradation == ("sharded -> vectorized",)
+    assert_bit_exact(result, baseline)
+    report = result.resilience
+    assert report.count("degrade") == 1
+    assert report.degradations == ("sharded -> vectorized",)
+    # the failed sharded run's own events precede the degradation
+    assert report.count("crash") >= 1
+
+
+# ----------------------------------------------------------------------
+# Recovery paths for the remaining fault kinds
+# ----------------------------------------------------------------------
+def test_exception_recovery(bench_case):
+    program, trains, baseline = bench_case
+    with ShardedBackend(program, workers=WORKERS, policy=FAST_POLICY,
+                        faults=FaultPlan.exception(shard=0)) as backend:
+        result = backend.run(trains)
+    assert_bit_exact(result, baseline)
+    assert result.resilience.count("transient") == 1
+    assert result.resilience.retries == 1
+
+
+def test_corrupt_recovery(bench_case):
+    """A structurally invalid shard payload is rejected and re-run."""
+    program, trains, baseline = bench_case
+    with ShardedBackend(program, workers=WORKERS, policy=FAST_POLICY,
+                        faults=FaultPlan.corrupt(shard=0)) as backend:
+        result = backend.run(trains)
+    assert_bit_exact(result, baseline)
+    assert result.resilience.count("corrupt") == 1
+    assert result.resilience.retries == 1
+
+
+def test_slow_worker_needs_no_retry(bench_case):
+    """A merely slow worker finishes inside the timeout: zero events."""
+    program, trains, baseline = bench_case
+    with ShardedBackend(program, workers=WORKERS, policy=FAST_POLICY,
+                        faults=FaultPlan.slow(shard=0,
+                                              seconds=0.05)) as backend:
+        result = backend.run(trains)
+    assert_bit_exact(result, baseline)
+    assert result.resilience.counts() == {}
+
+
+# ----------------------------------------------------------------------
+# Typed policy-exhaustion errors (report attached)
+# ----------------------------------------------------------------------
+def test_crash_exhaustion_raises_worker_crash_error(bench_case):
+    program, trains, _ = bench_case
+    plan = FaultPlan.crash(shard=0, attempts=(0, 1, 2))
+    policy = RunPolicy(shard_timeout=60.0, max_retries=2, backoff=0.0)
+    with ShardedBackend(program, workers=WORKERS, policy=policy,
+                        faults=plan) as backend:
+        with pytest.raises(WorkerCrashError,
+                           match="RunPolicy exhausted") as excinfo:
+            backend.run(trains)
+    report = excinfo.value.report
+    assert isinstance(report, ResilienceReport)
+    assert report.count("crash") >= 3
+    assert isinstance(excinfo.value, ResilienceError)
+
+
+def test_timeout_exhaustion_raises_shard_timeout_error(bench_case):
+    program, trains, _ = bench_case
+    plan = FaultPlan.hang(shard=0, attempts=(0, 1))
+    policy = RunPolicy(shard_timeout=0.5, max_retries=1, backoff=0.0)
+    with ShardedBackend(program, workers=WORKERS, policy=policy,
+                        faults=plan) as backend:
+        with pytest.raises(ShardTimeoutError,
+                           match="RunPolicy exhausted") as excinfo:
+            backend.run(trains)
+    assert excinfo.value.report.count("timeout") == 2
+
+
+def test_corrupt_exhaustion_raises_integrity_error(bench_case):
+    program, trains, _ = bench_case
+    plan = FaultPlan.corrupt(shard=0, attempts=(0, 1))
+    policy = RunPolicy(shard_timeout=60.0, max_retries=1, backoff=0.0)
+    with ShardedBackend(program, workers=WORKERS, policy=policy,
+                        faults=plan) as backend:
+        with pytest.raises(ResultIntegrityError, match="RunPolicy exhausted"):
+            backend.run(trains)
+
+
+def test_transient_exhaustion_keeps_original_class(bench_case):
+    """Worker-raised transient errors exhaust as their own class."""
+    program, trains, _ = bench_case
+    plan = FaultPlan.exception(shard=0, attempts=(0, 1))
+    policy = RunPolicy(shard_timeout=60.0, max_retries=1, backoff=0.0)
+    with ShardedBackend(program, workers=WORKERS, policy=policy,
+                        faults=plan) as backend:
+        with pytest.raises(InjectedFaultError,
+                           match="RunPolicy exhausted") as excinfo:
+            backend.run(trains)
+    assert isinstance(excinfo.value, TransientWorkerError)
+
+
+def test_run_deadline_exceeded(bench_case):
+    """The whole-run deadline fires even while a shard timeout is pending."""
+    program, trains, _ = bench_case
+    policy = RunPolicy(shard_timeout=60.0, max_retries=2, backoff=0.0,
+                       run_deadline=1.0)
+    with ShardedBackend(program, workers=WORKERS, policy=policy,
+                        faults=FaultPlan.hang(shard=0)) as backend:
+        start = time.monotonic()
+        with pytest.raises(RunDeadlineExceeded,
+                           match="run_deadline") as excinfo:
+            backend.run(trains)
+        elapsed = time.monotonic() - start
+    assert elapsed < 30.0
+    assert excinfo.value.report.count("deadline") == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite: dead-worker detection without any policy
+# ----------------------------------------------------------------------
+def test_unsupervised_crash_raises_instead_of_hanging(bench_case):
+    """No RunPolicy: a dead worker still surfaces promptly as an error."""
+    program, trains, _ = bench_case
+    with ShardedBackend(program, workers=WORKERS,
+                        faults=FaultPlan.crash(shard=0)) as backend:
+        start = time.monotonic()
+        with pytest.raises(WorkerCrashError,
+                           match="supervised retry is disabled"):
+            backend.run(trains)
+        elapsed = time.monotonic() - start
+    assert elapsed < 30.0
+
+
+def test_unsupervised_run_has_no_report(bench_case):
+    program, trains, baseline = bench_case
+    with ShardedBackend(program, workers=WORKERS) as backend:
+        result = backend.run(trains)
+    assert_bit_exact(result, baseline)
+    assert result.resilience is None
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle: self-heal after recovery, reuse after clean runs
+# ----------------------------------------------------------------------
+def test_pool_self_heals_after_recovery(bench_case):
+    program, trains, baseline = bench_case
+    with ShardedBackend(program, workers=WORKERS, policy=FAST_POLICY,
+                        faults=FaultPlan.crash(shard=0)) as backend:
+        first = backend.run(trains)
+        assert first.resilience.count("crash") >= 1
+        backend.set_faults(None)
+        assert not backend.pool_alive  # torn down to drop the fault payload
+        second = backend.run(trains)
+        assert second.resilience.counts() == {}
+        pool = backend._pool
+        assert pool is not None
+        third = backend.run(trains)
+        assert backend._pool is pool  # clean runs reuse the healed pool
+    assert_bit_exact(first, baseline)
+    assert_bit_exact(second, baseline)
+    assert_bit_exact(third, baseline)
+
+
+def test_supervised_clean_run_reports_empty(bench_case):
+    program, trains, baseline = bench_case
+    with ShardedBackend(program, workers=WORKERS,
+                        policy=DEFAULT_POLICY) as backend:
+        result = backend.run(trains)
+    assert_bit_exact(result, baseline)
+    assert result.resilience.counts() == {}
+    assert result.resilience.policy is DEFAULT_POLICY
+
+
+# ----------------------------------------------------------------------
+# Degradation chain + strict mode
+# ----------------------------------------------------------------------
+def test_degradation_chain_shape():
+    assert DEGRADATION_CHAIN == ("sharded", "vectorized", "reference")
+    assert next_fallback("sharded") == "vectorized"
+    assert next_fallback("vectorized") == "reference"
+    assert next_fallback("reference") is None
+    assert next_fallback("auto") is None
+
+
+def test_strict_auto_reraises(bench_case):
+    program, trains, _ = bench_case
+    policy = RunPolicy(shard_timeout=60.0, max_retries=0, backoff=0.0)
+    with AutoBackend(program, workers=WORKERS, sharded_min_frames=2,
+                     policy=policy, faults=FaultPlan.crash(shard=0),
+                     strict=True) as backend:
+        with pytest.raises(WorkerCrashError):
+            backend.run(trains)
+        assert backend.last_degradation is None
+
+
+def test_auto_without_faults_never_degrades(bench_case):
+    program, trains, baseline = bench_case
+    with AutoBackend(program, workers=WORKERS, sharded_min_frames=2,
+                     policy=DEFAULT_POLICY) as backend:
+        result = backend.run(trains)
+        assert backend.last_selection == "sharded"
+        assert backend.last_degradation is None
+    assert_bit_exact(result, baseline)
+
+
+# ----------------------------------------------------------------------
+# FaultSpec / FaultPlan / RunPolicy unit behaviour
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meltdown")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard must be >= 0"):
+            FaultSpec("crash", shard=-1)
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec("crash", attempts=())
+        with pytest.raises(ValueError, match="seconds"):
+            FaultSpec("slow", seconds=-1.0)
+
+    def test_attempt_gating(self):
+        spec = FaultSpec("crash", shard=1, attempts=(0, 2))
+        assert spec.matches(1, 0) and spec.matches(1, 2)
+        assert not spec.matches(1, 1)
+        assert not spec.matches(0, 0)
+
+    def test_for_shard_filters(self):
+        plan = FaultPlan((FaultSpec("crash", shard=0),
+                          FaultSpec("hang", shard=1)))
+        assert [s.kind for s in plan.for_shard(0, 0)] == ["crash"]
+        assert [s.kind for s in plan.for_shard(1, 0)] == ["hang"]
+        assert plan.for_shard(0, 1) == ()
+        assert plan.for_shard(2, 0) == ()
+
+    def test_pickle_round_trip(self):
+        plan = FaultPlan.hang(shard=3, attempts=(0, 1), seconds=2.5)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.specs[0].sleep_seconds == 2.5
+
+    def test_every_kind_has_a_convenience(self):
+        for kind in FAULT_KINDS:
+            plan = getattr(FaultPlan, kind)(shard=1)
+            assert plan and plan.specs[0].kind == kind
+        assert not FaultPlan()
+        assert "empty" in FaultPlan().describe()
+
+
+class TestRunPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunPolicy(shard_timeout=0)
+        with pytest.raises(ValueError):
+            RunPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RunPolicy(backoff=-0.1)
+        with pytest.raises(ValueError):
+            RunPolicy(run_deadline=0)
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy = RunPolicy(backoff=0.1, backoff_cap=0.35)
+        pauses = [policy.backoff_for(n) for n in range(1, 5)]
+        assert pauses == [pytest.approx(0.1), pytest.approx(0.2),
+                          pytest.approx(0.35), pytest.approx(0.35)]
+
+    def test_as_dict_round_trips_fields(self):
+        payload = DEFAULT_POLICY.as_dict()
+        assert set(payload) == {"shard_timeout", "max_retries", "backoff",
+                                "backoff_cap", "run_deadline"}
+
+    def test_backend_rejects_non_policy(self, bench_case):
+        program, _, _ = bench_case
+        with pytest.raises(EngineError, match="RunPolicy"):
+            ShardedBackend(program, workers=WORKERS, policy="retry please")
+
+    def test_backend_rejects_non_plan(self, bench_case):
+        program, _, _ = bench_case
+        with pytest.raises(EngineError, match="FaultPlan"):
+            ShardedBackend(program, workers=WORKERS, faults=["crash"])
+
+
+# ----------------------------------------------------------------------
+# Satellite: worker-count resolution names the offending source
+# ----------------------------------------------------------------------
+class TestResolveWorkerCount:
+    def test_argument_errors_name_the_argument(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        with pytest.raises(EngineError, match="workers= argument"):
+            resolve_worker_count(0)
+
+    def test_env_errors_name_the_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "-3")
+        with pytest.raises(EngineError, match=WORKERS_ENV_VAR) as excinfo:
+            resolve_worker_count(None)
+        assert "environment" in str(excinfo.value)
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        with pytest.raises(EngineError, match="must be an integer"):
+            resolve_worker_count(None)
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_worker_count(3) == 3
+        assert resolve_worker_count(None) == 7
+
+
+# ----------------------------------------------------------------------
+# Report + observability integration
+# ----------------------------------------------------------------------
+def test_report_counts_and_describe():
+    report = ResilienceReport(DEFAULT_POLICY)
+    report.record("crash", "worker died", shard=0, attempt=0)
+    report.record("retry", "resubmitting", shard=0, attempt=1)
+    report.record("degrade", "sharded -> vectorized: gave up")
+    assert report.counts() == {"crash": 1, "retry": 1, "degrade": 1}
+    assert report.retries == 1
+    assert report.degradations == ("sharded -> vectorized",)
+    payload = report.as_dict()
+    assert payload["counts"] == report.counts()
+    assert [event["kind"] for event in payload["events"]] == \
+        ["crash", "retry", "degrade"]
+    text = report.describe()
+    assert "crash" in text and "shard=0" in text
+    assert set(EVENT_KINDS) >= set(report.counts())
+
+
+def test_trace_renders_resilience_track():
+    """Recovery events land on a third validated Chrome-trace track."""
+    compiled, trains, _ = case_for(SMALL_BUILDERS[0])
+    with ShardedBackend(compiled.program, workers=WORKERS,
+                        policy=FAST_POLICY,
+                        faults=FaultPlan.crash(shard=0)) as backend:
+        result = backend.run(trains)
+    trace = Trace.from_compiled(compiled, resilience=result.resilience)
+    payload = trace.to_chrome_trace()
+    assert validate_chrome_trace(payload) == []
+    markers = [event for event in payload["traceEvents"]
+               if event.get("cat") == "resilience"]
+    assert markers and all(event["ph"] == "i" for event in markers)
+    assert {event["name"] for event in markers} >= {"resilience/crash",
+                                                    "resilience/retry"}
+    metrics = trace.metrics()
+    assert metrics["resilience"]["counts"] == result.resilience.counts()
+    assert "resilience events" in trace.describe()
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration: ExperimentConfig(run_policy=...)
+# ----------------------------------------------------------------------
+class TestExperimentRunPolicy:
+    def test_requires_supervisable_backend(self):
+        builder = ALL_BUILDERS[SMALL_BUILDERS[0]]
+        with pytest.raises(PipelineError, match="sharded.*auto|auto.*sharded"):
+            ExperimentConfig(name="x", model_builder=builder,
+                             backend="vectorized", run_policy=RunPolicy())
+
+    def test_rejects_non_policy(self):
+        builder = ALL_BUILDERS[SMALL_BUILDERS[0]]
+        with pytest.raises(PipelineError, match="RunPolicy"):
+            ExperimentConfig(name="x", model_builder=builder,
+                             backend="sharded", run_policy="supervised")
+
+    def test_accepts_policy_on_sharded_and_auto(self):
+        builder = ALL_BUILDERS[SMALL_BUILDERS[0]]
+        for backend in ("sharded", "auto"):
+            config = ExperimentConfig(name="x", model_builder=builder,
+                                      backend=backend,
+                                      run_policy=DEFAULT_POLICY)
+            assert config.run_policy is DEFAULT_POLICY

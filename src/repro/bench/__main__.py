@@ -22,6 +22,7 @@ from . import (
     DEFAULT_TIMESTEPS,
     OBS_FIRING_FRAMES,
     OBS_FIRING_TIMESTEPS,
+    check_fused_floor,
     check_noc_regression,
     check_obs_regression,
     check_regression,
@@ -39,11 +40,17 @@ from . import (
 
 
 def _print_throughput(throughput, frames: int, timesteps: int) -> None:
+    from ..engine.xp import detected_array_modules
+
     print(f"engine throughput ({frames} frames x {timesteps} steps):")
     for name, row in throughput["backends"].items():
         print(f"  {name:<24} {row['frames_per_sec']:>10.1f} frames/s")
     for name, value in throughput.get("speedups", {}).items():
         print(f"  {name:<36} {value:.2f}x")
+    detected = detected_array_modules()
+    print("  array modules: " + "  ".join(
+        f"{name}={version or 'absent'}"
+        for name, version in sorted(detected.items())))
 
 
 def _print_noc(noc) -> None:
@@ -149,6 +156,7 @@ def run_check(args) -> int:
     _print_throughput(throughput, frames, timesteps)
     failures = check_regression(throughput, committed_throughput,
                                 tolerance=args.tolerance)
+    failures += check_fused_floor(throughput, committed_throughput)
     committed_noc = committed.get("noc")
     if isinstance(committed_noc, dict) and not args.skip_noc:
         noc = measure_noc(

@@ -1,0 +1,543 @@
+"""Fused CPU execution plans: compile a lowered schedule into fast kernels.
+
+The vectorized executor interprets ``schedule.ops`` — already dense and
+batched, but every op still allocates its temporaries per time step and
+unconditionally scans its results for partial-sum overflow.  This module adds
+a **plan-compile step** that walks the (optimized) op list once and emits a
+short list of fused kernels:
+
+* **Preallocated working buffers.**  Every kernel's temporaries (the
+  bool→float axon cast, the matmul output, partial-sum value vectors, the
+  fire comparison) have static shapes, so the plan declares them once and
+  the executor allocates them once per run; the per-step inner loop is pure
+  ``out=`` ufunc calls with zero allocation.
+
+* **Packet-pair collapsing.**  Adjacent ``MakePsPacket→PsAdd`` and
+  ``MakeSpikePacket→Eject`` pairs whose register has exactly one reader are
+  collapsed into the single gather-scatter ops the optimizer would emit
+  (:class:`~repro.engine.optimize.DirectPsAdd` /
+  :class:`~repro.engine.optimize.DirectEject`): adjacency guarantees the
+  source lanes are unmodified in between, and a sole reader makes dropping
+  the intermediate packet unobservable.
+
+* **Overflow-check elision.**  A static interval analysis over the int64
+  weights proves, for most programs, that no input can push a partial sum
+  outside ``[ps_min, ps_max]``; the run-time min/max scan of those ops is
+  elided.  Soundness: axons are boolean, so each ACC output lane is bounded
+  by the sum of its negative / positive weights
+  (:func:`~repro.engine.lowering.weight_bounds`); partial-sum *chains*
+  (``SUM`` along a NoC path) are bounded by propagating these intervals
+  through the per-timestep schedule to a fixpoint.  All state starts at
+  zero and every transfer function is monotone, so the fixpoint intervals
+  bound every reachable value at every time step; if the fixpoint is not
+  reached within :data:`_RANGE_MAX_PASSES` passes, **every** check is kept.
+  Checks that stay raise the identical error classes and messages as the
+  plain path.
+
+* **Optional numba.**  When the optional ``numba`` package imports
+  (:data:`HAVE_NUMBA`), the remaining min/max scans and the
+  integrate-and-fire step run through ``@njit`` inner loops.  Results are
+  bit-exact either way; the ``numba`` executor name *requires* the package,
+  ``fused`` merely uses it when present.  The ``@njit`` helpers are
+  module-level functions, so a compiled plan stays picklable (kernels carry
+  only a ``use_numba`` flag) and ships to sharded workers unchanged.
+
+Plans are compiled by :func:`compile_plan` and attached to the schedule by
+:func:`repro.engine.vectorized.prepare_schedule`; the executor runs
+``plan.kernels`` instead of ``schedule.ops`` when a plan is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.neuron_core import NeuronCoreError
+from ..core.ps_router import PsRouterError
+from .base import EngineError
+from .lowering import (
+    Accumulate,
+    Eject,
+    FilterPacket,
+    Fire,
+    LoweredOp,
+    LoweredSchedule,
+    MakePsPacket,
+    MakeSpikePacket,
+    PsAdd,
+)
+from .optimize import (
+    DirectEject,
+    DirectPsAdd,
+    FusedAccumulate,
+    Selector,
+    _effects,
+    _is_subset,
+    _sel_size,
+)
+
+try:
+    import numba
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - exercised only without numba
+    numba = None
+    HAVE_NUMBA = False
+
+#: executor variants accepted by the vectorized/sharded backends
+EXECUTORS = ("plain", "fused", "numba")
+
+#: fixpoint cap for the interval analysis; non-convergence keeps all checks
+_RANGE_MAX_PASSES = 16
+
+#: interval-analysis state keys that persist across time steps
+_RANGE_PERSISTENT = ("local_ps", "reg")
+
+
+def resolve_executor(name: str) -> str:
+    """Validate an executor name (raises :class:`EngineError` on unknown)."""
+    if name not in EXECUTORS:
+        raise EngineError(
+            f"unknown executor {name!r} (one of: {', '.join(EXECUTORS)})")
+    if name == "numba" and not HAVE_NUMBA:
+        raise EngineError(
+            "executor 'numba' requires the optional numba package, which is "
+            "not importable; use executor='fused' to get the numba loops "
+            "only when available")
+    return name
+
+
+# ----------------------------------------------------------------------
+# Optional numba inner loops (module-level so plans stay picklable)
+# ----------------------------------------------------------------------
+if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
+
+    @numba.njit(cache=False)
+    def _nb_minmax(values):
+        lo = values[0, 0]
+        hi = values[0, 0]
+        for i in range(values.shape[0]):
+            for j in range(values.shape[1]):
+                v = values[i, j]
+                if v < lo:
+                    lo = v
+                if v > hi:
+                    hi = v
+        return lo, hi
+
+    @numba.njit(cache=False)
+    def _nb_fire(potential, weighted, thresholds, out_pot, out_fired):
+        for i in range(potential.shape[0]):
+            for j in range(potential.shape[1]):
+                value = potential[i, j] + weighted[i, j]
+                threshold = thresholds[j]
+                fired = value >= threshold
+                out_fired[i, j] = fired
+                if fired:
+                    value -= threshold
+                out_pot[i, j] = value
+
+
+def _minmax(values: np.ndarray, use_numba: bool) -> Tuple[int, int]:
+    if use_numba and HAVE_NUMBA:  # pragma: no cover - needs numba
+        return _nb_minmax(values)
+    return values.min(), values.max()
+
+
+# ----------------------------------------------------------------------
+# Fused kernels
+# ----------------------------------------------------------------------
+class AccKernel(LoweredOp):
+    """``ACC`` with a preallocated cast buffer, ``out=`` matmul and an
+    elidable overflow scan.  Bit-exact with Accumulate/FusedAccumulate:
+    the float64 route is only taken where the optimizer already proved the
+    products exactly representable."""
+
+    __slots__ = ("slot", "weights", "check", "ps_min", "ps_max", "where",
+                 "buf_in", "buf_out", "use_numba")
+
+    def __init__(self, slot: int, weights: np.ndarray, check: bool,
+                 ps_min: int, ps_max: int, where: str,
+                 buf_in: int, buf_out: int, use_numba: bool):
+        self.slot = slot
+        self.weights = weights
+        self.check = check
+        self.ps_min = ps_min
+        self.ps_max = ps_max
+        self.where = where
+        self.buf_in = buf_in
+        self.buf_out = buf_out
+        self.use_numba = use_numba
+
+    def run(self, st) -> None:
+        axons = st.axons[self.slot]
+        cast = st.buf[self.buf_in]
+        np.copyto(cast, axons, casting="unsafe")
+        sums = st.buf[self.buf_out]
+        np.matmul(cast, self.weights, out=sums)
+        if self.check and sums.size:
+            lo, hi = _minmax(sums, self.use_numba)
+            if lo < self.ps_min or hi > self.ps_max:
+                # identical error to Accumulate/FusedAccumulate
+                raise NeuronCoreError(
+                    f"neuron core at tile {self.where}: local partial sum "
+                    f"overflowed the range [{self.ps_min}, {self.ps_max}]"
+                )
+        np.copyto(st.local_ps[self.slot], sums, casting="unsafe")
+        st.active_axons += int(np.count_nonzero(axons))
+
+
+class PsAddKernel(LoweredOp):
+    """``SUM``/``RECV`` (incl. collapsed ``SEND→SUM`` pairs) with a
+    preallocated value buffer and an elidable range check."""
+
+    __slots__ = ("slot", "src_reg", "src_sum_buf", "src_slot", "sel", "add",
+                 "consecutive", "check", "ps_min", "ps_max", "where", "buf",
+                 "use_numba")
+
+    def __init__(self, slot: int, src_reg: Optional[int], src_sum_buf: bool,
+                 src_slot: int, sel: Selector, add: bool, consecutive: bool,
+                 check: bool, ps_min: int, ps_max: int, where: str,
+                 buf: int, use_numba: bool):
+        self.slot = slot
+        self.src_reg = src_reg
+        self.src_sum_buf = src_sum_buf
+        self.src_slot = src_slot
+        self.sel = sel
+        self.add = add
+        self.consecutive = consecutive
+        self.check = check
+        self.ps_min = ps_min
+        self.ps_max = ps_max
+        self.where = where
+        self.buf = buf
+        self.use_numba = use_numba
+
+    def run(self, st) -> None:
+        if self.src_reg is not None:
+            src = st.regs[self.src_reg]
+        elif self.src_sum_buf:
+            src = st.sum_buf[self.src_slot]
+        else:
+            src = st.local_ps[self.src_slot]
+        incoming = src[:, self.sel]
+        if self.add:
+            base = st.sum_buf[self.slot] if self.consecutive else st.local_ps[self.slot]
+            values = st.buf[self.buf]
+            np.add(base[:, self.sel], incoming, out=values)
+            if self.check and values.size:
+                lo, hi = _minmax(values, self.use_numba)
+                if lo < self.ps_min or hi > self.ps_max:
+                    # identical error to PsAdd/DirectPsAdd
+                    raise PsRouterError(
+                        f"PS router at tile {self.where}: partial-sum "
+                        f"overflow outside [{self.ps_min}, {self.ps_max}]"
+                    )
+        else:
+            values = incoming
+        st.sum_buf[self.slot][:, self.sel] = values
+        st.weighted[self.slot][:, self.sel] = values
+
+
+class FireKernel(LoweredOp):
+    """``SPIKE`` through preallocated buffers (``out=`` ufuncs or the numba
+    loop); identical reset-by-subtraction arithmetic as Fire."""
+
+    __slots__ = ("slot", "sel", "use_noc_sum", "thresholds", "buf_pot",
+                 "buf_fired", "buf_sub", "use_numba")
+
+    def __init__(self, slot: int, sel: Selector, use_noc_sum: bool,
+                 thresholds: np.ndarray, buf_pot: int, buf_fired: int,
+                 buf_sub: int, use_numba: bool):
+        self.slot = slot
+        self.sel = sel
+        self.use_noc_sum = use_noc_sum
+        self.thresholds = thresholds
+        self.buf_pot = buf_pot
+        self.buf_fired = buf_fired
+        self.buf_sub = buf_sub
+        self.use_numba = use_numba
+
+    def run(self, st) -> None:
+        weighted = st.weighted[self.slot] if self.use_noc_sum else st.local_ps[self.slot]
+        potential = st.potential[self.slot]
+        pot = st.buf[self.buf_pot]
+        fired = st.buf[self.buf_fired]
+        if self.use_numba and HAVE_NUMBA:  # pragma: no cover - needs numba
+            _nb_fire(potential[:, self.sel], weighted[:, self.sel],
+                     self.thresholds, pot, fired)
+        else:
+            np.add(potential[:, self.sel], weighted[:, self.sel], out=pot)
+            np.greater_equal(pot, self.thresholds, out=fired)
+            sub = st.buf[self.buf_sub]
+            np.multiply(fired, self.thresholds, out=sub)
+            np.subtract(pot, sub, out=pot)
+        potential[:, self.sel] = pot
+        st.spike_reg[self.slot][:, self.sel] = fired
+
+
+# ----------------------------------------------------------------------
+# Packet-pair collapsing
+# ----------------------------------------------------------------------
+def _reg_reader_counts(ops: Sequence[LoweredOp]) -> Dict[int, int]:
+    readers: Dict[int, int] = {}
+    for op in ops:
+        for kind, key in _effects(op)[0]:
+            if kind == "reg":
+                readers[key] = readers.get(key, 0) + 1
+    return readers
+
+
+def _collapse_packet_pairs(
+        ops: List[LoweredOp]) -> Tuple[List[LoweredOp], int]:
+    """Collapse adjacent Make*Packet → consumer pairs with a sole reader.
+
+    Adjacency means no op runs between the snapshot and its use, so reading
+    the source state directly sees exactly the snapshotted values; a single
+    reader means the intermediate register is dead once the pair fuses.
+    (On optimizer output this is usually a no-op — the optimizer already
+    fused non-adjacent pairs — but it catches ``optimize=False`` runs and
+    patterns the window-based fusion skipped.)
+    """
+    readers = _reg_reader_counts(ops)
+    out: List[LoweredOp] = []
+    collapsed = 0
+    index = 0
+    while index < len(ops):
+        op = ops[index]
+        nxt = ops[index + 1] if index + 1 < len(ops) else None
+        if (isinstance(op, MakePsPacket) and isinstance(nxt, PsAdd)
+                and nxt.reg == op.reg and readers.get(op.reg, 0) == 1
+                and _is_subset(nxt.idx, op.idx)):
+            out.append(DirectPsAdd(
+                slot=nxt.slot, src_slot=op.slot,
+                src_sum_buf=op.use_sum_buf, sel=nxt.idx, add=nxt.add,
+                consecutive=nxt.consecutive, ps_min=nxt.ps_min,
+                ps_max=nxt.ps_max, where=nxt.where))
+            collapsed += 1
+            index += 2
+            continue
+        if (isinstance(op, MakeSpikePacket) and isinstance(nxt, Eject)
+                and nxt.reg == op.reg and readers.get(op.reg, 0) == 1
+                and _is_subset(nxt.lanes, op.idx)):
+            out.append(DirectEject(
+                slot=nxt.slot, src_slot=op.slot, sel=nxt.lanes,
+                offset=nxt.offset, size=_sel_size(nxt.lanes)))
+            collapsed += 1
+            index += 2
+            continue
+        out.append(op)
+        index += 1
+    return out, collapsed
+
+
+# ----------------------------------------------------------------------
+# Interval analysis (overflow-check elision)
+# ----------------------------------------------------------------------
+_Interval = Tuple[int, int]
+_Key = Tuple[str, int]
+
+
+def _hull(a: _Interval, b: _Interval) -> _Interval:
+    return (a[0] if a[0] < b[0] else b[0], a[1] if a[1] > b[1] else b[1])
+
+
+def _range_step(op: LoweredOp, state: Dict[_Key, _Interval],
+                record: Optional[Dict[int, _Interval]],
+                index: int) -> bool:
+    """One op's interval transfer; returns False for unmodelled op kinds."""
+    zero: _Interval = (0, 0)
+    if isinstance(op, (Accumulate, FusedAccumulate)):
+        state[("local_ps", op.slot)] = op.bounds
+        return True
+    if isinstance(op, (PsAdd, DirectPsAdd)):
+        if isinstance(op, PsAdd):
+            incoming = state.get(("reg", op.reg), zero)
+        else:
+            src = "sum_buf" if op.src_sum_buf else "local_ps"
+            incoming = state.get((src, op.src_slot), zero)
+        if op.add:
+            base_kind = "sum_buf" if op.consecutive else "local_ps"
+            base = state.get((base_kind, op.slot), zero)
+            values = (base[0] + incoming[0], base[1] + incoming[1])
+        else:
+            values = incoming
+        if record is not None and op.add:
+            record[index] = values
+        for kind in ("sum_buf", "weighted"):
+            key = (kind, op.slot)
+            state[key] = _hull(state.get(key, zero), values)
+        return True
+    if isinstance(op, MakePsPacket):
+        src = "sum_buf" if op.use_sum_buf else "local_ps"
+        state[("reg", op.reg)] = _hull(zero, state.get((src, op.slot), zero))
+        return True
+    if isinstance(op, MakeSpikePacket):
+        state[("reg", op.reg)] = (0, 1)
+        return True
+    if isinstance(op, FilterPacket):
+        state[("reg", op.reg_out)] = _hull(
+            zero, state.get(("reg", op.reg_in), zero))
+        return True
+    if isinstance(op, (Fire, Eject, DirectEject)):
+        # booleans / potentials: not range-checked by any op
+        return True
+    return False
+
+
+def analyse_check_elision(schedule: LoweredSchedule,
+                          ops: Sequence[LoweredOp]) -> Optional[Set[int]]:
+    """Indices of add-ops in ``ops`` whose range check provably cannot fire.
+
+    Fixpoint of an interval analysis over the cyclic per-timestep schedule
+    (Python ints, so no wraparound in the analysis itself).  Intervals start
+    at the all-zero initial state and every transfer is monotone, so the
+    fixpoint bounds all reachable values of every time step.  Returns
+    ``None`` when an op kind is unknown or the fixpoint is not reached —
+    callers must then keep every check.
+    """
+    ps_min, ps_max = schedule.program.arch.ps_min, schedule.program.arch.ps_max
+    persistent: Dict[_Key, _Interval] = {}
+    for _ in range(_RANGE_MAX_PASSES):
+        state = dict(persistent)
+        for index, op in enumerate(ops):
+            if not _range_step(op, state, None, index):
+                return None
+        new_persistent = {key: value for key, value in state.items()
+                          if key[0] in _RANGE_PERSISTENT}
+        if new_persistent == persistent:
+            break
+        persistent = new_persistent
+    else:
+        return None
+    # one recording pass at the fixpoint
+    state = dict(persistent)
+    record: Dict[int, _Interval] = {}
+    for index, op in enumerate(ops):
+        _range_step(op, state, record, index)
+    return {index for index, (lo, hi) in record.items()
+            if ps_min <= lo and hi <= ps_max}
+
+
+# ----------------------------------------------------------------------
+# The execution plan
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionPlan:
+    """A compiled, picklable kernel list plus its working-buffer layout.
+
+    ``buffers`` holds ``(trailing_shape, dtype)`` specs — the batch axis is
+    prepended at run time by :meth:`allocate_buffers`, once per run, and the
+    resulting arrays are reused across all time steps.  This is the
+    cacheable resident artifact a serving layer can keep per program.
+    """
+
+    executor: str
+    kernels: List[LoweredOp]
+    buffers: List[Tuple[Tuple[int, ...], object]]
+    uses_numba: bool
+    collapsed_pairs: int
+    elided_checks: int
+    total_checks: int
+
+    def allocate_buffers(self, batch: int) -> List[np.ndarray]:
+        return [np.zeros((batch,) + shape, dtype=dtype)
+                for shape, dtype in self.buffers]
+
+    def describe(self) -> str:
+        return (f"ExecutionPlan({self.executor}: {len(self.kernels)} kernels, "
+                f"{len(self.buffers)} buffers, "
+                f"{self.elided_checks}/{self.total_checks} checks elided, "
+                f"{self.collapsed_pairs} pairs collapsed, "
+                f"numba={self.uses_numba})")
+
+
+def compile_plan(schedule: LoweredSchedule,
+                 executor: str = "fused") -> ExecutionPlan:
+    """Compile a schedule's op list into an :class:`ExecutionPlan`.
+
+    ``executor`` is ``"fused"`` (numba used if importable) or ``"numba"``
+    (numba required).  The plain executor has no plan.
+    """
+    resolve_executor(executor)
+    if executor == "plain":
+        raise EngineError("the plain executor does not take a compiled plan")
+    use_numba = HAVE_NUMBA
+
+    ops, collapsed = _collapse_packet_pairs(list(schedule.ops))
+    elidable = analyse_check_elision(schedule, ops)
+    if elidable is None:
+        elidable = set()
+
+    buffers: List[Tuple[Tuple[int, ...], object]] = []
+
+    def new_buffer(shape: Tuple[int, ...], dtype) -> int:
+        buffers.append((tuple(int(dim) for dim in shape), dtype))
+        return len(buffers) - 1
+
+    kernels: List[LoweredOp] = []
+    total_checks = 0
+    elided_checks = 0
+    for index, op in enumerate(ops):
+        if isinstance(op, (Accumulate, FusedAccumulate)):
+            weights = op.weights_f if isinstance(op, FusedAccumulate) else op.weights
+            total_checks += 1
+            if not op.check:
+                elided_checks += 1
+            kernels.append(AccKernel(
+                slot=op.slot, weights=weights, check=op.check,
+                ps_min=op.ps_min, ps_max=op.ps_max, where=op.where,
+                buf_in=new_buffer((weights.shape[0],), weights.dtype),
+                buf_out=new_buffer((weights.shape[1],), weights.dtype),
+                use_numba=use_numba))
+            continue
+        if isinstance(op, (PsAdd, DirectPsAdd)):
+            if isinstance(op, PsAdd):
+                src_reg: Optional[int] = op.reg
+                src_sum_buf = False
+                src_slot = -1
+                sel = op.idx
+            else:
+                src_reg = None
+                src_sum_buf = op.src_sum_buf
+                src_slot = op.src_slot
+                sel = op.sel
+            check = False
+            buf = -1
+            if op.add:
+                total_checks += 1
+                check = index not in elidable
+                if not check:
+                    elided_checks += 1
+                buf = new_buffer((_sel_size(sel),), np.int64)
+            kernels.append(PsAddKernel(
+                slot=op.slot, src_reg=src_reg, src_sum_buf=src_sum_buf,
+                src_slot=src_slot, sel=sel, add=op.add,
+                consecutive=op.consecutive, check=check,
+                ps_min=op.ps_min, ps_max=op.ps_max, where=op.where,
+                buf=buf, use_numba=use_numba))
+            continue
+        if isinstance(op, Fire):
+            size = _sel_size(op.idx)
+            kernels.append(FireKernel(
+                slot=op.slot, sel=op.idx, use_noc_sum=op.use_noc_sum,
+                thresholds=op.thresholds,
+                buf_pot=new_buffer((size,), np.int64),
+                buf_fired=new_buffer((size,), np.bool_),
+                buf_sub=new_buffer((size,), np.int64),
+                use_numba=use_numba))
+            continue
+        # packet producers, filters, ejections: already cheap in-place ops
+        kernels.append(op)
+
+    return ExecutionPlan(
+        executor=executor,
+        kernels=kernels,
+        buffers=buffers,
+        uses_numba=use_numba,
+        collapsed_pairs=collapsed,
+        elided_checks=elided_checks,
+        total_checks=total_checks,
+    )

@@ -54,10 +54,38 @@ from ..core.stats import ExecutionStats, OpCount
 from ..core.tile import TileCoordinate
 from ..mapping.program import Program
 from .base import EngineError
+from .xp import NUMPY, ArrayModule
 
 
 class LoweringError(EngineError):
     """Raised when a program cannot be lowered (schedule conflicts, ...)."""
+
+
+def weight_bounds(weights: np.ndarray) -> Tuple[int, int]:
+    """Static ``(lo, hi)`` bounds of one ACC over *any* boolean axon vector.
+
+    Axons are boolean, so the most negative reachable partial sum of a lane
+    is the sum of that lane's negative weights and the most positive is the
+    sum of its positive weights.  The returned interval is the hull over all
+    lanes, widened to include 0 (the no-spike case), as exact Python ints.
+    The fused executor (:mod:`repro.engine.kernels`) and the per-op ``check``
+    flags use this to elide run-time overflow scans that provably cannot
+    fire.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    if w.size == 0:
+        return 0, 0
+    lo = int(np.minimum(w, 0).sum(axis=0, dtype=np.int64).min())
+    hi = int(np.maximum(w, 0).sum(axis=0, dtype=np.int64).max())
+    return min(lo, 0), max(hi, 0)
+
+
+def _nonempty(array) -> bool:
+    """Portable ``array.size > 0`` (torch tensors have no ``size`` int)."""
+    for dim in array.shape:
+        if not dim:
+            return False
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -71,23 +99,62 @@ class BatchState:
     lowering assigned.  ``local_ps`` and ``potential`` persist across time
     steps (matching ``NeuronCore``/``SpikeRouter``); the rest is cleared by
     :meth:`begin_timestep`.
+
+    Registers have static widths and dtypes (``reg_nets`` records each
+    register's NoC: ``"ps"`` carries int64 partial sums, ``"spike"`` booleans),
+    so when the net map is known the packet registers are allocated once here
+    and the packet ops zero-fill and scatter in place instead of building a
+    fresh dense array every time step.  All arrays are allocated through the
+    ``xp`` array module (numpy by default), which is how the identical
+    schedule runs on cupy or torch.
     """
 
     __slots__ = ("axons", "local_ps", "sum_buf", "weighted", "potential",
-                 "spike_reg", "regs", "inputs", "active_axons")
+                 "spike_reg", "regs", "inputs", "active_axons", "xp",
+                 "buf", "_scratch")
 
     def __init__(self, batch: int, n_slots: int, n_regs: int,
-                 core_inputs: int, core_neurons: int):
-        self.axons = [np.zeros((batch, core_inputs), dtype=bool) for _ in range(n_slots)]
-        self.local_ps = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
-        self.sum_buf = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
-        self.weighted = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
-        self.potential = [np.zeros((batch, core_neurons), dtype=np.int64) for _ in range(n_slots)]
-        self.spike_reg = [np.zeros((batch, core_neurons), dtype=bool) for _ in range(n_slots)]
-        self.regs: List[Optional[np.ndarray]] = [None] * n_regs
+                 core_inputs: int, core_neurons: int,
+                 reg_nets: Tuple[str, ...] = (),
+                 xp: Optional[ArrayModule] = None):
+        if xp is None:
+            xp = NUMPY
+        self.xp = xp
+        self.axons = [xp.zeros((batch, core_inputs), xp.bool_) for _ in range(n_slots)]
+        self.local_ps = [xp.zeros((batch, core_neurons), xp.int64) for _ in range(n_slots)]
+        self.sum_buf = [xp.zeros((batch, core_neurons), xp.int64) for _ in range(n_slots)]
+        self.weighted = [xp.zeros((batch, core_neurons), xp.int64) for _ in range(n_slots)]
+        self.potential = [xp.zeros((batch, core_neurons), xp.int64) for _ in range(n_slots)]
+        self.spike_reg = [xp.zeros((batch, core_neurons), xp.bool_) for _ in range(n_slots)]
+        if len(reg_nets) == n_regs:
+            self.regs: List[Optional[np.ndarray]] = [
+                xp.zeros((batch, core_neurons),
+                         xp.int64 if net == "ps" else xp.bool_)
+                for net in reg_nets
+            ]
+        else:
+            # net map unknown (hand-built schedule): packet ops fall back to
+            # allocating fresh arrays, exactly as before
+            self.regs = [None] * n_regs
         self.inputs: Optional[np.ndarray] = None
         #: spiking axons observed by ACC ops (summed over the whole batch)
         self.active_axons = 0
+        #: fused-plan working buffers (set by the executor from the plan)
+        self.buf: List[np.ndarray] = []
+        self._scratch: Dict[object, np.ndarray] = {}
+
+    def scratch(self, key: object, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A reusable working buffer, allocated once per (key, state).
+
+        Ops that need a same-shaped temporary every step (e.g. the
+        bool→int64 axon cast in :class:`Accumulate`) request it here instead
+        of allocating per call.
+        """
+        buffer = self._scratch.get(key)
+        if buffer is None:
+            buffer = self.xp.zeros(shape, dtype)
+            self._scratch[key] = buffer
+        return buffer
 
     def begin_timestep(self, inputs: np.ndarray,
                        plan: Optional["ClearPlan"] = None) -> None:
@@ -146,9 +213,17 @@ class InjectInput(LoweredOp):
 
 
 class Accumulate(LoweredOp):
-    """``ACC`` — batched weight-row accumulation into the local partial sums."""
+    """``ACC`` — batched weight-row accumulation into the local partial sums.
 
-    __slots__ = ("slot", "weights", "ps_min", "ps_max", "where")
+    The bool→int64 axon cast goes through a reusable scratch buffer instead
+    of allocating per step, and the overflow scan is elided when
+    :func:`weight_bounds` proves at build time that no axon pattern can
+    leave ``[ps_min, ps_max]`` (``check`` False); the raised error text is
+    unchanged when the scan stays.
+    """
+
+    __slots__ = ("slot", "weights", "ps_min", "ps_max", "where", "bounds",
+                 "check")
 
     def __init__(self, slot: int, weights: np.ndarray, ps_min: int, ps_max: int,
                  where: str):
@@ -157,11 +232,16 @@ class Accumulate(LoweredOp):
         self.ps_min = ps_min
         self.ps_max = ps_max
         self.where = where
+        self.bounds = weight_bounds(self.weights)
+        self.check = not (ps_min <= self.bounds[0] and self.bounds[1] <= ps_max)
 
     def run(self, st: BatchState) -> None:
         axons = st.axons[self.slot]
-        sums = axons.astype(np.int64) @ self.weights
-        if sums.size and (sums.min() < self.ps_min or sums.max() > self.ps_max):
+        cast = st.scratch(("acc", self.slot), axons.shape, st.xp.int64)
+        st.xp.copyto(cast, axons)
+        sums = cast @ self.weights
+        if self.check and _nonempty(sums) and (
+                sums.min() < self.ps_min or sums.max() > self.ps_max):
             # same error class as NeuronCore.accumulate in the reference path
             raise NeuronCoreError(
                 f"neuron core at tile {self.where}: local partial sum "
@@ -197,7 +277,7 @@ class PsAdd(LoweredOp):
         if self.add:
             base = st.sum_buf[self.slot] if self.consecutive else st.local_ps[self.slot]
             values = base[:, self.idx] + incoming
-            if values.size and (values.min() < self.ps_min or values.max() > self.ps_max):
+            if _nonempty(values) and (values.min() < self.ps_min or values.max() > self.ps_max):
                 # same error class as PsRouter.op_sum in the reference path
                 raise PsRouterError(
                     f"PS router at tile {self.where}: partial-sum overflow "
@@ -224,9 +304,13 @@ class MakePsPacket(LoweredOp):
 
     def run(self, st: BatchState) -> None:
         source = st.sum_buf[self.slot] if self.use_sum_buf else st.local_ps[self.slot]
-        dense = np.zeros((source.shape[0], self.width), dtype=np.int64)
+        dense = st.regs[self.reg]
+        if dense is None:
+            dense = st.xp.zeros((source.shape[0], self.width), st.xp.int64)
+            st.regs[self.reg] = dense
+        else:
+            dense[:] = 0
         dense[:, self.idx] = source[:, self.idx]
-        st.regs[self.reg] = dense
 
 
 class MakeSpikePacket(LoweredOp):
@@ -242,9 +326,13 @@ class MakeSpikePacket(LoweredOp):
 
     def run(self, st: BatchState) -> None:
         source = st.spike_reg[self.slot]
-        dense = np.zeros((source.shape[0], self.width), dtype=bool)
+        dense = st.regs[self.reg]
+        if dense is None:
+            dense = st.xp.zeros((source.shape[0], self.width), st.xp.bool_)
+            st.regs[self.reg] = dense
+        else:
+            dense[:] = False
         dense[:, self.idx] = source[:, self.idx]
-        st.regs[self.reg] = dense
 
 
 class FilterPacket(LoweredOp):
@@ -259,9 +347,13 @@ class FilterPacket(LoweredOp):
 
     def run(self, st: BatchState) -> None:
         source = st.regs[self.reg_in]
-        dense = np.zeros_like(source)
+        dense = st.regs[self.reg_out]
+        if dense is None:
+            dense = st.xp.zeros(tuple(source.shape), source.dtype)
+            st.regs[self.reg_out] = dense
+        else:
+            dense[:] = 0
         dense[:, self.idx] = source[:, self.idx]
-        st.regs[self.reg_out] = dense
 
 
 class Fire(LoweredOp):
@@ -281,7 +373,7 @@ class Fire(LoweredOp):
         potential = st.potential[self.slot]
         pot = potential[:, self.idx] + weighted[:, self.idx]
         fired = pot >= self.thresholds
-        potential[:, self.idx] = pot - np.where(fired, self.thresholds, 0)
+        potential[:, self.idx] = pot - st.xp.where(fired, self.thresholds, 0)
         st.spike_reg[self.slot][:, self.idx] = fired
 
 
@@ -368,11 +460,22 @@ class LoweredSchedule:
         field(default_factory=dict)
     #: packets injected per instruction group per timestep (wave occupancy)
     group_occupancy: Tuple[int, ...] = ()
+    #: which NoC each packet register belongs to ("ps" | "spike"), in
+    #: register order; lets BatchState preallocate the registers once
+    reg_nets: Tuple[str, ...] = ()
+    #: array module executing this schedule (None = numpy); set by
+    #: :func:`repro.engine.gpu.bind_schedule`
+    xp: Optional[ArrayModule] = None
+    #: compiled fused-kernel plan (None = interpret ``ops`` directly); set
+    #: by :func:`repro.engine.vectorized.prepare_schedule` via
+    #: :func:`repro.engine.kernels.compile_plan`
+    plan: Optional[object] = None
 
     def allocate(self, batch: int) -> BatchState:
         arch = self.program.arch
         return BatchState(batch, self.n_slots, self.n_regs,
-                          arch.core_inputs, arch.core_neurons)
+                          arch.core_inputs, arch.core_neurons,
+                          reg_nets=self.reg_nets, xp=self.xp)
 
     @property
     def op_count(self) -> int:
@@ -458,6 +561,7 @@ class _Lowerer:
         self.inject_ops: List[InjectInput] = []
         self.slots: Dict[TileCoordinate, int] = {}
         self.n_regs = 0
+        self.reg_nets: List[str] = []
         #: un-consumed link registers: (dst tile, dst port, net) -> (reg, lanes)
         self.latches: Dict[_LatchKey, Tuple[int, np.ndarray]] = {}
         self.per_timestep_ops: Dict[str, List[int]] = {}
@@ -478,9 +582,10 @@ class _Lowerer:
             self.slots[tile] = len(self.slots)
         return self.slots[tile]
 
-    def new_reg(self) -> int:
+    def new_reg(self, net: str) -> int:
         reg = self.n_regs
         self.n_regs += 1
+        self.reg_nets.append(net)
         return reg
 
     def count(self, key: str, operations: int, lanes: int,
@@ -557,6 +662,7 @@ class _Lowerer:
             link_traffic={key: (packets, lanes) for key, (packets, lanes)
                           in self.link_traffic.items()},
             group_occupancy=tuple(self.group_occupancy),
+            reg_nets=tuple(self.reg_nets),
         )
 
     def _lower_group(self, group, weights, thresholds) -> None:
@@ -605,7 +711,7 @@ class _Lowerer:
 
         if isinstance(op, PsSend):
             idx = self.op_lane_indices(op.lanes)
-            reg = self.new_reg()
+            reg = self.new_reg("ps")
             self.ops.append(MakePsPacket(slot, reg, idx, op.use_sum_buf, self.width))
             outgoing.append((tile, op.dst, reg, idx, "ps"))
             self.count(op.energy_key, 1, idx.size)
@@ -630,7 +736,7 @@ class _Lowerer:
 
         if isinstance(op, SpikeSend):
             idx = self.op_lane_indices(op.lanes)
-            reg = self.new_reg()
+            reg = self.new_reg("spike")
             self.ops.append(MakeSpikePacket(slot, reg, idx, self.width))
             outgoing.append((tile, op.dst, reg, idx, "spike"))
             self.count(op.energy_key, 1, idx.size)
@@ -662,7 +768,7 @@ class _Lowerer:
             return reg, packet_lanes
         idx = self.op_lane_indices(lanes)
         keep = packet_lanes[np.isin(packet_lanes, idx)]
-        reg_out = self.new_reg()
+        reg_out = self.new_reg(net)
         self.ops.append(FilterPacket(reg, reg_out, keep))
         return reg_out, keep
 

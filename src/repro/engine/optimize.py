@@ -64,6 +64,8 @@ from .lowering import (
     MakeSpikePacket,
     OutputGather,
     PsAdd,
+    _nonempty,
+    weight_bounds,
 )
 from ..core.ps_router import PsRouterError
 
@@ -86,10 +88,14 @@ class FusedAccumulate(LoweredOp):
 
     Same integers, same overflow check and same ``active_axons`` measurement
     as :class:`~repro.engine.lowering.Accumulate`; only the matmul route
-    differs (dgemm instead of numpy's generic int64 loop).
+    differs (dgemm instead of numpy's generic int64 loop).  Like
+    ``Accumulate``, the bool→float64 cast reuses a scratch buffer and the
+    overflow scan is elided when :func:`~repro.engine.lowering.weight_bounds`
+    proves it cannot fire.
     """
 
-    __slots__ = ("slot", "weights_f", "ps_min", "ps_max", "where")
+    __slots__ = ("slot", "weights_f", "ps_min", "ps_max", "where", "bounds",
+                 "check")
 
     def __init__(self, slot: int, weights: np.ndarray, ps_min: int, ps_max: int,
                  where: str):
@@ -98,11 +104,16 @@ class FusedAccumulate(LoweredOp):
         self.ps_min = ps_min
         self.ps_max = ps_max
         self.where = where
+        self.bounds = weight_bounds(weights)
+        self.check = not (ps_min <= self.bounds[0] and self.bounds[1] <= ps_max)
 
     def run(self, st) -> None:
         axons = st.axons[self.slot]
-        sums = (axons.astype(np.float64) @ self.weights_f).astype(np.int64)
-        if sums.size and (sums.min() < self.ps_min or sums.max() > self.ps_max):
+        cast = st.scratch(("acc_f", self.slot), axons.shape, st.xp.float64)
+        st.xp.copyto(cast, axons)
+        sums = st.xp.astype(cast @ self.weights_f, st.xp.int64)
+        if self.check and _nonempty(sums) and (
+                sums.min() < self.ps_min or sums.max() > self.ps_max):
             raise NeuronCoreError(
                 f"neuron core at tile {self.where}: local partial sum "
                 f"overflowed the range [{self.ps_min}, {self.ps_max}]"
@@ -137,7 +148,7 @@ class DirectPsAdd(LoweredOp):
         if self.add:
             base = st.sum_buf[self.slot] if self.consecutive else st.local_ps[self.slot]
             values = base[:, self.sel] + incoming
-            if values.size and (values.min() < self.ps_min or values.max() > self.ps_max):
+            if _nonempty(values) and (values.min() < self.ps_min or values.max() > self.ps_max):
                 raise PsRouterError(
                     f"PS router at tile {self.where}: partial-sum overflow "
                     f"outside [{self.ps_min}, {self.ps_max}]"
@@ -626,6 +637,7 @@ def optimize_schedule(schedule: LoweredSchedule) -> LoweredSchedule:
         slots=dict(schedule.slots),
         link_traffic=dict(schedule.link_traffic),
         group_occupancy=schedule.group_occupancy,
+        reg_nets=schedule.reg_nets,
     )
     optimized.clear_plan = _build_clear_plan(optimized, ops)
     return optimized

@@ -45,6 +45,16 @@ def list_backends() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered *and* usable in this environment.
+
+    ``gpu`` is always registered but reports unavailable when neither cupy
+    nor torch is importable; the always-on backends report ``True``.
+    Unknown names raise the usual :class:`EngineError`.
+    """
+    return bool(get_backend(name).is_available())
+
+
 def create_backend(name: str, program: Program,
                    collect_stats: bool = True,
                    **options: object) -> ExecutionBackend:

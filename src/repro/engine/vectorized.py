@@ -30,7 +30,8 @@ from .lowering import LoweredSchedule, lower_program
 from .registry import register_backend
 
 
-def prepare_schedule(program: Program, optimize: bool = True) -> LoweredSchedule:
+def prepare_schedule(program: Program, optimize: bool = True,
+                     executor: str = "plain") -> LoweredSchedule:
     """Lower ``program`` and (by default) run the schedule optimizer.
 
     The shared construction step of the ``vectorized`` and ``sharded``
@@ -38,14 +39,26 @@ def prepare_schedule(program: Program, optimize: bool = True) -> LoweredSchedule
     Runs the engine's ``lower``/``optimize`` passes through the same pass
     framework the mapping compiler uses (:mod:`repro.ir`), so one pipeline
     covers graph-build through schedule optimization end to end.
+
+    ``executor`` selects the execution strategy for the schedule:
+    ``"plain"`` interprets the op list directly; ``"fused"`` attaches a
+    compiled :class:`~repro.engine.kernels.ExecutionPlan` (using the
+    optional numba loops when importable); ``"numba"`` is ``"fused"`` but
+    fails loudly when numba is absent.  The plan pickles with the schedule,
+    so sharded workers honour the executor automatically.
     """
     from ..ir.passes import CompileContext
     from ..ir.pipeline import schedule_pipeline
+    from .kernels import compile_plan, resolve_executor
 
+    resolve_executor(executor)
     ctx = CompileContext(program.arch)
     ctx.set("program", program)
     schedule_pipeline(optimize).run(ctx)
-    return ctx.require("schedule")
+    schedule = ctx.require("schedule")
+    if executor != "plain":
+        schedule.plan = compile_plan(schedule, executor)
+    return schedule
 
 
 def build_result(schedule: LoweredSchedule, counts: np.ndarray,
@@ -85,8 +98,18 @@ def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
     spike_trains = normalise_spike_trains(spike_trains, program.input_size)
     frames, timesteps, _ = spike_trains.shape
     state = schedule.allocate(frames)
-    counts = np.zeros((frames, program.output_size), dtype=np.int64)
+    device = schedule.xp
+    if device is not None:
+        # alternate array module: move inputs over once, results back once
+        spike_trains = device.asarray(spike_trains)
+        counts = device.zeros((frames, program.output_size), device.int64)
+    else:
+        counts = np.zeros((frames, program.output_size), dtype=np.int64)
     ops = schedule.ops
+    exec_plan = schedule.plan
+    if exec_plan is not None:
+        ops = exec_plan.kernels
+        state.buf = exec_plan.allocate_buffers(frames)
     inject_ops = schedule.inject_ops
     outputs = schedule.outputs
     plan = schedule.clear_plan
@@ -104,6 +127,8 @@ def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
             )
         if collector is not None:
             collector.capture(state, step)
+    if device is not None:
+        counts = np.asarray(device.to_host(counts), dtype=np.int64)
     return counts, state.active_axons
 
 
@@ -114,10 +139,12 @@ class VectorizedBackend(ExecutionBackend):
     name = "vectorized"
 
     def __init__(self, program: Program, collect_stats: bool = True,
-                 optimize: bool = True):
+                 optimize: bool = True, executor: str = "plain"):
         super().__init__(program, collect_stats=collect_stats)
         self.optimize = optimize
-        self.schedule: LoweredSchedule = prepare_schedule(program, optimize)
+        self.executor = executor
+        self.schedule: LoweredSchedule = prepare_schedule(program, optimize,
+                                                          executor=executor)
 
     def run(self, spike_trains: np.ndarray,
             probes=None) -> SimulationResult:

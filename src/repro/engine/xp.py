@@ -1,0 +1,305 @@
+"""Array-module abstraction: run the lowered schedule on numpy, cupy or torch.
+
+The lowered ops of :mod:`repro.engine.lowering` are dense batched tensor
+operations — gathers, scatters, matmuls, comparisons — whose semantics are
+identical across array libraries.  This module packages the *few* operations
+whose spelling differs behind a tiny :class:`ArrayModule` adapter so the
+identical schedule executes on whatever array library (and device) is
+present: numpy is the always-available default, cupy and torch are detected
+at import time and **never required** — nothing here imports them at module
+load, and every probe degrades to "absent" instead of raising.
+
+Three detection levels, from loosest to strictest:
+
+* :func:`detected_array_modules` — which optional libraries import at all
+  (recorded into ``BENCH_engine.json`` so perf trajectories from different
+  machines stay comparable);
+* :func:`first_available_module` — the first non-numpy adapter that can
+  actually construct arrays (torch counts even without CUDA: a CPU tensor
+  backend still exercises the whole device code path);
+* :func:`device_array_module` — an adapter with a *real accelerator*
+  behind it (cupy with a visible GPU, torch with CUDA).  This is the test
+  the ``auto`` backend uses before preferring ``gpu`` for large batches.
+
+:func:`ensure_host` coerces any backend's array back to numpy, which is how
+:func:`repro.engine.parity.assert_backend_parity` compares results after a
+device→host transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .base import EngineError
+
+__all__ = [
+    "ArrayModule",
+    "NUMPY",
+    "detected_array_modules",
+    "device_array_module",
+    "ensure_host",
+    "first_available_module",
+    "get_array_module",
+]
+
+
+class ArrayModule:
+    """The minimal array namespace the schedule executor needs.
+
+    The base class *is* the numpy implementation; adapters override only the
+    operations whose spelling differs.  The contract (everything the lowered
+    ops and :class:`~repro.engine.lowering.BatchState` call):
+
+    * dtype attributes ``bool_`` / ``int64`` / ``float64``;
+    * ``zeros(shape, dtype)`` — allocate zero-filled on the target device;
+    * ``asarray(array, dtype=None)`` — host array -> device array;
+    * ``astype(array, dtype)`` — dtype conversion (new array);
+    * ``copyto(dst, src)`` — in-place store with unsafe casting (the
+      executor's preallocated-buffer writes);
+    * ``where(cond, a, b)`` — element selection with a scalar ``b``;
+    * ``to_host(array)`` — device array -> ``np.ndarray``.
+
+    Everything else the ops use — ``@``, ``|=``, slicing, fancy indexing,
+    ``.sum()`` / ``.min()`` / ``.max()``, comparisons — is spelled
+    identically on numpy, cupy and torch arrays, so it stays direct.
+    """
+
+    name = "numpy"
+    #: True when arrays live off-host (results need ``to_host`` transfers)
+    device = False
+
+    bool_ = np.bool_
+    int64 = np.int64
+    float64 = np.float64
+
+    def zeros(self, shape, dtype):
+        return np.zeros(shape, dtype=dtype)
+
+    def asarray(self, array, dtype=None):
+        return np.asarray(array, dtype=dtype)
+
+    def astype(self, array, dtype):
+        return array.astype(dtype)
+
+    def copyto(self, dst, src) -> None:
+        np.copyto(dst, src, casting="unsafe")
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def to_host(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+
+#: the default (and always available) array module
+NUMPY = ArrayModule()
+
+
+class CupyModule(ArrayModule):
+    """cupy adapter: numpy-compatible API, arrays live on the GPU."""
+
+    name = "cupy"
+    device = True
+
+    def __init__(self, cupy):
+        self.cupy = cupy
+        self.bool_ = cupy.bool_
+        self.int64 = cupy.int64
+        self.float64 = cupy.float64
+
+    def zeros(self, shape, dtype):
+        return self.cupy.zeros(shape, dtype=dtype)
+
+    def asarray(self, array, dtype=None):
+        return self.cupy.asarray(array, dtype=dtype)
+
+    def copyto(self, dst, src) -> None:
+        self.cupy.copyto(dst, src, casting="unsafe")
+
+    def where(self, cond, a, b):
+        return self.cupy.where(cond, a, b)
+
+    def to_host(self, array) -> np.ndarray:
+        return self.cupy.asnumpy(array)
+
+
+class TorchModule(ArrayModule):
+    """torch adapter: tensors on ``target`` (``"cuda"`` when available)."""
+
+    name = "torch"
+
+    _DTYPES = ("bool", "int64", "float64")
+
+    def __init__(self, torch, target: Optional[str] = None):
+        self.torch = torch
+        if target is None:
+            target = "cuda" if torch.cuda.is_available() else "cpu"
+        self.target = target
+        self.device = target != "cpu"
+        self.bool_ = torch.bool
+        self.int64 = torch.int64
+        self.float64 = torch.float64
+
+    def zeros(self, shape, dtype):
+        return self.torch.zeros(tuple(shape), dtype=dtype, device=self.target)
+
+    def asarray(self, array, dtype=None):
+        if self.torch.is_tensor(array):
+            tensor = array
+        else:
+            tensor = self.torch.from_numpy(
+                np.ascontiguousarray(np.asarray(array)))
+        if dtype is not None:
+            tensor = tensor.to(dtype)
+        return tensor.to(self.target)
+
+    def astype(self, array, dtype):
+        return array.to(dtype)
+
+    def copyto(self, dst, src) -> None:
+        dst.copy_(src)
+
+    def where(self, cond, a, b):
+        if not self.torch.is_tensor(b):
+            b = self.torch.as_tensor(b, dtype=a.dtype, device=a.device)
+        return self.torch.where(cond, a, b)
+
+    def to_host(self, array) -> np.ndarray:
+        return array.detach().cpu().numpy()
+
+
+# ----------------------------------------------------------------------
+# Detection (optional libraries are never required)
+# ----------------------------------------------------------------------
+def _try_import(name: str):
+    try:
+        import importlib
+
+        return importlib.import_module(name)
+    except Exception:
+        return None
+
+
+def detected_array_modules() -> Dict[str, Optional[str]]:
+    """Optional array libraries -> version string (``None`` when absent).
+
+    Recorded into the ``BENCH_engine.json`` perf trajectory so frames/sec
+    rows from machines with different optional stacks stay interpretable.
+    """
+    detected: Dict[str, Optional[str]] = {
+        "numpy": str(np.__version__),
+    }
+    for name in ("cupy", "torch"):
+        module = _try_import(name)
+        detected[name] = (str(getattr(module, "__version__", "unknown"))
+                          if module is not None else None)
+    return detected
+
+
+def _cupy_module(require_device: bool) -> Optional[CupyModule]:
+    cupy = _try_import("cupy")
+    if cupy is None:
+        return None
+    try:
+        count = int(cupy.cuda.runtime.getDeviceCount())
+    except Exception:
+        count = 0
+    if count < 1:
+        # cupy without a visible GPU cannot allocate arrays at all, so it
+        # is unusable regardless of require_device
+        return None
+    return CupyModule(cupy)
+
+
+def _torch_module(require_device: bool) -> Optional[TorchModule]:
+    torch = _try_import("torch")
+    if torch is None:
+        return None
+    try:
+        has_cuda = bool(torch.cuda.is_available())
+    except Exception:
+        has_cuda = False
+    if require_device and not has_cuda:
+        return None
+    return TorchModule(torch)
+
+
+def first_available_module() -> Optional[ArrayModule]:
+    """The first non-numpy adapter that can construct arrays, or ``None``.
+
+    torch qualifies even without CUDA (CPU tensors exercise the whole
+    alternate-module code path); cupy needs a visible GPU to allocate at
+    all.  Used by the ``gpu`` backend's default constructor and by the
+    parity tests, which want to exercise the path whenever *any* optional
+    module is importable.
+    """
+    module = _cupy_module(require_device=False)
+    if module is not None:
+        return module
+    return _torch_module(require_device=False)
+
+
+def device_array_module() -> Optional[ArrayModule]:
+    """An adapter backed by a real accelerator, or ``None``.
+
+    The strict test: cupy with ``getDeviceCount() >= 1`` or torch with
+    CUDA available.  :mod:`repro.engine.auto` uses this before preferring
+    the ``gpu`` backend for large batches — a CPU-tensor fallback would be
+    a slowdown, not a speedup.
+    """
+    module = _cupy_module(require_device=True)
+    if module is not None:
+        return module
+    return _torch_module(require_device=True)
+
+
+def get_array_module(name: str) -> ArrayModule:
+    """Resolve an adapter by name (``"numpy"``, ``"cupy"``, ``"torch"``).
+
+    ``"numpy"`` always resolves (useful for exercising the device code
+    path without a device); the optional names raise
+    :class:`~repro.engine.base.EngineError` when the library is absent.
+    """
+    if name == "numpy":
+        return NUMPY
+    if name == "cupy":
+        module = _cupy_module(require_device=False)
+        if module is None:
+            raise EngineError(
+                "array module 'cupy' is not importable (or no GPU is "
+                "visible); install cupy with a CUDA device or pick another "
+                "module")
+        return module
+    if name == "torch":
+        module = _torch_module(require_device=False)
+        if module is None:
+            raise EngineError(
+                "array module 'torch' is not importable; install torch or "
+                "pick another module")
+        return module
+    raise EngineError(
+        f"unknown array module {name!r} (one of: numpy, cupy, torch)")
+
+
+def ensure_host(array) -> np.ndarray:
+    """Coerce any backend's array to a host ``np.ndarray`` (numpy: no-op).
+
+    Duck-typed so it needs no optional imports: cupy arrays expose
+    ``.get()``, torch tensors ``.cpu()``; anything else goes through
+    ``np.asarray``.  The parity harness runs every compared array through
+    this, which is what makes cross-device comparisons well defined.
+    """
+    if isinstance(array, np.ndarray):
+        return array
+    getter = getattr(array, "get", None)
+    if callable(getter):  # cupy
+        return np.asarray(getter())
+    cpu = getattr(array, "cpu", None)
+    if callable(cpu):  # torch
+        detach = getattr(array, "detach", None)
+        if callable(detach):
+            array = detach()
+        return np.asarray(array.cpu().numpy())
+    return np.asarray(array)

@@ -26,7 +26,6 @@ verifies on every layer type.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -50,6 +49,7 @@ from ..snn.runner import AbstractSnnRunner
 from ..snn.spec import SnnNetwork
 from ..mapping.compiler import CompiledNetwork, compile_network
 from ..mapping.estimator import MappingEstimate, estimate_mapping
+from ..obs.profile import absorb_resilience, time_block
 
 
 class PipelineError(RuntimeError):
@@ -95,6 +95,11 @@ class ExperimentConfig:
     #: failures then retry/degrade instead of failing the experiment, and
     #: the recovery record lands in ``metadata["resilience"]``
     run_policy: Optional[object] = None
+    #: collect wall-clock metrics (a :class:`repro.obs.MetricsRegistry`
+    #: threaded through mapping, compile passes and the hardware run); the
+    #: registry snapshot lands in ``metadata["metrics"]``.  Never changes
+    #: computed results — metrics only read clocks
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in ("mnist", "cifar"):
@@ -221,36 +226,46 @@ def run_experiment(config: ExperimentConfig,
     snn_result = runner.run_spike_trains(test_trains)
     snn_accuracy = snn_result.accuracy(dataset.test_labels)
 
-    # 3. mapping (timed — the "Mapping time" row)
-    start = time.perf_counter()
-    routed = None  # the packed RoutePlan, whenever one was built
-    if config.hardware_frames != 0:
-        compiled: Optional[CompiledNetwork] = compile_network(
-            network, arch, rows=config.fabric_rows,
-            optimize_noc=config.optimize_noc)
-        routed = compiled.routes
-        estimate = estimate_mapping(network, arch, rows=config.fabric_rows,
-                                    logical=compiled.logical,
-                                    placement=compiled.placement,
-                                    routes=routed, timing=compiled.timing)
-    else:
-        compiled = None
-        if config.optimize_noc:
-            # the estimator needs the optimized placement and the packed
-            # waves to price the NoC schedule the opt passes produce
-            from ..ir.pipeline import compile as ir_compile
+    # 3. mapping (timed — the "Mapping time" row).  The stopwatch context
+    # feeds the metrics registry (as the pipeline/mapping span) and the
+    # Table IV row from a single measurement.
+    registry = None
+    if config.metrics:
+        from ..obs import MetricsRegistry
 
-            mapped = ir_compile(network, arch, rows=config.fabric_rows,
-                                pipeline=_estimation_pipeline(),
-                                materialize=False)
-            routed = mapped.routes
+        registry = MetricsRegistry()
+    routed = None  # the packed RoutePlan, whenever one was built
+    with time_block(registry, "pipeline/mapping") as mapping_watch:
+        if config.hardware_frames != 0:
+            compiled: Optional[CompiledNetwork] = compile_network(
+                network, arch, rows=config.fabric_rows,
+                optimize_noc=config.optimize_noc, metrics=registry)
+            routed = compiled.routes
             estimate = estimate_mapping(network, arch, rows=config.fabric_rows,
-                                        logical=mapped.logical,
-                                        placement=mapped.placement,
-                                        routes=routed, timing=mapped.timing)
+                                        logical=compiled.logical,
+                                        placement=compiled.placement,
+                                        routes=routed, timing=compiled.timing)
         else:
-            estimate = estimate_mapping(network, arch, rows=config.fabric_rows)
-    mapping_time_ms = (time.perf_counter() - start) * 1e3
+            compiled = None
+            if config.optimize_noc:
+                # the estimator needs the optimized placement and the packed
+                # waves to price the NoC schedule the opt passes produce
+                from ..ir.pipeline import compile as ir_compile
+
+                mapped = ir_compile(network, arch, rows=config.fabric_rows,
+                                    pipeline=_estimation_pipeline(),
+                                    materialize=False, metrics=registry)
+                routed = mapped.routes
+                estimate = estimate_mapping(network, arch,
+                                            rows=config.fabric_rows,
+                                            logical=mapped.logical,
+                                            placement=mapped.placement,
+                                            routes=routed,
+                                            timing=mapped.timing)
+            else:
+                estimate = estimate_mapping(network, arch,
+                                            rows=config.fabric_rows)
+    mapping_time_ms = mapping_watch.seconds * 1e3
 
     # 4. hardware simulation (when requested)
     shenjing_accuracy: Optional[float] = None
@@ -275,7 +290,8 @@ def run_experiment(config: ExperimentConfig,
                                           **backend_options)
         try:
             hw_result = backend_instance.run(test_trains[:frames],
-                                             probes=probe_set)
+                                             probes=probe_set,
+                                             metrics=registry)
             # the auto backend reports which delegate it picked
             execution_backend = getattr(backend_instance, "last_selection",
                                         None) or config.backend
@@ -288,6 +304,8 @@ def run_experiment(config: ExperimentConfig,
             probe_summary = hw_result.probes.summary()
         if hw_result.resilience is not None:
             resilience_summary = hw_result.resilience.as_dict()
+            # supervision events gain real durations in the same snapshot
+            absorb_resilience(registry, hw_result.resilience)
     else:
         # Mapping is lossless (verified by the test-suite for every layer
         # type), so the mapped accuracy equals the abstract SNN accuracy.
@@ -339,6 +357,7 @@ def run_experiment(config: ExperimentConfig,
             "noc": noc_metrics,
             "probes": probe_summary,
             "resilience": resilience_summary,
+            "metrics": registry.as_dict() if registry is not None else None,
         },
     )
 

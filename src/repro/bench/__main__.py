@@ -20,15 +20,18 @@ from . import (
     DEFAULT_CHECK_TOLERANCE,
     DEFAULT_FRAMES,
     DEFAULT_TIMESTEPS,
+    METRICS_FRAMES,
     OBS_FIRING_FRAMES,
     OBS_FIRING_TIMESTEPS,
     check_fused_floor,
+    check_metrics_regression,
     check_noc_regression,
     check_obs_regression,
     check_regression,
     check_resilience_regression,
     check_timing_regression,
     load_bench_report,
+    measure_metrics,
     measure_noc,
     measure_obs,
     measure_resilience,
@@ -122,6 +125,21 @@ def _print_resilience(resilience) -> None:
               f"({state}; events: {recovery.get('events')})")
 
 
+def _print_metrics(metrics) -> None:
+    overhead = metrics["overhead"]
+    print(f"metrics overhead (vectorized, gate {metrics['max_overhead']:.0%} "
+          "on the metrics-on path):")
+    print(f"  metrics off {overhead['metrics_off']['frames_per_sec']:>10.1f} "
+          "frames/s")
+    print(f"  metrics on  {overhead['metrics_on']['frames_per_sec']:>10.1f} "
+          f"frames/s (long-lived MetricsRegistry attached, "
+          f"{overhead['overhead_ratio']:+.1%} run time)")
+    for name, row in metrics.get("histograms", {}).items():
+        print(f"  {name:<24} n={row['count']:<5} sum={row['sum'] * 1e3:.2f} ms"
+              f"  p50={row['p50'] * 1e6:.1f} us  p95={row['p95'] * 1e6:.1f} us"
+              f"  p99={row['p99'] * 1e6:.1f} us")
+
+
 def run_check(args) -> int:
     """The ``--check`` gate: measure, compare, exit non-zero on regression.
 
@@ -213,6 +231,18 @@ def run_check(args) -> int:
         _print_resilience(resilience)
         failures += check_resilience_regression(resilience,
                                                 committed_resilience)
+    committed_metrics = committed.get("metrics")
+    if isinstance(committed_metrics, dict) and not args.skip_metrics:
+        metrics = measure_metrics(
+            frames=int(committed_metrics.get("frames", frames)),
+            timesteps=int(committed_metrics.get("timesteps", timesteps)),
+            repeats=args.repeats,
+        )
+        # the gate enforces the *committed* overhead ceiling; print that one
+        metrics["max_overhead"] = float(
+            committed_metrics.get("max_overhead", metrics["max_overhead"]))
+        _print_metrics(metrics)
+        failures += check_metrics_regression(metrics, committed_metrics)
     if failures:
         print(f"\nbench check FAILED ({len(failures)} regression(s) vs "
               f"committed rev {committed.get('git_rev', '?')}):")
@@ -259,6 +289,10 @@ def main(argv=None) -> int:
                         help="skip the resilience section (supervised "
                              "sharded overhead and crash-recovery time, "
                              "repro.resilience)")
+    parser.add_argument("--skip-metrics", action="store_true",
+                        help="skip the wall-clock metrics section "
+                             "(metrics-on overhead and key histogram "
+                             "snapshots, repro.obs.metrics)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed trajectory and "
                              "exit 1 on >tolerance frames/sec regression "
@@ -315,6 +349,16 @@ def main(argv=None) -> int:
                                         repeats=args.repeats)
         sections["resilience"] = resilience
         _print_resilience(resilience)
+
+    if not args.skip_metrics:
+        # own (larger) default batch: amortizes the registry's fixed
+        # per-run bookkeeping so the gate budget is left to noise
+        metrics_frames = args.frames if args.frames is not None \
+            else METRICS_FRAMES
+        metrics = measure_metrics(frames=metrics_frames, timesteps=timesteps,
+                                  repeats=args.repeats)
+        sections["metrics"] = metrics
+        _print_metrics(metrics)
 
     path = write_bench_report(sections, path=args.output)
     print(f"wrote {path}")

@@ -61,7 +61,7 @@ from .registry import (
     list_backends,
     register_backend,
 )
-from .kernels import ExecutionPlan, compile_plan
+from .kernels import ExecutionPlan, compile_plan, kernel_class_counts
 from .xp import ArrayModule, detected_array_modules, ensure_host, get_array_module
 
 # Importing the backend modules registers them.
@@ -115,13 +115,16 @@ class ExecutionEngine:
 
     def run(self, spike_trains: np.ndarray,
             backend: Optional[str] = None,
-            probes=None) -> SimulationResult:
+            probes=None, metrics=None) -> SimulationResult:
         """Execute a batch of spike trains on the selected backend.
 
         ``probes`` (a :class:`repro.obs.ProbeSet`) attaches runtime probes;
-        the result then carries ``result.probes``.
+        the result then carries ``result.probes``.  ``metrics`` (a
+        :class:`repro.obs.MetricsRegistry`) collects wall-clock spans and
+        counters without perturbing outputs.
         """
-        return self.backend(backend).run(spike_trains, probes=probes)
+        return self.backend(backend).run(spike_trains, probes=probes,
+                                         metrics=metrics)
 
     def close(self) -> None:
         """Close every cached backend (terminating persistent worker pools)."""
@@ -139,17 +142,21 @@ def run(program: Program, spike_trains: np.ndarray,
         backend: str = DEFAULT_BACKEND,
         collect_stats: bool = True,
         probes=None,
+        metrics=None,
         **options: object) -> SimulationResult:
     """Execute ``spike_trains`` on ``program`` with the named backend.
 
     Keyword ``options`` forward to the backend constructor (e.g.
     ``workers=4`` for ``sharded``); ``probes`` (a
-    :class:`repro.obs.ProbeSet`) attaches runtime probes.
+    :class:`repro.obs.ProbeSet`) attaches runtime probes; ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) collects wall-clock spans and
+    counters without perturbing outputs.
     """
     backend_instance = create_backend(backend, program,
                                       collect_stats=collect_stats, **options)
     try:
-        return backend_instance.run(spike_trains, probes=probes)
+        return backend_instance.run(spike_trains, probes=probes,
+                                    metrics=metrics)
     finally:
         backend_instance.close()
 
@@ -182,6 +189,7 @@ __all__ = [
     "execute_schedule",
     "get_array_module",
     "get_backend",
+    "kernel_class_counts",
     "list_backends",
     "lower_program",
     "next_fallback",

@@ -164,7 +164,7 @@ class AutoBackend(ExecutionBackend):
         return self._delegates[key]
 
     def run(self, spike_trains: np.ndarray,
-            probes=None) -> SimulationResult:
+            probes=None, metrics=None) -> SimulationResult:
         spike_trains = normalise_spike_trains(spike_trains,
                                               self.program.input_size)
         name = self.select(spike_trains.shape[0])
@@ -172,7 +172,8 @@ class AutoBackend(ExecutionBackend):
         report: Optional[ResilienceReport] = None
         while True:
             try:
-                result = self.delegate(name).run(spike_trains, probes=probes)
+                result = self.delegate(name).run(spike_trains, probes=probes,
+                                                 metrics=metrics)
                 break
             except ResilienceError as exc:
                 fallback = next_fallback(name)

@@ -69,7 +69,7 @@ class ExecutionBackend(abc.ABC):
 
     @abc.abstractmethod
     def run(self, spike_trains: np.ndarray,
-            probes=None) -> SimulationResult:
+            probes=None, metrics=None) -> SimulationResult:
         """Execute a ``(frames, timesteps, input_size)`` batch of spike trains.
 
         ``probes`` optionally names runtime observations to capture — a
@@ -77,6 +77,14 @@ class ExecutionBackend(abc.ABC):
         :class:`repro.obs.ProbeResult` in ``result.probes``, bit-identical
         across backends.  ``None`` (or an empty set) must add no
         per-timestep work beyond a single ``None`` check.
+
+        ``metrics`` optionally supplies a
+        :class:`repro.obs.MetricsRegistry` into which the backend records
+        wall-clock spans (per-run phases), work counters, and sampled
+        per-timestep histograms.  The same no-op contract applies:
+        ``None`` must add no per-timestep work beyond a single ``None``
+        check, and an enabled registry must never change the computed
+        outputs, statistics, or probes (metrics only read clocks).
         """
 
     def close(self) -> None:

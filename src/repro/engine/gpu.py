@@ -33,7 +33,12 @@ from ..mapping.program import Program
 from .base import EngineError, ExecutionBackend, normalise_spike_trains
 from .lowering import LoweredOp, LoweredSchedule, OutputGather
 from .registry import register_backend
-from .vectorized import build_result, execute_schedule, prepare_schedule
+from .vectorized import (
+    build_result,
+    execute_schedule,
+    metered_run,
+    prepare_schedule,
+)
 from .xp import ArrayModule, first_available_module, get_array_module
 
 
@@ -120,7 +125,9 @@ class GpuBackend(ExecutionBackend):
         return first_available_module() is not None
 
     def run(self, spike_trains: np.ndarray,
-            probes=None) -> SimulationResult:
+            probes=None, metrics=None) -> SimulationResult:
+        if metrics is not None:
+            return metered_run(self, spike_trains, probes, metrics)
         spike_trains = normalise_spike_trains(spike_trains,
                                               self.program.input_size)
         frames, timesteps, _ = spike_trains.shape

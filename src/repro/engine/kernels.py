@@ -454,6 +454,21 @@ class ExecutionPlan:
                 f"numba={self.uses_numba})")
 
 
+def kernel_class_counts(ops: Sequence[LoweredOp]) -> Dict[str, int]:
+    """Op-class composition of a kernel/op list (e.g. ``plan.kernels``).
+
+    Keys are op class names, matching the ``kernels/<Op>`` histogram
+    buckets :func:`~repro.engine.vectorized.execute_schedule` records, so
+    tooling can pair the static plan composition with measured per-class
+    wall-clock cost.  Sorted by name for deterministic output.
+    """
+    counts: Dict[str, int] = {}
+    for op in ops:
+        name = type(op).__name__
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def compile_plan(schedule: LoweredSchedule,
                  executor: str = "fused") -> ExecutionPlan:
     """Compile a schedule's op list into an :class:`ExecutionPlan`.

@@ -8,12 +8,69 @@ backend interface.  Every other backend is validated against this one
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.simulator import ShenjingSimulator, SimulationResult
 from ..mapping.program import Program
 from .base import ExecutionBackend, normalise_spike_trains
 from .registry import register_backend
+
+
+class _MetricsTimestepObserver:
+    """Simulator observer sampling per-timestep wall-clock durations.
+
+    Purely reads clocks — the simulator's arithmetic is untouched, so
+    metrics-on reference runs stay bit-identical.  Sampling stops after
+    ``limit`` timestep observations, bounding cost on long runs.
+    """
+
+    __slots__ = ("_hist", "_limit", "_steps", "_tick")
+
+    def __init__(self, metrics, limit: int):
+        self._hist = metrics.histogram("schedule/timestep")
+        self._limit = limit
+        self._steps = 0
+        self._tick = 0.0
+
+    def begin_timestep(self) -> None:
+        if self._steps < self._limit:
+            self._tick = time.perf_counter()
+
+    def record_group(self, outgoing) -> None:
+        pass
+
+    def end_timestep(self, system) -> None:
+        if self._steps < self._limit:
+            self._hist.observe(time.perf_counter() - self._tick)
+        self._steps += 1
+
+
+class _FanoutObserver:
+    """Forwards simulator observer hooks to several observers in order.
+
+    Lets a probe collector and the metrics sampler share the simulator's
+    single observer slot; the probe collector always runs first so its
+    captures see exactly the state they see when attached alone.
+    """
+
+    __slots__ = ("observers",)
+
+    def __init__(self, *observers):
+        self.observers = [obs for obs in observers if obs is not None]
+
+    def begin_timestep(self) -> None:
+        for obs in self.observers:
+            obs.begin_timestep()
+
+    def record_group(self, outgoing) -> None:
+        for obs in self.observers:
+            obs.record_group(outgoing)
+
+    def end_timestep(self, system) -> None:
+        for obs in self.observers:
+            obs.end_timestep(system)
 
 
 @register_backend
@@ -27,20 +84,36 @@ class ReferenceBackend(ExecutionBackend):
         self.simulator = ShenjingSimulator(program, collect_stats=collect_stats)
 
     def run(self, spike_trains: np.ndarray,
-            probes=None) -> SimulationResult:
-        if not probes:
+            probes=None, metrics=None) -> SimulationResult:
+        if not probes and metrics is None:
             return self.simulator.run(spike_trains)
-        from ..obs.probes import SimulatorProbeCollector
-
         spike_trains = normalise_spike_trains(spike_trains,
                                               self.program.input_size)
         frames, timesteps, _ = spike_trains.shape
-        collector = SimulatorProbeCollector(probes.resolve(self.program),
-                                            frames, timesteps)
-        self.simulator.observer = collector
+        collector = None
+        if probes:
+            from ..obs.probes import SimulatorProbeCollector
+
+            collector = SimulatorProbeCollector(probes.resolve(self.program),
+                                                frames, timesteps)
+        observer = collector
+        if metrics is not None:
+            from ..obs.profile import TIMESTEP_SAMPLE_LIMIT
+
+            metrics.counter("schedule/frames").inc(frames)
+            metrics.counter("schedule/frame_timesteps").inc(frames * timesteps)
+            meter = _MetricsTimestepObserver(metrics, TIMESTEP_SAMPLE_LIMIT)
+            observer = meter if collector is None \
+                else _FanoutObserver(collector, meter)
+        self.simulator.observer = observer
+        tick = time.perf_counter()
         try:
             result = self.simulator.run(spike_trains)
         finally:
             self.simulator.observer = None
-        result.probes = collector.result()
+        if metrics is not None:
+            metrics.record_span("run/reference/timesteps",
+                                time.perf_counter() - tick)
+        if collector is not None:
+            result.probes = collector.result()
         return result

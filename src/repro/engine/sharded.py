@@ -135,17 +135,21 @@ def _worker_init(payload: bytes, fault_payload: Optional[bytes] = None) -> None:
 
 
 def _worker_run(task):
-    """Run one shard: ``(index, attempt, shard, probe_set)`` ->
-    ``(index, counts, active_axons, probe_result)``.
+    """Run one shard: ``(index, attempt, shard, probe_set, want_metrics)`` ->
+    ``(index, counts, active_axons, probe_result, metrics_snapshot)``.
 
     ``attempt`` gates fault injection (a fault listed for attempt 0 does not
     refire on the supervised retry), and the optional
     :class:`~repro.obs.ProbeSet` — a small frozen dataclass, picklable with
     the task — is resolved worker-side so each shard returns its own
     :class:`~repro.obs.ProbeResult` for the parent's deterministic
-    frame-axis merge.
+    frame-axis merge.  When ``want_metrics`` is true, the worker records
+    into a local :class:`~repro.obs.MetricsRegistry` and ships a picklable
+    snapshot back for the parent's shard-index-ordered merge — exactly the
+    ``ExecutionStats`` pattern.  Failed attempts never reach the parent, so
+    retried shards contribute their counters exactly once.
     """
-    index, attempt, shard, probe_set = task
+    index, attempt, shard, probe_set, want_metrics = task
     schedule = _WORKER_SCHEDULE
     injector = None
     if _WORKER_FAULTS is not None:
@@ -159,12 +163,24 @@ def _worker_run(task):
         frames, timesteps, _ = shard.shape
         collector = ScheduleProbeRun(probe_set.resolve(schedule.program),
                                      schedule, frames, timesteps)
-    counts, active_axons = execute_schedule(schedule, shard, collector,
-                                            fault=injector)
+    metrics = None
+    if want_metrics:
+        from ..obs.metrics import MetricsRegistry
+        from ..obs.profile import span
+
+        metrics = MetricsRegistry()
+        with span(metrics, "sharded/shard"):
+            counts, active_axons = execute_schedule(schedule, shard,
+                                                    collector, fault=injector,
+                                                    metrics=metrics)
+    else:
+        counts, active_axons = execute_schedule(schedule, shard, collector,
+                                                fault=injector)
     probe_result = collector.result() if collector is not None else None
     if injector is not None:
         counts = injector.corrupt_result(counts)
-    return index, counts, active_axons, probe_result
+    snapshot = metrics.snapshot() if metrics is not None else None
+    return index, counts, active_axons, probe_result, snapshot
 
 
 @register_backend
@@ -233,14 +249,18 @@ class ShardedBackend(ExecutionBackend):
         """True while a worker pool is forked and usable."""
         return self._pool is not None
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self, metrics=None) -> ProcessPoolExecutor:
         """Fork the persistent pool on first use (``workers`` processes)."""
         if self._pool is None:
+            tick = time.perf_counter()
             ctx = multiprocessing.get_context(self.start_method)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=ctx,
                 initializer=_worker_init,
                 initargs=(self._payload, self._fault_payload))
+            if metrics is not None:
+                metrics.record_span("sharded/fork",
+                                    time.perf_counter() - tick)
         return self._pool
 
     def _terminate_pool(self) -> None:
@@ -283,11 +303,14 @@ class ShardedBackend(ExecutionBackend):
         return max(1, min(self.workers, frames))
 
     def run(self, spike_trains: np.ndarray,
-            probes=None) -> SimulationResult:
+            probes=None, metrics=None) -> SimulationResult:
         program = self.program
         spike_trains = normalise_spike_trains(spike_trains, program.input_size)
         frames, timesteps, _ = spike_trains.shape
         shards = self.shard_count(frames)
+        if metrics is not None:
+            metrics.gauge("sharded/schedule_bytes").set(len(self._payload))
+            metrics.gauge("sharded/shards").set(shards)
         probe_result = None
         report: Optional[ResilienceReport] = None
         if shards <= 1:
@@ -299,15 +322,25 @@ class ShardedBackend(ExecutionBackend):
 
                 collector = ScheduleProbeRun(probes.resolve(program),
                                              self.schedule, frames, timesteps)
+            tick = time.perf_counter()
             counts, active_axons = execute_schedule(self.schedule,
-                                                    spike_trains, collector)
+                                                    spike_trains, collector,
+                                                    metrics=metrics)
+            if metrics is not None:
+                metrics.record_span("run/sharded/timesteps",
+                                    time.perf_counter() - tick)
             if collector is not None:
                 probe_result = collector.result()
             if self.policy is not None:
                 report = ResilienceReport(self.policy)
         else:
+            tick = time.perf_counter()
             counts, active_axons, probe_result, report = self._run_sharded(
-                spike_trains, shards, probes if probes else None)
+                spike_trains, shards, probes if probes else None,
+                metrics=metrics)
+            if metrics is not None:
+                metrics.record_span("run/sharded/timesteps",
+                                    time.perf_counter() - tick)
             if self.policy is None:
                 report = None
         result = build_result(self.schedule, counts, active_axons,
@@ -326,7 +359,8 @@ class ShardedBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     # Supervised execution
     # ------------------------------------------------------------------
-    def _run_sharded(self, spike_trains: np.ndarray, shards: int, probes):
+    def _run_sharded(self, spike_trains: np.ndarray, shards: int, probes,
+                     metrics=None):
         """Submit shards asynchronously, harvest under the policy, merge.
 
         Without a policy this still fails fast on a dead worker (the
@@ -334,6 +368,10 @@ class ShardedBackend(ExecutionBackend):
         The merge is deterministic regardless of completion order: results
         key on the shard index, and shard ``i`` always recomputes the same
         contiguous frame range, so recovered runs are bit-identical.
+        Worker metrics snapshots merge the same way — absorbed in shard
+        index order — so the aggregated registry is deterministic for a
+        given shard decomposition, and work counters (frame-proportional
+        by contract) reproduce single-process values exactly.
         """
         pieces = self._shard_pieces(spike_trains, shards)
         policy = self.policy
@@ -350,15 +388,17 @@ class ShardedBackend(ExecutionBackend):
         to_submit = list(range(total))
         retry_round = 0
 
+        want_metrics = metrics is not None
         while len(results) < total:
-            pool = self._ensure_pool()
+            pool = self._ensure_pool(metrics)
             pending: Dict[object, int] = {}
             submitted: Dict[int, float] = {}
             failures: Dict[int, Tuple[str, str]] = {}
             broken = False
             try:
                 for index in to_submit:
-                    task = (index, attempts[index], pieces[index], probes)
+                    task = (index, attempts[index], pieces[index], probes,
+                            want_metrics)
                     pending[pool.submit(_worker_run, task)] = index
                     submitted[index] = time.monotonic()
             except BrokenProcessPool:
@@ -412,7 +452,8 @@ class ShardedBackend(ExecutionBackend):
                 for future in done:
                     index = pending.pop(future)
                     try:
-                        _, counts, active, probe_part = future.result()
+                        (_, counts, active, probe_part,
+                         metrics_part) = future.result()
                     except BrokenProcessPool:
                         # the executor cannot say *which* worker died, so
                         # every in-flight shard fails as a crash this round
@@ -430,7 +471,8 @@ class ShardedBackend(ExecutionBackend):
                         if problems:
                             failures[index] = ("corrupt", "; ".join(problems))
                         else:
-                            results[index] = (counts, active, probe_part)
+                            results[index] = (counts, active, probe_part,
+                                              metrics_part)
 
             if broken:
                 for future, index in pending.items():
@@ -460,8 +502,13 @@ class ShardedBackend(ExecutionBackend):
                 if policy is not None:
                     pause = policy.backoff_for(retry_round)
                     if pause:
+                        tick = time.perf_counter()
                         time.sleep(pause)
+                        if metrics is not None:
+                            metrics.record_span("sharded/backoff",
+                                                time.perf_counter() - tick)
 
+        tick = time.perf_counter()
         counts = np.concatenate([results[i][0] for i in range(total)], axis=0)
         active_axons = sum(results[i][1] for i in range(total))
         probe_result = None
@@ -470,6 +517,14 @@ class ShardedBackend(ExecutionBackend):
 
             probe_result = ProbeResult.concat(
                 [results[i][2] for i in range(total)])
+        if metrics is not None:
+            # shard-index order: the merged registry is deterministic for a
+            # given decomposition, like the stats/probe merges above
+            for i in range(total):
+                part = results[i][3]
+                if part is not None:
+                    metrics.absorb(part, track=f"shard{i}")
+            metrics.record_span("sharded/merge", time.perf_counter() - tick)
         return counts, active_axons, probe_result, report
 
     def _deadline_exceeded(self, report: ResilienceReport, pending) -> None:

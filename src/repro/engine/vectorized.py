@@ -19,6 +19,7 @@ switching activity is measured from the data).
 
 from __future__ import annotations
 
+import time
 from typing import Tuple
 
 import numpy as np
@@ -81,7 +82,8 @@ def build_result(schedule: LoweredSchedule, counts: np.ndarray,
 
 
 def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
-                     collector=None, fault=None) -> Tuple[np.ndarray, int]:
+                     collector=None, fault=None,
+                     metrics=None) -> Tuple[np.ndarray, int]:
     """Run a batch of spike trains through a lowered schedule.
 
     The shared inner loop of the ``vectorized`` backend and the ``sharded``
@@ -93,6 +95,14 @@ def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
     :class:`repro.resilience.FaultInjector` whose ``before_timestep`` fires
     at the top of each timestep — the same zero-cost single-``None``-check
     pattern as the probe collector; production runs never set it.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`: work
+    counters (``schedule/frames``, ``schedule/frame_timesteps`` — shard
+    invariant, so sharded merges reproduce single-process values exactly),
+    the ``schedule/ops`` gauge, a ``schedule/timestep`` duration histogram
+    sampled for at most ``TIMESTEP_SAMPLE_LIMIT`` steps, and per-op-class
+    ``kernels/<Op>`` buckets measured on the first timestep only.  Metrics
+    read clocks and nothing else, so instrumented runs stay bit-identical.
     """
     program = schedule.program
     spike_trains = normalise_spike_trains(spike_trains, program.input_size)
@@ -113,23 +123,84 @@ def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
     inject_ops = schedule.inject_ops
     outputs = schedule.outputs
     plan = schedule.clear_plan
+    step_hist = None
+    sample_limit = 0
+    if metrics is not None:
+        from ..obs.profile import TIMESTEP_SAMPLE_LIMIT
+
+        metrics.counter("schedule/frames").inc(frames)
+        metrics.counter("schedule/frame_timesteps").inc(frames * timesteps)
+        metrics.gauge("schedule/ops").set(len(ops))
+        step_hist = metrics.histogram("schedule/timestep")
+        sample_limit = min(timesteps, TIMESTEP_SAMPLE_LIMIT)
     for step in range(timesteps):
         if fault is not None:
             fault.before_timestep(step)
+        if step < sample_limit:
+            tick = time.perf_counter()
         state.begin_timestep(spike_trains[:, step, :], plan)
         for op in inject_ops:
             op.run(state)
-        for op in ops:
-            op.run(state)
+        if metrics is not None and step == 0:
+            # per-op-class kernel buckets, first timestep only: same ops in
+            # the same order, just with a clock read around each
+            kernel_hists = {}
+            for op in ops:
+                cls = type(op).__name__
+                hist = kernel_hists.get(cls)
+                if hist is None:
+                    hist = kernel_hists[cls] = \
+                        metrics.histogram("kernels/" + cls)
+                op_tick = time.perf_counter()
+                op.run(state)
+                hist.observe(time.perf_counter() - op_tick)
+        else:
+            for op in ops:
+                op.run(state)
         for gather in outputs:
             counts[:, gather.output_indices] += (
                 state.spike_reg[gather.slot][:, gather.lanes]
             )
         if collector is not None:
             collector.capture(state, step)
+        if step < sample_limit:
+            step_hist.observe(time.perf_counter() - tick)
     if device is not None:
         counts = np.asarray(device.to_host(counts), dtype=np.int64)
     return counts, state.active_axons
+
+
+def metered_run(backend, spike_trains: np.ndarray, probes,
+                metrics) -> SimulationResult:
+    """Metrics-instrumented run shared by schedule-executing backends.
+
+    The un-instrumented paths of ``vectorized`` and ``gpu`` stay exactly
+    as they were; when a registry is supplied their ``run`` delegates
+    here, which wraps the identical phases in ``run/<backend>/{setup,
+    timesteps,merge}`` spans and threads ``metrics`` into
+    :func:`execute_schedule`.
+    """
+    from ..obs.profile import span
+
+    program = backend.program
+    spike_trains = normalise_spike_trains(spike_trains, program.input_size)
+    frames, timesteps, _ = spike_trains.shape
+    with span(metrics, f"run/{backend.name}/setup"):
+        collector = None
+        if probes:
+            from ..obs.probes import ScheduleProbeRun
+
+            collector = ScheduleProbeRun(probes.resolve(program),
+                                         backend.schedule, frames, timesteps)
+    with span(metrics, f"run/{backend.name}/timesteps"):
+        counts, active_axons = execute_schedule(backend.schedule, spike_trains,
+                                                collector, metrics=metrics)
+    with span(metrics, f"run/{backend.name}/merge"):
+        result = build_result(backend.schedule, counts, active_axons,
+                              frames, timesteps, backend.collect_stats)
+        if collector is not None:
+            result.probes = collector.result()
+    return result
 
 
 @register_backend
@@ -147,7 +218,9 @@ class VectorizedBackend(ExecutionBackend):
                                                           executor=executor)
 
     def run(self, spike_trains: np.ndarray,
-            probes=None) -> SimulationResult:
+            probes=None, metrics=None) -> SimulationResult:
+        if metrics is not None:
+            return metered_run(self, spike_trains, probes, metrics)
         spike_trains = normalise_spike_trains(spike_trains,
                                               self.program.input_size)
         frames, timesteps, _ = spike_trains.shape

@@ -57,6 +57,10 @@ class CompileContext:
         if network is not None:
             self.artifacts["network"] = network
         self.trace: List[PassRecord] = []
+        #: optional wall-clock sink (duck-typed ``repro.obs.MetricsRegistry``):
+        #: when set, the pass manager mirrors every PassRecord into it as a
+        #: ``compile/<pass>`` span, so one snapshot holds compile + run time
+        self.metrics = None
 
     def get(self, key: str, default=None):
         return self.artifacts.get(key, default)
@@ -183,6 +187,12 @@ class PassManager:
                     )
             ctx.trace.append(PassRecord(name=p.name, seconds=seconds,
                                         summary=summary))
+            if ctx.metrics is not None:
+                # mirror the record as a compile-track span (spans with no
+                # explicit start lay end-to-end per track, matching the
+                # sequential pass execution)
+                ctx.metrics.record_span("compile/" + p.name, seconds,
+                                        track="compile")
             if validate:
                 p.verify(ctx)
         return ctx

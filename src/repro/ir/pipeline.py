@@ -577,7 +577,8 @@ def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
             rows: Optional[int] = None, wave_packing: bool = True,
             materialize: bool = True, validate: bool = False,
             to: str = "program", optimize_noc: bool = False,
-            noc_options: Optional[Dict[str, object]] = None) -> CompiledNetwork:
+            noc_options: Optional[Dict[str, object]] = None,
+            metrics=None) -> CompiledNetwork:
     """Compile a network (flat or DAG) through the pass pipeline.
 
     Parameters
@@ -603,6 +604,10 @@ def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
     noc_options:
         Extra options for the NoC passes (``noc_seed``,
         ``noc_placement_iterations``, ``multicast_max_targets``, ...).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; every pass timing is
+        mirrored into it as a ``compile/<pass>`` span in addition to the
+        ``trace`` PassRecords.
     """
     if pipeline is None:
         if optimize_noc:
@@ -622,6 +627,7 @@ def compile(network: Union[SnnNetwork, LayerGraph], arch: ArchitectureConfig,
     }
     options.update(noc_options or {})
     ctx = CompileContext(arch, network=network, options=options)
+    ctx.metrics = metrics
     manager.run(ctx, validate=validate)
     return CompiledNetwork(
         program=ctx.get("program"),

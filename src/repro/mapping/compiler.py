@@ -105,17 +105,20 @@ def build_logical_network(network, arch: ArchitectureConfig,
 def compile_network(network, arch: ArchitectureConfig,
                     rows: Optional[int] = None,
                     wave_packing: bool = True,
-                    optimize_noc: bool = False) -> CompiledNetwork:
+                    optimize_noc: bool = False,
+                    metrics=None) -> CompiledNetwork:
     """Compile a network into an executable Shenjing program.
 
     Runs the full default pass pipeline (with the :mod:`repro.opt` NoC
     passes when ``optimize_noc`` is set); see :func:`repro.ir.compile` for
     custom pipelines, per-pass validation and schedule-producing runs.
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) mirrors the pass
+    timings as ``compile/<pass>`` spans.
     """
     from ..ir.pipeline import compile as ir_compile
 
     return ir_compile(network, arch, rows=rows, wave_packing=wave_packing,
-                      optimize_noc=optimize_noc)
+                      optimize_noc=optimize_noc, metrics=metrics)
 
 
 def _build_program(logical: LogicalNetwork, placement: Placement,

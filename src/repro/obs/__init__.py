@@ -1,6 +1,6 @@
-"""``repro.obs`` — observability: probes, NoC telemetry, unified traces.
+"""``repro.obs`` — observability: probes, telemetry, traces, metrics.
 
-Three legs, one subsystem:
+Four legs, one subsystem:
 
 * **Runtime probes** (:mod:`repro.obs.probes`): a declarative
   :class:`ProbeSet` of per-layer observations — firing rates / spike
@@ -16,6 +16,13 @@ Three legs, one subsystem:
 * **Unified traces** (:mod:`repro.obs.trace`): one :class:`Trace` from
   compile passes through execution timesteps, exportable as Chrome
   ``trace_event`` JSON and structured metrics.
+* **Wall-clock metrics & profiling** (:mod:`repro.obs.metrics`,
+  :mod:`repro.obs.profile`): a picklable, deterministically-mergeable
+  :class:`MetricsRegistry` (counters, gauges, log-bucket histograms with
+  p50/p95/p99) fed by span-based profiling of the compile pipeline, every
+  backend's run phases, and the sharded worker lifecycle
+  (``backend.run(trains, metrics=...)``), exported as OpenMetrics text
+  (:func:`render_openmetrics`), JSON, and a real-time Chrome-trace track.
 
 ``python -m repro.obs <network>`` prints a full report; see
 ``docs/observability.md``.
@@ -42,12 +49,37 @@ from .telemetry import (
     schedule_telemetry,
 )
 from .trace import Trace, validate_chrome_trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    SpanRecord,
+    default_bounds,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from .profile import (
+    TIMESTEP_SAMPLE_LIMIT,
+    Stopwatch,
+    absorb_pass_records,
+    absorb_resilience,
+    span,
+    stopwatch,
+    time_block,
+)
 
 __all__ = [
-    "PROBE_KINDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "LayerProbePoint",
     "LinkKey",
+    "MetricsError",
+    "MetricsRegistry",
     "NocTelemetry",
+    "PROBE_KINDS",
     "ProbeError",
     "ProbeResult",
     "ProbeSet",
@@ -55,11 +87,22 @@ __all__ = [
     "ResolvedProbes",
     "ScheduleProbeRun",
     "SimulatorProbeCollector",
+    "SpanRecord",
+    "Stopwatch",
+    "TIMESTEP_SAMPLE_LIMIT",
     "Trace",
+    "absorb_pass_records",
+    "absorb_resilience",
     "compare_link_traffic",
+    "default_bounds",
     "link_key_str",
     "probe_points",
     "render_link_heatmap",
+    "render_openmetrics",
     "schedule_telemetry",
+    "span",
+    "stopwatch",
+    "time_block",
     "validate_chrome_trace",
+    "validate_openmetrics",
 ]

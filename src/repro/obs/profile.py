@@ -1,0 +1,136 @@
+"""Span-based wall-clock profiling helpers over :mod:`repro.obs.metrics`.
+
+Everything here degrades to (near) zero cost when ``metrics`` is
+``None``, matching the observer/collector contract of the execution
+backends: instrumented code pays one ``None`` check, nothing else.
+
+The span *naming convention* is a slash-separated path:
+
+``compile/<pass>``
+    one span per compile pass, reusing ``PassRecord`` seconds.
+``pipeline/<step>``
+    experiment-pipeline phases (e.g. ``pipeline/mapping``).
+``run/<backend>/<phase>``
+    per-run phases of every backend: ``setup``, ``timesteps``, ``merge``.
+``schedule/timestep``
+    per-timestep histogram, sampled for at most
+    :data:`TIMESTEP_SAMPLE_LIMIT` steps so long runs stay cheap.
+``kernels/<Op>``
+    fused-plan kernel buckets, one histogram per op class.
+``sharded/<phase>``
+    worker-pool lifecycle: ``fork``, ``shard`` (the worker-side run,
+    re-tagged onto a ``shard<i>`` track by the merge), ``backoff``,
+    ``merge``.
+``resilience/<kind>``
+    supervision events, with real durations from
+    ``ResilienceReport.timeline()``.
+"""
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "TIMESTEP_SAMPLE_LIMIT",
+    "Stopwatch",
+    "stopwatch",
+    "span",
+    "time_block",
+    "absorb_pass_records",
+    "absorb_resilience",
+]
+
+#: per-timestep duration sampling stops after this many steps per run,
+#: bounding instrumentation cost on long simulations.
+TIMESTEP_SAMPLE_LIMIT = 64
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def stopwatch() -> Stopwatch:
+    """Convenience constructor, pairs with ``with stopwatch() as sw:``."""
+    return Stopwatch()
+
+
+@contextmanager
+def span(metrics: Optional[MetricsRegistry], name: str,
+         track: str = "") -> Iterator[None]:
+    """Time the enclosed block into ``metrics``; no-op when it is None."""
+    if metrics is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        metrics.record_span(name, time.perf_counter() - start, track=track)
+
+
+@contextmanager
+def time_block(metrics: Optional[MetricsRegistry], name: str,
+               track: str = "") -> Iterator[Stopwatch]:
+    """Like :func:`span` but always yields a :class:`Stopwatch`.
+
+    Call sites that need the elapsed seconds themselves (e.g. the
+    experiment pipeline's ``mapping_time_ms``) read ``watch.seconds``
+    after the block; the measurement lands in ``metrics`` too when one
+    is supplied, so a single clock read feeds both consumers.
+    """
+    watch = Stopwatch()
+    watch.__enter__()
+    try:
+        yield watch
+    finally:
+        watch.__exit__()
+        if metrics is not None:
+            metrics.record_span(name, watch.seconds, track=track)
+
+
+def absorb_pass_records(metrics: Optional[MetricsRegistry], records: Sequence,
+                        prefix: str = "compile/") -> None:
+    """Surface ``PassRecord`` timings as compile-track spans.
+
+    Passes run strictly sequentially, so the spans are laid end-to-end
+    from offset zero — the same convention the Chrome-trace compile
+    track uses for its cycle-priced slices.
+    """
+    if metrics is None:
+        return
+    offset = 0.0
+    for record in records:
+        seconds = float(record.seconds)
+        metrics.record_span(prefix + str(record.name), seconds,
+                            track="compile", start=offset)
+        offset += seconds
+
+
+def absorb_resilience(metrics: Optional[MetricsRegistry], report) -> None:
+    """Surface ``ResilienceReport`` events as resilience-track spans.
+
+    Uses ``report.timeline()`` so each event carries a real duration
+    (time until the next event on the same shard) instead of the
+    instantaneous offsets the report records natively.
+    """
+    if metrics is None or report is None:
+        return
+    for event, duration in report.timeline():
+        metrics.record_span("resilience/" + str(event.kind), float(duration),
+                            track="resilience", start=float(event.elapsed))

@@ -162,14 +162,33 @@ def schedule_telemetry(schedule, frames: int, timesteps: int) -> NocTelemetry:
 # Rendering
 # ----------------------------------------------------------------------
 def render_link_heatmap(loads: Mapping[TileCoordinate, float], rows: int,
-                        cols: int, title: str = "tile load") -> str:
+                        cols: int, title: str = "tile load",
+                        top: Optional[int] = None) -> str:
     """Text heatmap of per-tile loads over a ``rows x cols`` fabric.
 
     Cells show the load bucketed onto ``. 1-9 a-z *`` (log-ish scale
     against the maximum); ``.`` is zero.  Compact enough for 16x16 fabrics
-    in a terminal.
+    in a terminal.  With ``top=N``, renders the N hottest tiles as a
+    ranked list instead of the full grid — the readable form for
+    full-size meshes.  Ties break on coordinates, so the listing is
+    deterministic.
     """
     peak = max(loads.values(), default=0)
+    if top is not None:
+        if top < 1:
+            raise ValueError(f"top must be >= 1, got {top}")
+        ranked = sorted(loads.items(),
+                        key=lambda item: (-item[1], item[0].row, item[0].col))
+        ranked = [(tile, value) for tile, value in ranked if value > 0][:top]
+        lines = [f"{title} (peak {peak:g}, top {len(ranked)} of "
+                 f"{rows * cols} tiles):"]
+        for rank, (tile, value) in enumerate(ranked, start=1):
+            share = value / peak if peak else 0.0
+            lines.append(f"  {rank:>3}. ({tile.row:>2},{tile.col:>2}) "
+                         f"{value:>10g}  {share:6.1%} of peak")
+        if not ranked:
+            lines.append("  (no loaded tiles)")
+        return "\n".join(lines)
     lines = [f"{title} (peak {peak:g}):"]
     glyphs = "123456789abcdefghijklmnopqrstuvwxyz"
     for row in range(rows):

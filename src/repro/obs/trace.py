@@ -27,10 +27,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-#: trace_event process ids of the three tracks
+#: trace_event process ids of the four tracks
 COMPILE_PID = 1
 EXECUTION_PID = 2
 RESILIENCE_PID = 3
+WALLCLOCK_PID = 4
 
 
 @dataclass
@@ -43,8 +44,11 @@ class Trace:
     :class:`~repro.timing.TimingEstimate`; ``probes`` an optional
     :class:`~repro.obs.ProbeResult` from an actual probed run;
     ``resilience`` an optional :class:`~repro.resilience.ResilienceReport`
-    whose events (retries, crashes, degradations) render as instant
-    markers on a third track.
+    whose events (retries, crashes, degradations) render with real
+    durations on a third track; ``wallclock`` an optional
+    :class:`~repro.obs.MetricsRegistry` (or snapshot) whose spans render
+    as a fourth, real-time track — the cycle-priced tracks are untouched,
+    so model-time and wall-clock views sit side by side.
     """
 
     name: str = ""
@@ -55,11 +59,14 @@ class Trace:
     timesteps: int = 1
     #: resilience report of the run (third trace track), if any
     resilience: Optional[object] = None
+    #: wall-clock metrics registry of the run (fourth trace track), if any
+    wallclock: Optional[object] = None
 
     @classmethod
     def from_compiled(cls, compiled, probes: Optional[object] = None,
                       timesteps: Optional[int] = None,
-                      resilience: Optional[object] = None) -> "Trace":
+                      resilience: Optional[object] = None,
+                      wallclock: Optional[object] = None) -> "Trace":
         """Build the trace of one :class:`CompiledNetwork` compile.
 
         Pulls the pass records the :class:`~repro.ir.passes.PassManager`
@@ -81,6 +88,7 @@ class Trace:
             probes=probes,
             timesteps=timesteps,
             resilience=resilience,
+            wallclock=wallclock,
         )
 
     # -- chrome trace_event export -------------------------------------
@@ -136,18 +144,52 @@ class Trace:
         resilience_events = getattr(self.resilience, "events", None)
         if resilience_events:
             events.append(_metadata(RESILIENCE_PID, "resilience"))
-            for event in resilience_events:
-                # instant ("i") markers on real wall-clock offsets from
-                # run start; "s": "p" scopes the marker to its process
+            timeline = getattr(self.resilience, "timeline", None)
+            pairs = (timeline() if callable(timeline)
+                     else [(event, 0.0) for event in resilience_events])
+            for event, duration in pairs:
+                if duration > 0:
+                    # real duration: the window the shard spent failed
+                    # (until its retry / the report's last observation)
+                    events.append({
+                        "name": f"resilience/{event.kind}",
+                        "cat": "resilience",
+                        "ph": "X",
+                        "ts": float(event.elapsed) * 1e6,
+                        "dur": float(duration) * 1e6,
+                        "pid": RESILIENCE_PID,
+                        "tid": 1 + (event.shard or 0),
+                        "args": event.as_dict(),
+                    })
+                else:
+                    # zero-length window: fall back to an instant marker;
+                    # "s": "p" scopes the marker to its process
+                    events.append({
+                        "name": f"resilience/{event.kind}",
+                        "cat": "resilience",
+                        "ph": "i",
+                        "ts": float(event.elapsed) * 1e6,
+                        "pid": RESILIENCE_PID,
+                        "tid": 1 + (event.shard or 0),
+                        "s": "p",
+                        "args": event.as_dict(),
+                    })
+        wallclock_spans = getattr(self.wallclock, "spans", None)
+        if wallclock_spans:
+            events.append(_metadata(WALLCLOCK_PID, "wallclock"))
+            tracks = sorted({span.track for span in wallclock_spans})
+            tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+            for span in wallclock_spans:
                 events.append({
-                    "name": f"resilience/{event.kind}",
-                    "cat": "resilience",
-                    "ph": "i",
-                    "ts": float(event.elapsed) * 1e6,
-                    "pid": RESILIENCE_PID,
-                    "tid": 1,
-                    "s": "p",
-                    "args": event.as_dict(),
+                    "name": span.name,
+                    "cat": "wallclock",
+                    "ph": "X",
+                    "ts": max(float(span.start), 0.0) * 1e6,
+                    "dur": max(float(span.seconds) * 1e6, 0.01),
+                    "pid": WALLCLOCK_PID,
+                    "tid": tids[span.track],
+                    "args": {"track": span.track or "run",
+                             "seconds": float(span.seconds)},
                 })
         return {
             "traceEvents": events,
@@ -182,6 +224,8 @@ class Trace:
             payload["probes"] = self.probes.summary()
         if self.resilience is not None:
             payload["resilience"] = self.resilience.as_dict()
+        if self.wallclock is not None:
+            payload["wallclock"] = self.wallclock.as_dict()
         return payload
 
     def describe(self) -> str:
@@ -196,6 +240,8 @@ class Trace:
         if resilience_events:
             lines.append(f"resilience events ({len(resilience_events)}):")
             lines.append(self.resilience.describe())
+        if self.wallclock is not None:
+            lines.append(self.wallclock.describe())
         return "\n".join(lines)
 
 

@@ -89,6 +89,30 @@ class ResilienceReport:
         return tuple(e.detail.split(":", 1)[0].strip()
                      for e in self.events if e.kind == "degrade")
 
+    def timeline(self) -> List[Tuple[ResilienceEvent, float]]:
+        """Events paired with real durations, for span/trace rendering.
+
+        An event *lasts* until the next event concerning the same shard
+        (events with no shard: the next shardless event), or until the
+        report's last observation when nothing follows — so a ``timeout``
+        followed by that shard's ``retry`` renders as the actual window
+        the shard spent failed.  Durations are clamped non-negative; the
+        final event on each shard gets the remaining run window (0 for
+        the globally last event).
+        """
+        if not self.events:
+            return []
+        horizon = max(event.elapsed for event in self.events)
+        timeline: List[Tuple[ResilienceEvent, float]] = []
+        for index, event in enumerate(self.events):
+            end = horizon
+            for later in self.events[index + 1:]:
+                if later.shard == event.shard:
+                    end = later.elapsed
+                    break
+            timeline.append((event, max(end - event.elapsed, 0.0)))
+        return timeline
+
     def as_dict(self) -> dict:
         policy = None
         if self.policy is not None:

@@ -6,9 +6,9 @@ import pytest
 
 import repro.bench as bench
 import repro.bench.__main__ as bench_main
-from repro.bench import check_fused_floor, check_noc_regression, \
-    check_regression, check_resilience_regression, check_timing_regression, \
-    load_bench_report
+from repro.bench import check_fused_floor, check_metrics_regression, \
+    check_noc_regression, check_regression, check_resilience_regression, \
+    check_timing_regression, load_bench_report
 
 
 def _throughput(**fps):
@@ -420,6 +420,105 @@ class TestCheckResilienceRegression:
                                 "--skip-resilience"]) == 0
 
 
+def _metrics_section(metrics_off=1000.0, metrics_on=980.0, max_overhead=0.05):
+    return {
+        "frames": 64,
+        "timesteps": 16,
+        "max_overhead": max_overhead,
+        "overhead": {
+            "metrics_off": {"seconds": 64.0 / metrics_off,
+                            "frames_per_sec": metrics_off},
+            "metrics_on": {"seconds": 64.0 / metrics_on,
+                           "frames_per_sec": metrics_on},
+            "overhead_ratio": metrics_off / metrics_on - 1.0,
+        },
+        "histograms": {
+            "schedule/timestep": {"count": 16, "sum": 0.001,
+                                  "p50": 6e-5, "p95": 9e-5, "p99": 9e-5},
+        },
+    }
+
+
+class TestCheckMetricsRegression:
+    def test_identical_sections_pass(self):
+        assert check_metrics_regression(_metrics_section(),
+                                        _metrics_section()) == []
+
+    def test_overhead_beyond_ceiling_flagged(self):
+        failures = check_metrics_regression(
+            _metrics_section(metrics_on=900.0),
+            _metrics_section(metrics_off=1000.0))
+        assert len(failures) == 1
+        assert "metrics-on throughput" in failures[0]
+
+    def test_overhead_at_ceiling_passes(self):
+        assert check_metrics_regression(
+            _metrics_section(metrics_on=950.0),
+            _metrics_section(metrics_off=1000.0, max_overhead=0.05)) == []
+
+    def test_improvements_never_fail(self):
+        assert check_metrics_regression(
+            _metrics_section(metrics_on=2000.0),
+            _metrics_section(metrics_off=1000.0)) == []
+
+    def test_machine_drift_is_normalized_out(self):
+        # a box uniformly half as fast as the baseline machine: absolute
+        # frames/sec cratered, but the interleaved ratio (2%) is fine
+        assert check_metrics_regression(
+            _metrics_section(metrics_off=500.0, metrics_on=490.0),
+            _metrics_section(metrics_off=1000.0)) == []
+        # ... and a faster box does not launder a real overhead (10%)
+        failures = check_metrics_regression(
+            _metrics_section(metrics_off=2000.0, metrics_on=1800.0),
+            _metrics_section(metrics_off=1000.0))
+        assert len(failures) == 1
+        assert "machine-normalized" in failures[0]
+
+    def test_committed_ceiling_wins(self):
+        # the gate reads max_overhead from the committed section
+        current = _metrics_section(metrics_on=850.0, max_overhead=0.50)
+        assert check_metrics_regression(
+            current, _metrics_section(metrics_off=1000.0,
+                                      max_overhead=0.05)) != []
+        assert check_metrics_regression(
+            current, _metrics_section(metrics_off=1000.0,
+                                      max_overhead=0.20)) == []
+
+    def test_missing_overhead_record_skips_gate(self):
+        assert check_metrics_regression({}, _metrics_section()) == []
+        assert check_metrics_regression(_metrics_section(), {}) == []
+
+    def test_cli_gates_on_metrics_section(self, tmp_path, monkeypatch,
+                                          capsys):
+        """A committed metrics section pulls the gate into --check."""
+        seen = {}
+
+        def fake_throughput(frames=64, timesteps=16, repeats=5,
+                            check_parity=True):
+            return _throughput(reference=100.0)
+
+        def fake_metrics(frames=64, timesteps=16, repeats=5):
+            seen["frames"], seen["timesteps"] = frames, timesteps
+            return _metrics_section(metrics_on=500.0)
+
+        monkeypatch.setattr(bench_main, "measure_throughput", fake_throughput)
+        monkeypatch.setattr(bench_main, "measure_metrics", fake_metrics)
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "throughput": _throughput(reference=100.0),
+            "metrics": _metrics_section(metrics_off=1000.0),
+        }))
+        code = bench_main.main(["--check", "--baseline", str(path)])
+        assert code == 1
+        assert "metrics-on throughput" in capsys.readouterr().out
+        # the fresh measurement reuses the committed geometry
+        assert seen == {"frames": 64, "timesteps": 16}
+        # --skip-metrics drops the gate
+        assert bench_main.main(["--check", "--baseline", str(path),
+                                "--skip-metrics"]) == 0
+
+
 def test_committed_trajectory_is_checkable():
     """The repo's committed BENCH_engine.json loads and has the sections
     the gate compares against (throughput frames/sec, NoC metrics and
@@ -447,3 +546,8 @@ def test_committed_trajectory_is_checkable():
     assert resilience["recovery"]["recovered_bit_exact"] is True
     # the committed section must gate cleanly against itself
     assert check_resilience_regression(resilience, resilience) == []
+    assert "metrics" in committed
+    metrics = committed["metrics"]
+    assert metrics["histograms"]["schedule/timestep"]["count"] > 0
+    # the committed section must gate cleanly against itself
+    assert check_metrics_regression(metrics, metrics) == []

@@ -51,6 +51,15 @@ produced.  ``--check`` gates metrics-on throughput within
 ``max_overhead`` (5 %) of the committed metrics-off baseline;
 ``--skip-metrics`` skips the section.
 
+A ``serving`` section records :mod:`repro.serve` under open-loop load
+(:func:`open_loop_load`): achieved requests/sec, p50/p95/p99 request
+latency, and the mean dynamic-batch size at an offered rate of
+``SERVING_RATE_FACTOR`` times the single-frame vectorized rate.
+``--check`` gates throughput and p99 latency against the committed
+values, machine-speed normalized by the single-frame ``baseline`` ratio
+(the :func:`check_metrics_regression` pattern); ``--skip-serving``
+skips the section.
+
 The harness is built for constrained environments: worker counts are capped
 by ``os.cpu_count()``-derived defaults, and nothing here asserts — the
 pytest wrappers in ``benchmarks/`` own the acceptance thresholds (and relax
@@ -72,6 +81,7 @@ from ..core import small_test_arch
 from ..engine import assert_backend_parity, create_backend, resolve_worker_count
 from ..mapping import compile_network
 from ..snn import DenseSpec, SnnNetwork, deterministic_encode
+from .loadgen import LoadReport, open_loop_load
 
 #: canonical name of the perf-trajectory file
 BENCH_FILENAME = "BENCH_engine.json"
@@ -81,15 +91,18 @@ DEFAULT_FRAMES = 64
 DEFAULT_TIMESTEPS = 16
 
 
-def mlp_bench_case(frames: int = DEFAULT_FRAMES,
-                   timesteps: int = DEFAULT_TIMESTEPS,
-                   seed: int = 0):
-    """The quickstart-style 40-24-5 MLP mapping and a spike-train batch.
+def mlp_bench_network(timesteps: int = DEFAULT_TIMESTEPS, seed: int = 0,
+                      rng=None):
+    """The quickstart-style 40-24-5 MLP spec and its bench architecture.
 
-    Spans several 16x16 cores and both NoCs, so it exercises every lowered
-    op kind.  Returns ``(program, spike_trains)``.
+    Returns ``(network, arch)`` *uncompiled* — the serving bench feeds the
+    pair to :meth:`repro.serve.Server.load`, which owns compilation (and
+    its artifact cache); :func:`mlp_bench_case` compiles it directly.
+    ``rng`` lets the latter share one stream so its spike trains keep
+    their historical values.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     arch = small_test_arch(core_inputs=16, core_neurons=16, chip_rows=8,
                            chip_cols=8)
     network = SnnNetwork(
@@ -103,6 +116,19 @@ def mlp_bench_case(frames: int = DEFAULT_FRAMES,
         ],
         timesteps=timesteps,
     )
+    return network, arch
+
+
+def mlp_bench_case(frames: int = DEFAULT_FRAMES,
+                   timesteps: int = DEFAULT_TIMESTEPS,
+                   seed: int = 0):
+    """The quickstart-style 40-24-5 MLP mapping and a spike-train batch.
+
+    Spans several 16x16 cores and both NoCs, so it exercises every lowered
+    op kind.  Returns ``(program, spike_trains)``.
+    """
+    rng = np.random.default_rng(seed)
+    network, arch = mlp_bench_network(timesteps=timesteps, seed=seed, rng=rng)
     trains = deterministic_encode(rng.random((frames, 40)), timesteps)
     return compile_network(network, arch).program, trains
 
@@ -804,6 +830,125 @@ def check_metrics_regression(current: Dict[str, object],
                 f"{committed_fps:.1f}, max metrics overhead "
                 f"{max_overhead:.0%})"
             )
+    return failures
+
+
+#: requests one open-loop serving measurement offers
+SERVING_REQUESTS = 128
+
+#: offered load as a multiple of the measured single-frame vectorized
+#: rate — deliberately above what unbatched serving could sustain, so the
+#: measurement exercises the dynamic batcher (mean batch > 1), not just
+#: the queue
+SERVING_RATE_FACTOR = 4.0
+
+#: throughput a serving run may lose vs the committed (machine-speed
+#: normalized) requests/sec before --check fails.  Wider than the
+#: backend-throughput gate: an end-to-end latency path on a noisy shared
+#: box jitters more than a tight compute loop, and the gate is here to
+#: catch the serving layer collapsing (coalescing breaking, a serialized
+#: queue), not single-digit drift
+SERVING_MAX_DROP = 0.60
+
+#: allowed growth of the (machine-speed normalized) p99 request latency
+#: vs the committed value, as a multiple (2.0 -> may triple)
+SERVING_MAX_P99_GROWTH = 2.0
+
+
+def measure_serving(requests: int = SERVING_REQUESTS,
+                    timesteps: int = DEFAULT_TIMESTEPS,
+                    repeats: int = 3) -> Dict[str, object]:
+    """The :mod:`repro.serve` section of the perf trajectory.
+
+    Offers ``requests`` single-frame requests open-loop
+    (:func:`open_loop_load`) against a live server at
+    ``SERVING_RATE_FACTOR`` times the measured single-frame vectorized
+    rate, so the dynamic batcher has to coalesce to keep up.  Records
+    achieved requests/sec, p50/p95/p99 request latency and the mean batch
+    size, plus the single-frame ``baseline`` rate of this machine —
+    ``--check`` uses the committed/fresh baseline ratio to normalize
+    machine speed out, exactly like the metrics gate.  Best of
+    ``repeats`` attempts (highest achieved throughput) for the same
+    noise-robustness reason every other section takes a best-of.
+    """
+    from ..serve import ServePolicy, Server
+
+    rng = np.random.default_rng(0)
+    network, arch = mlp_bench_network(timesteps=timesteps)
+    program = compile_network(network, arch).program
+    trains = deterministic_encode(rng.random((requests, 40)), timesteps)
+    single_seconds = time_backend("vectorized", program, trains[:1],
+                                  repeats=max(3, repeats))
+    baseline_fps = 1.0 / single_seconds if single_seconds else 0.0
+    rate = max(1.0, baseline_fps * SERVING_RATE_FACTOR)
+    policy = ServePolicy(batch_window=0.0, max_batch=64,
+                         queue_limit=4 * requests)
+    best: Optional[LoadReport] = None
+    with Server(arch=arch, policy=policy) as server:
+        handle = server.load(network)
+        handle.infer(trains[0])  # warm the schedule + response path
+        for _ in range(max(1, repeats)):
+            report = open_loop_load(handle, trains, rate)
+            if best is None or report.requests_per_sec > \
+                    best.requests_per_sec:
+                best = report
+    return {
+        "requests": requests,
+        "timesteps": timesteps,
+        "rate_factor": SERVING_RATE_FACTOR,
+        "max_drop": SERVING_MAX_DROP,
+        "max_p99_growth": SERVING_MAX_P99_GROWTH,
+        "policy": policy.as_dict(),
+        "baseline": {"frames_per_sec": baseline_fps},
+        "load": best.summary(),
+    }
+
+
+def check_serving(current: Dict[str, object],
+                  committed: Dict[str, object]) -> List[str]:
+    """Gate a fresh serving measurement against the committed section.
+
+    Two gates, both machine-speed normalized by the committed/fresh ratio
+    of the single-frame vectorized ``baseline`` (the
+    :func:`check_metrics_regression` pattern — the ratio survives a box
+    that got uniformly slower or faster):
+
+    * achieved requests/sec must stay above the committed value minus
+      ``max_drop``;
+    * p99 request latency must stay below the committed value times
+      ``1 + max_p99_growth``.
+    """
+    failures: List[str] = []
+    max_drop = float(committed.get("max_drop", SERVING_MAX_DROP))
+    max_p99_growth = float(committed.get("max_p99_growth",
+                                         SERVING_MAX_P99_GROWTH))
+    fresh_load = current.get("load", {})
+    fresh_base = current.get("baseline", {})
+    committed_load = committed.get("load", {})
+    committed_base = committed.get("baseline", {})
+    if not (fresh_load and fresh_base and committed_load and committed_base):
+        return failures
+    fresh_fps = float(fresh_base.get("frames_per_sec", 0.0))
+    committed_fps = float(committed_base.get("frames_per_sec", 0.0))
+    if fresh_fps <= 0 or committed_fps <= 0:
+        return failures
+    scale = committed_fps / fresh_fps
+    measured_rps = float(fresh_load["requests_per_sec"]) * scale
+    floor = float(committed_load["requests_per_sec"]) * (1.0 - max_drop)
+    if measured_rps < floor:
+        failures.append(
+            f"serving throughput {measured_rps:.1f} requests/s "
+            f"(machine-normalized) < {floor:.1f} (committed "
+            f"{float(committed_load['requests_per_sec']):.1f}, max drop "
+            f"{max_drop:.0%})")
+    measured_p99 = float(fresh_load["p99_ms"]) / scale if scale else 0.0
+    ceiling = float(committed_load["p99_ms"]) * (1.0 + max_p99_growth)
+    if measured_p99 > ceiling:
+        failures.append(
+            f"serving p99 latency {measured_p99:.1f} ms "
+            f"(machine-normalized) > {ceiling:.1f} ms (committed "
+            f"{float(committed_load['p99_ms']):.1f} ms, max growth "
+            f"{max_p99_growth:.0%})")
     return failures
 
 

@@ -29,12 +29,14 @@ from . import (
     check_obs_regression,
     check_regression,
     check_resilience_regression,
+    check_serving,
     check_timing_regression,
     load_bench_report,
     measure_metrics,
     measure_noc,
     measure_obs,
     measure_resilience,
+    measure_serving,
     measure_sharded_scaling,
     measure_throughput,
     measure_timing,
@@ -140,6 +142,21 @@ def _print_metrics(metrics) -> None:
               f"  p99={row['p99'] * 1e6:.1f} us")
 
 
+def _print_serving(serving) -> None:
+    load = serving["load"]
+    print(f"serving ({load['requests']} requests offered open-loop at "
+          f"{load['offered_rate']:.0f} req/s, "
+          f"{serving['rate_factor']:.0f}x the single-frame rate):")
+    print(f"  achieved   {load['requests_per_sec']:>10.1f} requests/s "
+          f"({load['completed']} completed, {load['rejected']} rejected, "
+          f"{load['deadline_missed']} deadline-missed)")
+    print(f"  latency    p50={load['p50_ms']:.2f} ms  "
+          f"p95={load['p95_ms']:.2f} ms  p99={load['p99_ms']:.2f} ms")
+    print(f"  mean batch {load['mean_batch']:>10.1f} frames "
+          f"(single-frame baseline "
+          f"{serving['baseline']['frames_per_sec']:.1f} frames/s)")
+
+
 def run_check(args) -> int:
     """The ``--check`` gate: measure, compare, exit non-zero on regression.
 
@@ -243,6 +260,19 @@ def run_check(args) -> int:
             committed_metrics.get("max_overhead", metrics["max_overhead"]))
         _print_metrics(metrics)
         failures += check_metrics_regression(metrics, committed_metrics)
+    committed_serving = committed.get("serving")
+    if isinstance(committed_serving, dict) and not args.skip_serving:
+        serving = measure_serving(
+            requests=int(committed_serving.get("requests", 128)),
+            timesteps=int(committed_serving.get("timesteps", timesteps)),
+            repeats=args.repeats,
+        )
+        # the gate enforces the *committed* ceilings; print those
+        for knob in ("max_drop", "max_p99_growth"):
+            if knob in committed_serving:
+                serving[knob] = float(committed_serving[knob])
+        _print_serving(serving)
+        failures += check_serving(serving, committed_serving)
     if failures:
         print(f"\nbench check FAILED ({len(failures)} regression(s) vs "
               f"committed rev {committed.get('git_rev', '?')}):")
@@ -293,6 +323,10 @@ def main(argv=None) -> int:
                         help="skip the wall-clock metrics section "
                              "(metrics-on overhead and key histogram "
                              "snapshots, repro.obs.metrics)")
+    parser.add_argument("--skip-serving", action="store_true",
+                        help="skip the serving section (open-loop "
+                             "requests/sec and latency quantiles, "
+                             "repro.serve)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed trajectory and "
                              "exit 1 on >tolerance frames/sec regression "
@@ -359,6 +393,11 @@ def main(argv=None) -> int:
                                   repeats=args.repeats)
         sections["metrics"] = metrics
         _print_metrics(metrics)
+
+    if not args.skip_serving:
+        serving = measure_serving(timesteps=timesteps, repeats=args.repeats)
+        sections["serving"] = serving
+        _print_serving(serving)
 
     path = write_bench_report(sections, path=args.output)
     print(f"wrote {path}")

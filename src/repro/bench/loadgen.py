@@ -1,0 +1,126 @@
+"""Open-loop load generator for the serving bench.
+
+*Open loop* means arrivals follow a fixed schedule — one request every
+``1/rate`` seconds — independent of completions, the standard way to
+measure a service's latency under offered load (a closed loop, where the
+next request waits for the previous response, hides queueing delay by
+throttling itself to the server's pace).  The generator submits
+single-frame requests against a live :class:`repro.serve.Session`,
+counts typed rejections instead of failing on them, then collects every
+response and reports achieved throughput and latency quantiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class LoadReport:
+    """What one open-loop run offered, achieved, and cost."""
+
+    requests: int
+    completed: int
+    rejected: int
+    deadline_missed: int
+    offered_rate: float
+    duration_seconds: float
+    latencies: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def requests_per_sec(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def quantiles(self) -> Dict[str, float]:
+        """p50/p95/p99 request latency in seconds (0.0 when nothing ran)."""
+        if not self.latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        data = np.asarray(self.latencies)
+        return {
+            "p50": float(np.percentile(data, 50)),
+            "p95": float(np.percentile(data, 95)),
+            "p99": float(np.percentile(data, 99)),
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able record for the ``serving`` bench section."""
+        quantiles = self.quantiles()
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "deadline_missed": self.deadline_missed,
+            "offered_rate": self.offered_rate,
+            "duration_seconds": self.duration_seconds,
+            "requests_per_sec": self.requests_per_sec,
+            "mean_batch": self.mean_batch,
+            "p50_ms": quantiles["p50"] * 1e3,
+            "p95_ms": quantiles["p95"] * 1e3,
+            "p99_ms": quantiles["p99"] * 1e3,
+        }
+
+
+def open_loop_load(session, trains: np.ndarray, rate: float,
+                   deadline: Optional[float] = None,
+                   result_timeout: float = 120.0) -> LoadReport:
+    """Offer ``trains`` (one request per frame) at ``rate`` requests/sec.
+
+    Submissions that hit the bounded queue are counted as ``rejected``;
+    responses that miss their ``deadline`` are counted as
+    ``deadline_missed``; everything else must complete within
+    ``result_timeout`` (a hung server fails the measurement loudly).
+    """
+    from ..serve import DeadlineExceededError, QueueFullError
+
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    trains = np.asarray(trains, dtype=bool)
+    total = trains.shape[0]
+    interval = 1.0 / rate
+    pending = []
+    rejected = 0
+    start = time.perf_counter()
+    for index in range(total):
+        target = start + index * interval
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            pending.append(session.submit(trains[index], deadline=deadline))
+        except QueueFullError:
+            rejected += 1
+    missed = 0
+    latencies: List[float] = []
+    batch_sizes: List[int] = []
+    for handle in pending:
+        try:
+            response = handle.result(timeout=result_timeout)
+        except DeadlineExceededError:
+            missed += 1
+        else:
+            latencies.append(response.latency_seconds)
+            batch_sizes.append(response.batch_size)
+    duration = time.perf_counter() - start
+    return LoadReport(
+        requests=total,
+        completed=len(latencies),
+        rejected=rejected,
+        deadline_missed=missed,
+        offered_rate=rate,
+        duration_seconds=duration,
+        latencies=latencies,
+        batch_sizes=batch_sizes,
+    )

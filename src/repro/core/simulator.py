@@ -81,6 +81,12 @@ class SimulationResult:
     #: under a :class:`~repro.resilience.RunPolicy` or degraded to a
     #: fallback backend; ``None`` otherwise
     resilience: Optional[object] = None
+    #: per-frame ``ACC`` switching activity (int64 vector of length
+    #: ``frames``) when the run came off a lowered schedule — the one
+    #: data-dependent statistic, frame-resolved so :mod:`repro.serve` can
+    #: split a coalesced batch back into bit-identical per-frame results;
+    #: ``None`` for the reference interpreter
+    frame_active_axons: Optional[np.ndarray] = None
 
     def accuracy(self, labels: np.ndarray) -> float:
         labels = np.asarray(labels).ravel()

@@ -43,6 +43,7 @@ contract on any program.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -79,10 +80,24 @@ class ExecutionEngine:
     Instances are cached by *configuration*, not just name: the key includes
     the current ``collect_stats`` flag and the backend's options, so e.g.
     flipping ``engine.collect_stats`` or asking for differently-configured
-    sharding never reuses a stale instance.
+    sharding never reuses a stale instance.  Option values that are not
+    simple immutable scalars (e.g. a :class:`~repro.resilience.RunPolicy`
+    or :class:`~repro.resilience.FaultPlan` object) are keyed by *identity*,
+    not ``repr``: two distinct mutable objects must never collapse onto one
+    cached backend, because the backend captures the object and a later
+    mutation through one caller would silently reconfigure the other
+    (repr-keying did exactly that — and truncated ``ndarray`` reprs can
+    even collide across different values).
+
+    ``backend()`` is thread-safe: concurrent sessions
+    (:mod:`repro.serve`) resolving the same configuration get one
+    instance, created once, instead of racing check-then-insert and
+    leaking a duplicate worker pool.
 
     ``backend_options`` maps backend names to constructor keyword arguments,
-    e.g. ``{"sharded": {"workers": 4}}``.
+    e.g. ``{"sharded": {"workers": 4}}``; the mapping is copied at
+    construction so callers mutating their dict afterwards cannot desync
+    the cache key from the instance it points at.
     """
 
     def __init__(self, program: Program, backend: str = DEFAULT_BACKEND,
@@ -92,26 +107,48 @@ class ExecutionEngine:
         self.program = program
         self.default_backend = backend
         self.collect_stats = collect_stats
-        self.backend_options: Dict[str, Dict[str, object]] = dict(backend_options or {})
-        self._instances: Dict[Tuple[str, bool, Tuple[Tuple[str, str], ...]],
+        self.backend_options: Dict[str, Dict[str, object]] = {
+            name: dict(options)
+            for name, options in (backend_options or {}).items()
+        }
+        self._instances: Dict[Tuple[str, bool, Tuple[Tuple[str, object], ...]],
                               ExecutionBackend] = {}
+        self._lock = threading.Lock()
         # Resolve eagerly so a bad default fails at construction.
         get_backend(backend)
 
+    @staticmethod
+    def _freeze_option(value: object) -> object:
+        """A hashable, collision-free stand-in for one option value.
+
+        Immutable scalars key by value (equal configs share an instance);
+        everything else keys by identity, so distinct mutable objects —
+        policies, fault plans, arrays — never alias one cached backend.
+        """
+        if value is None or isinstance(value, (bool, int, float, str, bytes)):
+            return value
+        if isinstance(value, tuple):
+            return tuple(ExecutionEngine._freeze_option(item) for item in value)
+        return (type(value).__qualname__, id(value))
+
     def _cache_key(self, name: str):
         options = self.backend_options.get(name, {})
-        frozen = tuple(sorted((key, repr(value)) for key, value in options.items()))
+        frozen = tuple(sorted((key, self._freeze_option(value))
+                              for key, value in options.items()))
         return (name, self.collect_stats, frozen)
 
     def backend(self, name: Optional[str] = None) -> ExecutionBackend:
         """The (cached) backend instance for ``name`` (default backend if None)."""
         name = name or self.default_backend
         key = self._cache_key(name)
-        if key not in self._instances:
-            self._instances[key] = create_backend(
-                name, self.program, collect_stats=self.collect_stats,
-                **self.backend_options.get(name, {}))
-        return self._instances[key]
+        with self._lock:
+            instance = self._instances.get(key)
+            if instance is None:
+                instance = create_backend(
+                    name, self.program, collect_stats=self.collect_stats,
+                    **self.backend_options.get(name, {}))
+                self._instances[key] = instance
+        return instance
 
     def run(self, spike_trains: np.ndarray,
             backend: Optional[str] = None,

@@ -186,7 +186,7 @@ class AccKernel(LoweredOp):
                     f"overflowed the range [{self.ps_min}, {self.ps_max}]"
                 )
         np.copyto(st.local_ps[self.slot], sums, casting="unsafe")
-        st.active_axons += int(np.count_nonzero(axons))
+        st.active_axons += np.count_nonzero(axons, axis=1)
 
 
 class PsAddKernel(LoweredOp):

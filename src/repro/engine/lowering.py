@@ -137,8 +137,11 @@ class BatchState:
             # allocating fresh arrays, exactly as before
             self.regs = [None] * n_regs
         self.inputs: Optional[np.ndarray] = None
-        #: spiking axons observed by ACC ops (summed over the whole batch)
-        self.active_axons = 0
+        #: spiking axons observed by ACC ops, per frame (int64 vector of
+        #: length ``batch``) — the only data-dependent statistic, kept
+        #: frame-resolved so a coalesced batch can be split back into
+        #: per-frame results bit-identically (:mod:`repro.serve`)
+        self.active_axons = xp.zeros((batch,), xp.int64)
         #: fused-plan working buffers (set by the executor from the plan)
         self.buf: List[np.ndarray] = []
         self._scratch: Dict[object, np.ndarray] = {}
@@ -248,7 +251,7 @@ class Accumulate(LoweredOp):
                 f"overflowed the range [{self.ps_min}, {self.ps_max}]"
             )
         st.local_ps[self.slot] = sums
-        st.active_axons += int(axons.sum())
+        st.active_axons += axons.sum(axis=1)
 
 
 class PsAdd(LoweredOp):
@@ -482,12 +485,15 @@ class LoweredSchedule:
         return len(self.ops) + len(self.inject_ops)
 
     def build_stats(self, frames: int, timesteps: int,
-                    active_axons: int) -> ExecutionStats:
+                    active_axons) -> ExecutionStats:
         """Reconstruct the run's :class:`ExecutionStats` analytically.
 
         Everything except the ``ACC`` switching activity is determined by the
-        static schedule; ``active_axons`` is the batch-wide measurement taken
-        by the :class:`Accumulate` ops.
+        static schedule; ``active_axons`` is the measurement taken by the
+        :class:`Accumulate` ops — either the per-frame int64 vector the
+        executor returns or an already-summed int; both reduce to the same
+        batch total, so per-frame slices of a batch rebuild their stats
+        bit-identically (``build_stats(1, timesteps, vector[i])``).
         """
         stats = ExecutionStats()
         for key, (operations, lanes) in self.config_ops.items():
@@ -505,7 +511,7 @@ class LoweredSchedule:
         stats.cycles = self.cycles_per_timestep * scale
         stats.frames = frames
         stats.timesteps = scale
-        stats.active_axons = int(active_axons)
+        stats.active_axons = int(np.sum(active_axons))
         stats.scanned_axons = self.acc_ops_per_timestep * scale * self.program.arch.core_inputs
         stats.interchip_spike_bits = self.interchip_spike_bits_per_timestep * scale
         stats.interchip_ps_bits = self.interchip_ps_bits_per_timestep * scale
@@ -535,11 +541,20 @@ class LoweredSchedule:
                     f"spike counts dtype {counts.dtype} != expected int64")
             if counts.size and counts.min() < 0:
                 problems.append("negative spike counts")
-        if not isinstance(active_axons, (int, np.integer)):
+        if not isinstance(active_axons, np.ndarray):
             problems.append(
-                f"active_axons is {type(active_axons).__name__}, not an int")
-        elif active_axons < 0:
-            problems.append(f"negative active_axons ({active_axons})")
+                f"active_axons is {type(active_axons).__name__}, not ndarray")
+        else:
+            if active_axons.shape != (frames,):
+                problems.append(
+                    f"active_axons shape {active_axons.shape} != "
+                    f"expected {(frames,)}")
+            if active_axons.dtype != np.int64:
+                problems.append(
+                    f"active_axons dtype {active_axons.dtype} != "
+                    "expected int64")
+            if active_axons.size and active_axons.min() < 0:
+                problems.append("negative active_axons")
         return problems
 
 

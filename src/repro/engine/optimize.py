@@ -119,7 +119,7 @@ class FusedAccumulate(LoweredOp):
                 f"overflowed the range [{self.ps_min}, {self.ps_max}]"
             )
         st.local_ps[self.slot] = sums
-        st.active_axons += int(axons.sum())
+        st.active_axons += axons.sum(axis=1)
 
 
 class DirectPsAdd(LoweredOp):

@@ -249,6 +249,15 @@ class ShardedBackend(ExecutionBackend):
         """True while a worker pool is forked and usable."""
         return self._pool is not None
 
+    def warm_pool(self) -> None:
+        """Fork the worker pool now instead of on the first run.
+
+        Long-lived callers (:mod:`repro.serve`) pay the fork and the
+        schedule unpickle at load time, so the first sharded request is
+        served at steady-state latency.  Idempotent while the pool lives.
+        """
+        self._ensure_pool()
+
     def _ensure_pool(self, metrics=None) -> ProcessPoolExecutor:
         """Fork the persistent pool on first use (``workers`` processes)."""
         if self._pool is None:
@@ -510,7 +519,7 @@ class ShardedBackend(ExecutionBackend):
 
         tick = time.perf_counter()
         counts = np.concatenate([results[i][0] for i in range(total)], axis=0)
-        active_axons = sum(results[i][1] for i in range(total))
+        active_axons = np.concatenate([results[i][1] for i in range(total)])
         probe_result = None
         if probes is not None:
             from ..obs.probes import ProbeResult

@@ -63,13 +63,16 @@ def prepare_schedule(program: Program, optimize: bool = True,
 
 
 def build_result(schedule: LoweredSchedule, counts: np.ndarray,
-                 active_axons: int, frames: int, timesteps: int,
+                 active_axons: np.ndarray, frames: int, timesteps: int,
                  collect_stats: bool) -> SimulationResult:
     """Assemble a :class:`SimulationResult` from executor output.
 
     The shared epilogue of the ``vectorized`` and ``sharded`` backends:
     predictions from the merged counts, statistics reconstructed
-    analytically (or empty when disabled).
+    analytically (or empty when disabled).  ``active_axons`` is the
+    executor's per-frame measurement; it is kept on the result
+    (``frame_active_axons``) so a coalesced batch can be decomposed back
+    into bit-identical per-frame results (:mod:`repro.serve`).
     """
     predictions = np.argmax(counts, axis=1)
     if collect_stats:
@@ -78,17 +81,21 @@ def build_result(schedule: LoweredSchedule, counts: np.ndarray,
         from ..core.stats import ExecutionStats
         stats = ExecutionStats()
     return SimulationResult(spike_counts=counts, predictions=predictions,
-                            stats=stats)
+                            stats=stats,
+                            frame_active_axons=np.asarray(active_axons,
+                                                          dtype=np.int64))
 
 
 def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
                      collector=None, fault=None,
-                     metrics=None) -> Tuple[np.ndarray, int]:
+                     metrics=None) -> Tuple[np.ndarray, np.ndarray]:
     """Run a batch of spike trains through a lowered schedule.
 
     The shared inner loop of the ``vectorized`` backend and the ``sharded``
-    backend's workers.  Returns ``(spike_counts, active_axons)``; statistics
-    are reconstructed by the caller via :meth:`LoweredSchedule.build_stats`.
+    backend's workers.  Returns ``(spike_counts, active_axons)``, the
+    latter a per-frame int64 vector of ``ACC`` switching activity (its sum
+    is the batch statistic); statistics are reconstructed by the caller via
+    :meth:`LoweredSchedule.build_stats`.
     ``collector`` is an optional :class:`repro.obs.ScheduleProbeRun` whose
     ``capture`` runs once at the end of every timestep; with ``None`` the
     hot loop is untouched beyond this one check.  ``fault`` is a test-only
@@ -165,9 +172,11 @@ def execute_schedule(schedule: LoweredSchedule, spike_trains: np.ndarray,
             collector.capture(state, step)
         if step < sample_limit:
             step_hist.observe(time.perf_counter() - tick)
+    active_axons = state.active_axons
     if device is not None:
         counts = np.asarray(device.to_host(counts), dtype=np.int64)
-    return counts, state.active_axons
+        active_axons = device.to_host(active_axons)
+    return counts, np.asarray(active_axons, dtype=np.int64)
 
 
 def metered_run(backend, spike_trains: np.ndarray, probes,

@@ -277,6 +277,33 @@ class ProbeResult:
             lines.append("  ".join(parts))
         return "\n".join(lines)
 
+    # -- per-frame decomposition (serving) ------------------------------
+    def frame(self, index: int) -> "ProbeResult":
+        """The single-frame :class:`ProbeResult` of frame ``index``.
+
+        Every probe array is frame-major, so slicing is exact; the NoC
+        telemetry is static (data independent), so scaling it down to one
+        frame (:meth:`NocTelemetry.scaled`) reproduces bit-for-bit what a
+        standalone one-frame run observes.  This is how :mod:`repro.serve`
+        hands each coalesced request its own probes.
+        """
+        if not 0 <= index < self.frames:
+            raise ProbeError(
+                f"frame index {index} out of range for {self.frames} frames")
+        return ProbeResult(
+            frames=1,
+            timesteps=self.timesteps,
+            sizes=dict(self.sizes),
+            spikes={name: array[index:index + 1].copy()
+                    for name, array in self.spikes.items()},
+            potentials={name: array[index:index + 1].copy()
+                        for name, array in self.potentials.items()},
+            acc_active={name: array[index:index + 1].copy()
+                        for name, array in self.acc_active.items()},
+            telemetry=(self.telemetry.scaled(1)
+                       if self.telemetry is not None else None),
+        )
+
     # -- merging (sharded backend) -------------------------------------
     @staticmethod
     def concat(parts: Sequence["ProbeResult"]) -> "ProbeResult":

@@ -107,6 +107,39 @@ class NocTelemetry:
             "group_packets": list(self.group_packets),
         }
 
+    def scaled(self, frames: int) -> "NocTelemetry":
+        """Telemetry of ``frames`` frames of this run — exact, not a mean.
+
+        The scheduled traffic is data independent, so every total is an
+        exact multiple of the frame count; dividing it back out recovers
+        precisely what a standalone run of ``frames`` frames observes.
+        This is the telemetry leg of the :mod:`repro.serve` per-frame
+        decomposition (:meth:`repro.obs.ProbeResult.frame`).
+        """
+        if frames <= 0:
+            raise ValueError(f"frames must be positive, got {frames}")
+        if self.frames <= 0 or frames > self.frames:
+            raise ValueError(
+                f"cannot scale {self.frames}-frame telemetry to {frames}")
+
+        def _exact(count: int) -> int:
+            if count % self.frames:
+                raise ValueError(
+                    f"telemetry total {count} is not a multiple of "
+                    f"{self.frames} frames; traffic is not static")
+            return count // self.frames * frames
+
+        return NocTelemetry(
+            frames=frames,
+            timesteps=self.timesteps,
+            link_packets={key: _exact(count)
+                          for key, count in self.link_packets.items()},
+            link_lanes={key: _exact(count)
+                        for key, count in self.link_lanes.items()},
+            group_packets=tuple(_exact(count)
+                                for count in self.group_packets),
+        )
+
     # -- merging -------------------------------------------------------
     @staticmethod
     def merge(parts: Sequence["NocTelemetry"]) -> "NocTelemetry":

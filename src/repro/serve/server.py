@@ -1,0 +1,129 @@
+"""The inference server: compile-once artifact cache + session registry.
+
+``Server.load(model)`` compiles (or re-uses) the model's artifact through
+the :class:`~repro.serve.ArtifactCache` and returns the live
+:class:`~repro.serve.Session` serving it — the session-handle API::
+
+    with Server() as server:
+        handle = server.load(network)
+        response = handle.infer(frame, deadline=0.05)
+
+Two loads of content-equal models share one artifact *and* one session
+(one warm pool, one schedule); two different models can never share
+either — the cache keys on content, and every session owns its
+:class:`~repro.engine.ExecutionEngine` outright, so no mutable backend
+state (scratch buffers, worker pools, metrics registries) is ever
+aliased across models.
+
+All sessions report into one server-level
+:class:`~repro.obs.MetricsRegistry` (request/batch latency histograms
+with p50/p95/p99, queue-depth gauge, admission counters), exported in
+OpenMetrics text form by :meth:`Server.openmetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from .cache import ArtifactCache
+from .errors import ServerClosedError
+from .policy import ServePolicy
+from .session import Session
+
+
+class Server:
+    """Holds compiled models resident and serves requests against them."""
+
+    def __init__(self, arch=None, policy: Optional[ServePolicy] = None,
+                 metrics: bool = True):
+        from ..core.config import DEFAULT_ARCH
+
+        self.arch = arch if arch is not None else DEFAULT_ARCH
+        self.policy = policy if policy is not None else ServePolicy()
+        self.metrics = None
+        self._metrics_lock = threading.Lock()
+        if metrics:
+            from ..obs import MetricsRegistry
+
+            self.metrics = MetricsRegistry()
+        self.artifacts = ArtifactCache()
+        self._sessions: Dict[Tuple[str, int, int], Session] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def load(self, network, arch=None, policy: Optional[ServePolicy] = None,
+             probes=None, name: str = "",
+             **compile_options) -> Session:
+        """Compile (or re-use) ``network`` and return its live session.
+
+        ``compile_options`` forward to :func:`repro.ir.compile` and are
+        part of the artifact key — the same network compiled with e.g.
+        ``optimize_noc=True`` is a different artifact.  ``policy`` and
+        ``probes`` override the server defaults for this session; loads
+        with the same artifact and the same overrides share a session.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        policy = policy if policy is not None else self.policy
+        key, compiled, hit = self.artifacts.get_or_compile(
+            network, arch if arch is not None else self.arch,
+            **compile_options)
+        self._count("serve/compile_hits" if hit else "serve/compile_misses")
+        session_key = (key, id(policy), id(probes))
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("server is closed")
+            session = self._sessions.get(session_key)
+            if session is None:
+                session = Session(key, compiled, policy, probes=probes,
+                                  metrics=self.metrics,
+                                  metrics_lock=self._metrics_lock,
+                                  name=name)
+                self._sessions[session_key] = session
+                self._set_gauge("serve/sessions", len(self._sessions))
+        return session
+
+    @property
+    def sessions(self) -> Tuple[Session, ...]:
+        with self._lock:
+            return tuple(self._sessions.values())
+
+    # ------------------------------------------------------------------
+    def openmetrics(self) -> str:
+        """The server's metrics in OpenMetrics text exposition format."""
+        from ..obs import render_openmetrics
+
+        if self.metrics is None:
+            raise ServerClosedError(
+                "server was built with metrics=False; nothing to export")
+        with self._metrics_lock:
+            snapshot = self.metrics.snapshot()
+        return render_openmetrics(snapshot)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and close every session, then reject further loads."""
+        with self._lock:
+            self._closed = True
+            sessions = tuple(self._sessions.values())
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _count(self, metric: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            with self._metrics_lock:
+                self.metrics.counter(metric).inc(amount)
+
+    def _set_gauge(self, metric: str, value: float) -> None:
+        if self.metrics is not None:
+            with self._metrics_lock:
+                self.metrics.gauge(metric).set(value)

@@ -8,7 +8,7 @@ import repro.bench as bench
 import repro.bench.__main__ as bench_main
 from repro.bench import check_fused_floor, check_metrics_regression, \
     check_noc_regression, check_regression, check_resilience_regression, \
-    check_timing_regression, load_bench_report
+    check_serving, check_timing_regression, load_bench_report
 
 
 def _throughput(**fps):
@@ -519,6 +519,118 @@ class TestCheckMetricsRegression:
                                 "--skip-metrics"]) == 0
 
 
+def _serving_section(rps=2000.0, p99=5.0, baseline=500.0,
+                     max_drop=0.60, max_p99_growth=2.0):
+    return {
+        "requests": 128,
+        "timesteps": 16,
+        "rate_factor": 4.0,
+        "max_drop": max_drop,
+        "max_p99_growth": max_p99_growth,
+        "policy": {"batch_window": 0.0, "max_batch": 64},
+        "baseline": {"frames_per_sec": baseline},
+        "load": {
+            "requests": 128,
+            "completed": 128,
+            "rejected": 0,
+            "deadline_missed": 0,
+            "offered_rate": 4.0 * baseline,
+            "duration_seconds": 128.0 / rps,
+            "requests_per_sec": rps,
+            "mean_batch": 4.0,
+            "p50_ms": p99 / 2.0,
+            "p95_ms": 0.9 * p99,
+            "p99_ms": p99,
+        },
+    }
+
+
+class TestCheckServing:
+    def test_identical_sections_pass(self):
+        assert check_serving(_serving_section(), _serving_section()) == []
+
+    def test_throughput_collapse_flagged(self):
+        failures = check_serving(_serving_section(rps=500.0),
+                                 _serving_section(rps=2000.0))
+        assert len(failures) == 1
+        assert "serving throughput" in failures[0]
+
+    def test_throughput_at_floor_passes(self):
+        # committed 2000 req/s, max_drop 60% -> floor is exactly 800
+        assert check_serving(_serving_section(rps=800.0),
+                             _serving_section(rps=2000.0)) == []
+
+    def test_p99_growth_flagged(self):
+        failures = check_serving(_serving_section(p99=20.0),
+                                 _serving_section(p99=5.0))
+        assert len(failures) == 1
+        assert "serving p99 latency" in failures[0]
+
+    def test_improvements_never_fail(self):
+        assert check_serving(_serving_section(rps=4000.0, p99=1.0),
+                             _serving_section(rps=2000.0, p99=5.0)) == []
+
+    def test_machine_drift_is_normalized_out(self):
+        # a box uniformly half as fast: absolute req/s halved and p99
+        # doubled, but the single-frame baseline halved with them — the
+        # normalized comparison sees no serving regression at all
+        assert check_serving(
+            _serving_section(rps=1000.0, p99=10.0, baseline=250.0),
+            _serving_section(rps=2000.0, p99=5.0, baseline=500.0)) == []
+        # ... and a 4x faster box does not launder a real collapse: raw
+        # req/s looks fine (2000) but normalized it is a quarter of the
+        # committed rate
+        failures = check_serving(
+            _serving_section(rps=2000.0, p99=5.0, baseline=2000.0),
+            _serving_section(rps=2000.0, p99=5.0, baseline=500.0))
+        assert len(failures) >= 1
+        assert "machine-normalized" in failures[0]
+
+    def test_committed_ceilings_win(self):
+        current = _serving_section(rps=1500.0, max_drop=0.99)
+        assert check_serving(
+            current, _serving_section(rps=2000.0, max_drop=0.10)) != []
+        assert check_serving(
+            current, _serving_section(rps=2000.0, max_drop=0.60)) == []
+
+    def test_missing_records_skip_gate(self):
+        assert check_serving({}, _serving_section()) == []
+        assert check_serving(_serving_section(), {}) == []
+        zeroed = _serving_section()
+        zeroed["baseline"]["frames_per_sec"] = 0.0
+        assert check_serving(zeroed, _serving_section()) == []
+
+    def test_cli_gates_on_serving_section(self, tmp_path, monkeypatch,
+                                          capsys):
+        """A committed serving section pulls the gate into --check."""
+        seen = {}
+
+        def fake_throughput(frames=64, timesteps=16, repeats=5,
+                            check_parity=True):
+            return _throughput(reference=100.0)
+
+        def fake_serving(requests=128, timesteps=16, repeats=3):
+            seen["requests"], seen["timesteps"] = requests, timesteps
+            return _serving_section(rps=100.0)
+
+        monkeypatch.setattr(bench_main, "measure_throughput", fake_throughput)
+        monkeypatch.setattr(bench_main, "measure_serving", fake_serving)
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "throughput": _throughput(reference=100.0),
+            "serving": _serving_section(rps=2000.0),
+        }))
+        code = bench_main.main(["--check", "--baseline", str(path)])
+        assert code == 1
+        assert "serving throughput" in capsys.readouterr().out
+        # the fresh measurement reuses the committed request geometry
+        assert seen == {"requests": 128, "timesteps": 16}
+        # --skip-serving drops the gate
+        assert bench_main.main(["--check", "--baseline", str(path),
+                                "--skip-serving"]) == 0
+
+
 def test_committed_trajectory_is_checkable():
     """The repo's committed BENCH_engine.json loads and has the sections
     the gate compares against (throughput frames/sec, NoC metrics and
@@ -551,3 +663,9 @@ def test_committed_trajectory_is_checkable():
     assert metrics["histograms"]["schedule/timestep"]["count"] > 0
     # the committed section must gate cleanly against itself
     assert check_metrics_regression(metrics, metrics) == []
+    assert "serving" in committed
+    serving = committed["serving"]
+    assert serving["load"]["completed"] == serving["load"]["requests"]
+    assert serving["load"]["mean_batch"] > 1.0  # the batcher coalesced
+    # the committed section must gate cleanly against itself
+    assert check_serving(serving, serving) == []

@@ -25,7 +25,8 @@ FENCE_RE = re.compile(r"```[^\n]*\n(.*?)```", re.DOTALL)
 SYMBOL_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 
 EXPECTED_DOCS = ("architecture.md", "pipeline.md", "backends.md",
-                 "timing.md", "observability.md", "resilience.md")
+                 "timing.md", "observability.md", "resilience.md",
+                 "serving.md")
 
 
 def doc_files():

@@ -1,0 +1,268 @@
+"""Chaos tests for :mod:`repro.serve` — serving under injected faults.
+
+The serving-grade contract: with worker crashes and hangs injected into
+the sharded pool mid-request, no request is ever lost (every handle
+resolves), no response is ever wrong (bit-identical to the frame's
+standalone run), supervision recovers the pool in place, exhausted
+supervision degrades the batch to ``vectorized`` — bit-identical, just
+slower — and the session keeps serving afterwards.  Clients are real
+threads hammering one session concurrently, mirroring
+``test_resilience.py``'s style; every test runs under a SIGALRM watchdog
+so a wedged dispatcher fails the test instead of hanging the suite.
+"""
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.apps.networks import ALL_BUILDERS
+from repro.core.config import DEFAULT_ARCH
+from repro.engine import create_backend
+from repro.ir import compile as ir_compile
+from repro.obs import ProbeSet
+from repro.resilience import FaultPlan, RunPolicy
+from repro.serve import ServePolicy, Session
+from repro.snn.conversion import ConversionConfig, convert_ann_to_graph
+from repro.snn.encoding import deterministic_encode
+
+pytestmark = pytest.mark.chaos
+
+#: pinned pool size — machine-independent, and >1 so runs actually shard
+WORKERS = 2
+FRAMES = 4
+TIMESTEPS = 4
+
+#: hang tests use a short timeout so recovery happens in seconds (see
+#: test_resilience.py for the floor it must still clear)
+HANG_POLICY = RunPolicy(shard_timeout=3.0, max_retries=2, backoff=0.0)
+#: crash recovery never waits on a timeout
+FAST_POLICY = RunPolicy(shard_timeout=60.0, max_retries=2, backoff=0.0)
+
+#: two structurally different small builders keep the matrix honest
+#: without re-running the whole parity sweep under fault load
+CHAOS_BUILDERS = ("mnist-mlp-small", "cifar-cnn-small")
+
+#: the dispatcher must coalesce all four frames into one sharded batch
+SLOW_WINDOW = 30.0
+
+
+# ----------------------------------------------------------------------
+# Watchdog: no chaos test may hang
+# ----------------------------------------------------------------------
+@contextmanager
+def watchdog(seconds):
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded the {seconds}s watchdog")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _bounded():
+    """Every test in this module is watchdog-bounded."""
+    with watchdog(120):
+        yield
+
+
+# ----------------------------------------------------------------------
+# Cases: compiled builders + per-frame reference baselines (module cache)
+# ----------------------------------------------------------------------
+_CASES = {}
+
+
+def case_for(name):
+    """``(compiled, trains, per-frame probed reference baselines)``."""
+    if name not in _CASES:
+        rng = np.random.default_rng(7)
+        model = ALL_BUILDERS[name]()
+        calibration = rng.random((4,) + model.input_shape)
+        config = ConversionConfig(timesteps=TIMESTEPS,
+                                  max_calibration_samples=4)
+        graph = convert_ann_to_graph(model, calibration, config)
+        compiled = ir_compile(graph, DEFAULT_ARCH)
+        trains = deterministic_encode(
+            rng.random((FRAMES, graph.input_size)), graph.timesteps)
+        with create_backend("reference", compiled.program) as backend:
+            baselines = tuple(
+                backend.run(trains[i:i + 1], probes=ProbeSet.full())
+                for i in range(FRAMES))
+        _CASES[name] = (compiled, trains, baselines)
+    return _CASES[name]
+
+
+def assert_served_bit_exact(response, baseline):
+    assert np.array_equal(response.spike_counts, baseline.spike_counts[0])
+    assert response.prediction == int(baseline.predictions[0])
+    assert response.stats.summary() == baseline.stats.summary()
+    ours, theirs = response.probes, baseline.probes
+    assert (ours is None) == (theirs is None)
+    if ours is None:
+        return
+    for attr in ("spikes", "potentials", "acc_active"):
+        mine, base = getattr(ours, attr), getattr(theirs, attr)
+        assert set(mine) == set(base)
+        for layer in mine:
+            assert np.array_equal(mine[layer], base[layer])
+    if ours.telemetry is not None:
+        assert ours.telemetry.as_dict() == theirs.telemetry.as_dict()
+
+
+def faulted_policy(faults, run_policy, strict=False):
+    """A policy whose coalesced batches cross into the faulted pool."""
+    return ServePolicy(batch_window=SLOW_WINDOW, max_batch=FRAMES,
+                       queue_limit=4 * FRAMES, sharded_min_frames=2,
+                       workers=WORKERS, run_policy=run_policy,
+                       faults=faults, strict=strict)
+
+
+def hammer(session, trains, probes=True):
+    """Submit every frame from its own client thread, then flush-pump.
+
+    Returns the responses in frame order; raising inside a client thread
+    surfaces as a missing handle, which the assertion below catches.
+    """
+    handles = [None] * trains.shape[0]
+    barrier = threading.Barrier(trains.shape[0])
+
+    def client(index):
+        barrier.wait()
+        handles[index] = session.submit(trains[index])
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(trains.shape[0])]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(handle is not None for handle in handles), "a submit failed"
+    cutoff = time.monotonic() + 90.0
+    while not all(handle.done() for handle in handles):
+        assert time.monotonic() < cutoff, "serving stalled"
+        session.flush()
+        time.sleep(0.002)
+    return [handle.result(timeout=1.0) for handle in handles]
+
+
+# ----------------------------------------------------------------------
+# Crash and hang recovery: bit-exact, pool healed, selection unchanged
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", CHAOS_BUILDERS)
+def test_crash_mid_request_recovers_bit_exact(name):
+    """A worker killed mid-batch is re-forked; every response is exact."""
+    compiled, trains, baselines = case_for(name)
+    policy = faulted_policy(FaultPlan.crash(shard=0), FAST_POLICY)
+    with Session("crash", compiled, policy, probes=ProbeSet.full()) as \
+            session:
+        responses = hammer(session, trains)
+        assert session.last_selection == "sharded"
+        assert session.last_degradation == []
+        assert session.engine.backend("sharded").pool_alive
+    assert {response.backend for response in responses} == {"sharded"}
+    for index, response in enumerate(responses):
+        assert_served_bit_exact(response, baselines[index])
+
+
+@pytest.mark.parametrize("name", CHAOS_BUILDERS)
+def test_hang_mid_request_recovers_bit_exact(name):
+    """A hung worker is timed out and its shard re-run; responses exact."""
+    compiled, trains, baselines = case_for(name)
+    policy = faulted_policy(FaultPlan.hang(shard=1), HANG_POLICY)
+    with Session("hang", compiled, policy, probes=ProbeSet.full()) as \
+            session:
+        responses = hammer(session, trains)
+        assert session.last_selection == "sharded"
+        assert session.last_degradation == []
+    for index, response in enumerate(responses):
+        assert_served_bit_exact(response, baselines[index])
+
+
+# ----------------------------------------------------------------------
+# Exhausted supervision: degrade, stay correct, keep serving
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", CHAOS_BUILDERS)
+def test_exhausted_supervision_degrades_and_keeps_serving(name):
+    """No retry budget: the batch degrades to vectorized bit-exactly, the
+    degradation is recorded and counted, and the session serves on."""
+    compiled, trains, baselines = case_for(name)
+    exhausted = RunPolicy(shard_timeout=60.0, max_retries=0, backoff=0.0)
+    policy = faulted_policy(FaultPlan.crash(shard=0), exhausted)
+    with Session("degrade", compiled, policy, probes=ProbeSet.full()) as \
+            session:
+        responses = hammer(session, trains)
+        first_trail = list(session.last_degradation)
+        assert first_trail and first_trail[0][:2] == ("sharded", "vectorized")
+        # the session is not wedged: a second round still serves exactly
+        responses += hammer(session, trains)
+        assert session.served == 2 * FRAMES
+    assert {response.backend for response in responses} == {"vectorized"}
+    for index, response in enumerate(responses):
+        assert_served_bit_exact(response, baselines[index % FRAMES])
+
+
+def test_strict_policy_fails_the_batch_instead_of_degrading():
+    """``strict=True`` surfaces the typed supervision error to callers."""
+    from repro.resilience import ResilienceError
+
+    compiled, trains, _ = case_for(CHAOS_BUILDERS[0])
+    exhausted = RunPolicy(shard_timeout=60.0, max_retries=0, backoff=0.0)
+    policy = faulted_policy(FaultPlan.crash(shard=0), exhausted, strict=True)
+    with Session("strict", compiled, policy) as session:
+        handles = [session.submit(trains[index]) for index in range(FRAMES)]
+        cutoff = time.monotonic() + 90.0
+        while not all(handle.done() for handle in handles):
+            assert time.monotonic() < cutoff, "serving stalled"
+            session.flush()
+            time.sleep(0.002)
+        for handle in handles:
+            with pytest.raises(ResilienceError):
+                handle.result(timeout=1.0)
+        assert session.last_degradation == []
+        assert session.served == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrency: many client threads, nothing lost, nothing wrong
+# ----------------------------------------------------------------------
+def test_concurrent_clients_lose_nothing():
+    """8 client threads x 3 requests each against one session: all 24
+    responses arrive and each is the right answer for its frame."""
+    compiled, trains, baselines = case_for(CHAOS_BUILDERS[0])
+    policy = ServePolicy(batch_window=0.001, max_batch=FRAMES,
+                         queue_limit=64)
+    rounds = 3
+    clients = 8
+    results = {}
+    errors = []
+
+    with Session("swarm", compiled, policy, probes=ProbeSet.full()) as \
+            session:
+        def client(client_id):
+            try:
+                for round_id in range(rounds):
+                    index = (client_id + round_id) % FRAMES
+                    response = session.infer(trains[index], timeout=90.0)
+                    results[(client_id, round_id)] = (index, response)
+            except BaseException as exc:  # surfaced below, not swallowed
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(client_id,))
+                   for client_id in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert session.served == clients * rounds
+        assert len(results) == clients * rounds
+    for index, response in results.values():
+        assert_served_bit_exact(response, baselines[index])
